@@ -1,0 +1,19 @@
+"""Shared benchmark helpers: result recording and table formatting.
+
+Every benchmark prints the paper-figure table it regenerates AND writes it
+to ``benchmarks/results/<name>.txt`` so results survive pytest's output
+capture; EXPERIMENTS.md is compiled from those files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.reporting import fmt_table as fmt_table  # re-export
+from repro.bench.reporting import record_result as _record
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    _record(RESULTS_DIR, name, text)

@@ -1,0 +1,54 @@
+"""Ablation: strong-scaling breakdown vs problem size.
+
+The paper evaluates at 8K^2, where kernels dwarf overheads. Sweeping the
+board size downward locates the crossover where per-task scheduling
+overhead and transfer latencies eat the multi-GPU benefit — the practical
+lower bound for profitable partitioning under this framework.
+"""
+
+import pytest
+
+from conftest import fmt_table, record_result
+from repro.bench.experiments import run_gol
+from repro.hardware import GTX_780
+
+SIZES = (512, 1024, 2048, 4096, 8192)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_strong_scaling_breakdown(benchmark):
+    def collect():
+        out = {}
+        for size in SIZES:
+            t1 = run_gol(GTX_780, 1, size=size, iters=4)
+            t4 = run_gol(GTX_780, 4, size=size, iters=4)
+            out[size] = (t1, t4, t1 / t4)
+        return out
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{size}x{size}",
+            f"{t1 * 1e3:.3f} ms",
+            f"{t4 * 1e3:.3f} ms",
+            f"{sp:.2f}x",
+        ]
+        for size, (t1, t4, sp) in results.items()
+    ]
+    record_result(
+        "ablation_strong_scaling",
+        fmt_table(
+            "Ablation: Game of Life 4-GPU speedup vs board size "
+            "(GTX 780; paper evaluates at 8192)",
+            ["board", "1 GPU/tick", "4 GPUs/tick", "speedup"],
+            rows,
+        ),
+    )
+
+    speedups = [sp for _, _, sp in results.values()]
+    # Speedup grows monotonically with problem size...
+    assert all(a <= b * 1.05 for a, b in zip(speedups, speedups[1:]))
+    # ...from little-or-no benefit at 512^2 to near-linear at 8K^2.
+    assert speedups[0] < 2.0
+    assert speedups[-1] > 3.5

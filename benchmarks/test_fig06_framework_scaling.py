@@ -1,0 +1,68 @@
+"""Figure 6: framework scaling over multiple GPUs.
+
+Paper: the Game of Life, 256-bin histogram and SGEMM (unmodified CUBLAS)
+on 1–4 GPUs of all three testbeds. Histogram and SGEMM need no inter-GPU
+communication and scale almost linearly (up to ~3.94x and ~3.93x);
+the Game of Life exchanges two boundary lines per iteration and averages
+~3.68x on 4 GPUs. Results are consistent across the three platforms.
+"""
+
+import pytest
+
+from conftest import fmt_table, record_result
+from repro.bench.experiments import (
+    gemm_scaling,
+    gol_scaling,
+    histogram_scaling,
+)
+from repro.hardware import PAPER_GPUS
+
+GPU_COUNTS = (1, 2, 3, 4)
+
+
+def _collect():
+    results = {}
+    for spec in PAPER_GPUS:
+        results[spec.name] = {
+            "Game of Life": gol_scaling(spec, GPU_COUNTS),
+            "Histogram": histogram_scaling(spec, "maps", GPU_COUNTS),
+            "SGEMM": gemm_scaling(spec, GPU_COUNTS),
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_framework_scaling(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for gpu_name, apps in results.items():
+        for app_name, r in apps.items():
+            rows.append(
+                [gpu_name, app_name]
+                + [f"{s:.2f}x" for s in r.speedups]
+                + [f"{r.times[0] * 1e3:.2f} ms"]
+            )
+    record_result(
+        "fig06_framework_scaling",
+        fmt_table(
+            "Figure 6: incremental speedup, 1-4 GPUs (paper: histogram "
+            "~3.94x, SGEMM ~3.93x, Game of Life ~3.68x avg)",
+            ["GPU", "App", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "t(1 GPU)"],
+            rows,
+        ),
+    )
+
+    for gpu_name, apps in results.items():
+        gol = apps["Game of Life"].speedups
+        hist = apps["Histogram"].speedups
+        gemm = apps["SGEMM"].speedups
+        # Near-linear scaling for the communication-free apps.
+        assert hist[-1] > 3.6, (gpu_name, hist)
+        assert gemm[-1] > 3.7, (gpu_name, gemm)
+        # GoL pays for boundary exchanges: slightly below the other two,
+        # but still close to linear.
+        assert 3.3 < gol[-1] <= gemm[-1] + 0.05, (gpu_name, gol)
+        # Monotone scaling everywhere.
+        for s in (gol, hist, gemm):
+            assert all(a < b for a, b in zip(s, s[1:])), (gpu_name, s)

@@ -1,0 +1,86 @@
+"""Figure 8: histogram multi-GPU performance (device-level aggregators, §5.3).
+
+Paper, for a 256-bin histogram of an 8K square image:
+
+* naive (global atomics) single-GPU runtimes: ~6.09 ms (GTX 780),
+  ~6.41 ms (Titan Black), ~30.92 ms (GTX 980) — Maxwell made contended
+  global atomics far slower, shared atomics preferable;
+* MAPS-Multi beats CUB on the GTX 780; CUB is faster on the Titan Black
+  and more so on the GTX 980 (architecture-specific tuning);
+* MAPS and CUB stay within the same order of magnitude on all GPUs.
+"""
+
+import pytest
+
+from conftest import fmt_table, record_result
+from repro.bench.experiments import run_histogram
+from repro.hardware import GTX_780, GTX_980, PAPER_GPUS, TITAN_BLACK
+
+GPU_COUNTS = (1, 2, 3, 4)
+IMPLS = ("naive", "cub", "maps")
+
+
+def _collect():
+    return {
+        spec.name: {
+            impl: [run_histogram(spec, g, impl) for g in GPU_COUNTS]
+            for impl in IMPLS
+        }
+        for spec in PAPER_GPUS
+    }
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_histogram_multi_gpu(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for gpu, impls in results.items():
+        for impl, times in impls.items():
+            rows.append(
+                [gpu, impl]
+                + [f"{t * 1e3:.2f} ms" for t in times]
+                + [f"{times[0] / times[-1]:.2f}x"]
+            )
+    record_result(
+        "fig08_histogram",
+        fmt_table(
+            "Figure 8: 256-bin histogram of an 8K^2 image (paper: naive "
+            "6.09/6.41/30.92 ms on 1 GPU; MAPS>CUB on 780, CUB>MAPS on "
+            "Titan Black and 980)",
+            ["GPU", "impl", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "scaling"],
+            rows,
+        ),
+    )
+
+    # Naive single-GPU absolute runtimes match §5.3.
+    paper_naive_ms = {"GTX 780": 6.09, "Titan Black": 6.41, "GTX 980": 30.92}
+    for gpu, expected in paper_naive_ms.items():
+        measured = results[gpu]["naive"][0] * 1e3
+        assert measured == pytest.approx(expected, rel=0.05), gpu
+
+    # Maxwell regression: naive is ~5x slower on the GTX 980 than Kepler.
+    assert results["GTX 980"]["naive"][0] > 4 * results["GTX 780"]["naive"][0]
+
+    # Orderings on one GPU.
+    r780, rtb, r980 = (
+        results["GTX 780"],
+        results["Titan Black"],
+        results["GTX 980"],
+    )
+    assert r780["maps"][0] < r780["cub"][0]  # MAPS wins on GTX 780
+    assert rtb["cub"][0] < rtb["maps"][0]  # CUB wins on Titan Black
+    assert r980["cub"][0] < r980["maps"][0]  # ... and more so on GTX 980
+    assert (r980["maps"][0] / r980["cub"][0]) > (
+        rtb["maps"][0] / rtb["cub"][0]
+    )
+
+    # Same order of magnitude everywhere (paper's closing observation).
+    for gpu in results:
+        assert results[gpu]["maps"][0] < 10 * results[gpu]["cub"][0]
+        assert results[gpu]["cub"][0] < 10 * results[gpu]["maps"][0]
+
+    # All three implementations scale when run over MAPS-Multi.
+    for gpu, impls in results.items():
+        for impl, times in impls.items():
+            assert times[0] / times[-1] > 3.0, (gpu, impl)

@@ -1,0 +1,62 @@
+"""Figure 9: matrix-multiplication chain scaling vs CUBLAS-XT (§5.4).
+
+Paper: a chain of 1,000 multiplications of two 8K square matrices.
+CUBLAS over MAPS-Multi (unmodified routines) scales near-linearly because
+operands stay device-resident; CUBLAS-XT's host-based API generates
+host-to-device and device-to-host copies per call, so its scaling is
+far worse on all three platforms (the paper even observed 4 GPUs slower
+than 3 on the GTX 980 and omitted that bar).
+"""
+
+import pytest
+
+from conftest import fmt_table, record_result
+from repro.bench.experiments import gemm_scaling, xt_gemm_scaling
+from repro.hardware import PAPER_GPUS
+
+GPU_COUNTS = (1, 2, 3, 4)
+
+
+def _collect():
+    return {
+        spec.name: {
+            "maps": gemm_scaling(spec, GPU_COUNTS),
+            "xt": xt_gemm_scaling(spec, GPU_COUNTS),
+        }
+        for spec in PAPER_GPUS
+    }
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_gemm_chain_vs_cublasxt(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for gpu, impls in results.items():
+        for impl, r in impls.items():
+            rows.append(
+                [gpu, impl]
+                + [f"{s:.2f}x" for s in r.speedups]
+                + [f"{r.times[0] * 1e3:.0f} ms"]
+            )
+    record_result(
+        "fig09_gemm_vs_xt",
+        fmt_table(
+            "Figure 9: chained 8K SGEMM scaling, CUBLAS-over-MAPS vs "
+            "CUBLAS-XT (paper: MAPS surpasses XT on all platforms)",
+            ["GPU", "impl", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "t(1 GPU)"],
+            rows,
+        ),
+    )
+
+    for gpu, impls in results.items():
+        maps, xt = impls["maps"], impls["xt"]
+        # MAPS-Multi scaling surpasses CUBLAS-XT at every GPU count > 1.
+        for g in range(1, len(GPU_COUNTS)):
+            assert maps.speedups[g] > xt.speedups[g], (gpu, g)
+        # MAPS is near-linear; XT saturates on host staging.
+        assert maps.speedups[-1] > 3.7, gpu
+        assert xt.speedups[-1] < 2.5, gpu
+        # XT is also slower in absolute terms at every GPU count.
+        for g in range(len(GPU_COUNTS)):
+            assert xt.times[g] > maps.times[g], (gpu, g)

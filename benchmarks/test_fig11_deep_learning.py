@@ -1,0 +1,79 @@
+"""Figure 11: deep learning performance (§6.1).
+
+Paper, training LeNet with batches of 2048 images on 4x GTX 780:
+
+* single-GPU throughput is similar in Caffe, Torch and MAPS-Multi (all
+  call the same cuDNN v2 routines); Caffe has no multi-GPU support;
+* hybrid data/model parallelism: MAPS-Multi ~2.79x vs Torch ~2.07x —
+  Torch performs all weight updates on a single GPU plus unnecessary
+  device-to-host copies each iteration;
+* pure data parallelism: MAPS-Multi ~3.12x vs Torch ~2.3x;
+* switching schemes in MAPS-Multi is a single access-pattern change.
+"""
+
+import pytest
+
+from conftest import fmt_table, record_result
+from repro.bench.experiments import deep_learning_throughput
+from repro.hardware import GTX_780
+
+GPU_COUNTS = (1, 2, 3, 4)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_lenet_throughput(benchmark):
+    results = benchmark.pedantic(
+        lambda: deep_learning_throughput(GTX_780, GPU_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, tps in results.items():
+        speedups = [t / tps[0] for t in tps]
+        rows.append(
+            [name]
+            + [f"{t:.0f}" for t in tps]
+            + ([""] * (4 - len(tps)))
+            + [f"{speedups[-1]:.2f}x"]
+        )
+    record_result(
+        "fig11_deep_learning",
+        fmt_table(
+            "Figure 11: LeNet training throughput, img/s, batch 2048, "
+            "GTX 780 (paper 4-GPU speedups: MAPS hybrid ~2.79x, Torch "
+            "hybrid ~2.07x, MAPS data ~3.12x, Torch data ~2.3x)",
+            ["impl", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "speedup"],
+            rows,
+        ),
+    )
+
+    def speedup(name):
+        tps = results[name]
+        return tps[-1] / tps[0]
+
+    # Single-GPU throughput is similar across all frameworks (same cuDNN).
+    singles = [
+        results["maps_data"][0],
+        results["maps_hybrid"][0],
+        results["torch_data"][0],
+        results["caffe"][0],
+    ]
+    assert max(singles) / min(singles) < 1.15
+
+    # MAPS beats Torch in both schemes, at every multi-GPU count.
+    for mode in ("data", "hybrid"):
+        maps, torch = results[f"maps_{mode}"], results[f"torch_{mode}"]
+        for g in range(1, len(GPU_COUNTS)):
+            assert maps[g] > torch[g], (mode, g)
+
+    # 4-GPU speedups land near the paper's figures.
+    assert speedup("maps_hybrid") == pytest.approx(2.79, rel=0.15)
+    assert speedup("torch_hybrid") == pytest.approx(2.07, rel=0.15)
+    assert speedup("maps_data") == pytest.approx(3.12, rel=0.15)
+    assert speedup("torch_data") == pytest.approx(2.30, rel=0.15)
+
+    # For a network this small, data parallelism beats hybrid (as the
+    # paper's numbers show), in both frameworks.
+    assert speedup("maps_data") > speedup("maps_hybrid")
+    assert speedup("torch_data") > speedup("torch_hybrid")

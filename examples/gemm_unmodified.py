@@ -1,0 +1,63 @@
+"""Unmodified GPU routines (§4.6): multi-GPU SGEMM via a CUBLAS wrapper.
+
+The framework partitions unmodified vendor routines from their declared
+memory access patterns alone: Block (2D) for the first operand, Block
+(2D - Transposed) for the second, Structured Injective for the result.
+Compares chained-GEMM scaling against the CUBLAS-XT baseline (Fig. 9).
+
+Run: ``python examples/gemm_unmodified.py``
+"""
+
+import numpy as np
+
+from repro.bench.experiments import gemm_scaling, xt_gemm_scaling
+from repro.core import Matrix, Scheduler
+from repro.hardware import GTX_780
+from repro.libs.cublas import CublasContext, make_sgemm_routine, sgemm_containers
+from repro.sim import SimNode
+from repro.utils.units import fmt_time
+
+
+def functional_demo() -> None:
+    m, k, n = 256, 192, 128
+    rng = np.random.default_rng(3)
+    ha = rng.standard_normal((m, k)).astype(np.float32)
+    hb = rng.standard_normal((k, n)).astype(np.float32)
+
+    node = SimNode(GTX_780, 4, functional=True)
+    sched = Scheduler(node)
+    a = Matrix(m, k, np.float32, "A").bind(ha.copy())
+    b = Matrix(k, n, np.float32, "B").bind(hb.copy())
+    c = Matrix(m, n, np.float32, "C").bind(np.zeros((m, n), np.float32))
+
+    context = CublasContext(node.num_gpus)
+    gemm = make_sgemm_routine(context)
+    args = sgemm_containers(a, b, c)
+    sched.analyze_call(gemm, *args)
+    sched.invoke_unmodified(gemm, *args)
+    elapsed = sched.gather(c)
+
+    assert np.allclose(c.host, ha @ hb, atol=1e-3)
+    print(f"4-GPU SGEMM {m}x{k}x{n} via unmodified CUBLAS: {fmt_time(elapsed)}")
+    print(f"  handles: {context.handles}")
+    print("  result matches numpy within 1e-3")
+
+
+def scaling_demo() -> None:
+    print("\nChained 8K SGEMM scaling on GTX 780 (Fig. 9):")
+    maps = gemm_scaling(GTX_780)
+    xt = xt_gemm_scaling(GTX_780)
+    print(f"{'GPUs':>5s} {'CUBLAS over MAPS':>18s} {'CUBLAS-XT':>12s}")
+    for i, g in enumerate(maps.gpu_counts):
+        print(
+            f"{g:5d} {maps.speedups[i]:17.2f}x {xt.speedups[i]:11.2f}x"
+        )
+    print(
+        "MAPS keeps operands device-resident; XT's host-based API pays\n"
+        "pageable round trips per call and saturates on host staging."
+    )
+
+
+if __name__ == "__main__":
+    functional_demo()
+    scaling_demo()

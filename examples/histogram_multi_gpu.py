@@ -1,0 +1,68 @@
+"""Multi-GPU histogram with a Reductive (Static) output (Fig. 4, §5.3).
+
+Demonstrates the device-wide reduction use of the device-level API: a
+1x1 Window input over the image, a Reductive (Static) histogram output
+whose per-device partials the host-level aggregator combines at gather
+time — and compares the three implementations of Fig. 8 (naive global
+atomics, CUB, MAPS) on one simulated GPU of each architecture.
+
+Run: ``python examples/histogram_multi_gpu.py``
+"""
+
+import numpy as np
+
+from repro.bench.experiments import run_histogram
+from repro.core import Grid, Matrix, Scheduler, Vector
+from repro.hardware import GTX_780, PAPER_GPUS
+from repro.kernels.histogram import histogram_containers, make_histogram_kernel
+from repro.sim import SimNode
+from repro.utils.units import fmt_time
+
+
+def functional_demo() -> None:
+    """Correctness: a 512x512 image, 64 bins, 4 GPUs."""
+    size, bins = 512, 64
+    rng = np.random.default_rng(7)
+    pixels = rng.integers(0, bins, size=(size, size)).astype(np.int32)
+
+    node = SimNode(GTX_780, 4, functional=True)
+    sched = Scheduler(node)
+    image = Matrix(size, size, np.int32, "image").bind(pixels.copy())
+    hist = Vector(bins, np.int64, "hist").bind(np.zeros(bins, np.int64))
+
+    kernel = make_histogram_kernel("maps")
+    containers = histogram_containers(image, hist)
+    grid = Grid((size, size))
+    sched.analyze_call(kernel, *containers, grid=grid)
+    sched.invoke(kernel, *containers, grid=grid)
+    elapsed = sched.gather(hist)
+
+    expected = np.bincount(pixels.reshape(-1), minlength=bins)
+    assert (hist.host == expected).all()
+    print(f"4-GPU histogram of a {size}x{size} image: {fmt_time(elapsed)}")
+    print(f"  total count {int(hist.host.sum())} == pixels {pixels.size}")
+
+
+def performance_demo() -> None:
+    """Fig. 8's single-GPU comparison at paper scale (timing only)."""
+    print("\n8K^2 image, 256 bins, single GPU (paper's Fig. 8 inputs):")
+    print(f"{'GPU':14s} {'naive':>10s} {'CUB':>10s} {'MAPS':>10s}")
+    for spec in PAPER_GPUS:
+        times = {
+            impl: run_histogram(spec, 1, impl, iters=3)
+            for impl in ("naive", "cub", "maps")
+        }
+        print(
+            f"{spec.name:14s} "
+            f"{times['naive'] * 1e3:9.2f}ms {times['cub'] * 1e3:9.2f}ms "
+            f"{times['maps'] * 1e3:9.2f}ms"
+        )
+    print(
+        "note: naive global atomics collapse on Maxwell (GTX 980) —\n"
+        "the pattern-based abstraction hides that architecture shift."
+    )
+
+
+if __name__ == "__main__":
+    functional_demo()
+    performance_demo()

@@ -1,0 +1,68 @@
+"""Quickstart: the paper's Game of Life on a simulated quad-GPU node.
+
+Mirrors Fig. 2a's 11-line host code: bind host buffers, declare access
+patterns (Window2D input / StructuredInjective output), AnalyzeCall both
+double-buffer directions, Invoke per tick, Gather.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro.core import Matrix, Scheduler
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import (
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.sim import SimNode
+from repro.utils.units import fmt_time
+
+
+def main() -> None:
+    size, iterations = 256, 20
+    rng = np.random.default_rng(42)
+    host_a = (rng.random((size, size)) < 0.35).astype(np.int32)
+    host_b = np.zeros((size, size), np.int32)
+    initial = host_a.copy()
+
+    # A simulated node with four GTX 780s (Table 3's first testbed).
+    node = SimNode(GTX_780, num_gpus=4, functional=True)
+    sched = Scheduler(node)
+
+    # Fig. 2a: define data structures and bind existing host buffers.
+    a = Matrix(size, size, np.int32, "A").bind(host_a)
+    b = Matrix(size, size, np.int32, "B").bind(host_b)
+
+    # Analyze memory access patterns for allocation (both directions of
+    # the double buffering — Fig. 3).
+    kernel = make_gol_kernel("maps_ilp")
+    sched.analyze_call(kernel, *gol_containers(a, b))
+    sched.analyze_call(kernel, *gol_containers(b, a))
+
+    # Invoke the kernels.
+    for i in range(iterations):
+        src, dst = (a, b) if i % 2 == 0 else (b, a)
+        sched.invoke(kernel, *gol_containers(src, dst))
+
+    # Gather processed data back to host.
+    out = a if iterations % 2 == 0 else b
+    elapsed = sched.gather(out)
+
+    # Verify against a plain-numpy reference.
+    reference = initial
+    for _ in range(iterations):
+        reference = gol_reference_step(reference)
+    assert (out.host == reference).all(), "simulation diverged!"
+
+    print(f"Game of Life, {size}x{size} board, {iterations} ticks, 4 GPUs")
+    print(f"  simulated time: {fmt_time(elapsed)}")
+    print(f"  live cells:     {int(out.host.sum())} (matches reference)")
+    print(f"  P2P halo bytes: {sum(r.nbytes for r in node.trace.memcpys() if r.src >= 0 and r.device >= 0)}")
+    for dev, stats in node.memory_report().items():
+        print(f"  gpu{dev}: peak {stats['peak']} B in {stats['alloc_calls']} allocations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""MAPS-Multi reproduction: automatic multi-GPU partitioning from memory
+access patterns (Ben-Nun, Levy, Rubin, Barak - SC '15), on a simulated
+multi-GPU node.
+
+Quick start::
+
+    import numpy as np
+    from repro import SimNode, Scheduler, Matrix, GTX_780
+    from repro.kernels.game_of_life import make_gol_kernel, gol_containers
+
+    node = SimNode(GTX_780, num_gpus=4, functional=True)
+    sched = Scheduler(node)
+    a = Matrix(256, 256, np.int32, "A").bind(board)
+    b = Matrix(256, 256, np.int32, "B").bind(np.zeros_like(board))
+    kernel = make_gol_kernel()
+    sched.analyze_call(kernel, *gol_containers(a, b))
+    sched.invoke(kernel, *gol_containers(a, b))
+    sched.gather(b)
+
+Package layout:
+
+* :mod:`repro.hardware` - GPU specs (Table 3), calibration, topology
+* :mod:`repro.sim` - the discrete-event multi-GPU node simulator
+* :mod:`repro.patterns` - input (Table 1) and output (S3.2) patterns
+* :mod:`repro.core` - Datum/Task, Memory Analyzer, Location Monitor,
+  Scheduler (Algorithms 1-2)
+* :mod:`repro.device_api` - index-free device-level views and iterators
+* :mod:`repro.kernels` - built-in kernels (Game of Life, histogram, ...)
+* :mod:`repro.libs` - simulated CUBLAS / CUBLAS-XT / CUB / cuDNN
+* :mod:`repro.apps` - LeNet training (S6.1) and NMF (S6.2)
+* :mod:`repro.baselines` - Torch-like, Caffe-like, NMF-mGPU comparators
+* :mod:`repro.bench` - drivers regenerating every table and figure
+"""
+
+from repro.core import (
+    CostContext,
+    Datum,
+    Grid,
+    Kernel,
+    Matrix,
+    Scheduler,
+    Task,
+    TaskHandle,
+    Vector,
+    from_array,
+)
+from repro.core.unmodified import RoutineContext, make_routine
+from repro.errors import (
+    AllocationError,
+    AnalysisError,
+    MapsError,
+    PatternMismatchError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.hardware import (
+    GTX_780,
+    GTX_980,
+    HOST,
+    PAPER_GPUS,
+    TITAN_BLACK,
+    Architecture,
+    GPUSpec,
+)
+from repro.sim import SimNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Datum",
+    "Matrix",
+    "Vector",
+    "from_array",
+    "Grid",
+    "Kernel",
+    "Task",
+    "TaskHandle",
+    "CostContext",
+    "Scheduler",
+    "make_routine",
+    "RoutineContext",
+    "SimNode",
+    "GPUSpec",
+    "Architecture",
+    "GTX_780",
+    "TITAN_BLACK",
+    "GTX_980",
+    "PAPER_GPUS",
+    "HOST",
+    "MapsError",
+    "PatternMismatchError",
+    "AnalysisError",
+    "AllocationError",
+    "SchedulingError",
+    "SimulationError",
+]

@@ -1,0 +1,1 @@
+"""Real-world applications (§6): LeNet deep learning and NMF."""

@@ -1,0 +1,155 @@
+"""LeNet parameters and a pure-numpy reference implementation (§6.1).
+
+The reference forward/backward pass is the single-source-of-truth the
+MAPS-Multi trainer's functional results are validated against. The
+architecture is the Caffe-style LeNet of the paper's Fig. 10:
+conv(20@5x5) → pool → conv(50@5x5) → pool → fc(500)+ReLU → fc(10) →
+softmax cross-entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.libs.cudnn import (
+    conv2d_backward_data,
+    conv2d_backward_filter,
+    conv2d_forward,
+    maxpool2x2_backward,
+    maxpool2x2_forward,
+)
+
+#: Layer dimensions (input 1x28x28).
+CONV1_FILTERS, CONV2_FILTERS = 20, 50
+KERNEL = 5
+FLAT = 50 * 4 * 4  # 800
+FC1, CLASSES = 500, 10
+
+PARAM_NAMES = ("W1", "b1", "W2", "b2", "W3", "b3", "W4", "b4")
+
+
+@dataclass
+class LeNetParams:
+    """Host-side parameter set."""
+
+    W1: np.ndarray
+    b1: np.ndarray
+    W2: np.ndarray
+    b2: np.ndarray
+    W3: np.ndarray
+    b3: np.ndarray
+    W4: np.ndarray
+    b4: np.ndarray
+
+    @staticmethod
+    def initialize(seed: int = 0) -> "LeNetParams":
+        rng = np.random.default_rng(seed)
+
+        def xavier(*shape):
+            fan_in = int(np.prod(shape[1:]))
+            return (
+                rng.standard_normal(shape) / np.sqrt(fan_in)
+            ).astype(np.float32)
+
+        return LeNetParams(
+            W1=xavier(CONV1_FILTERS, 1, KERNEL, KERNEL),
+            b1=np.zeros(CONV1_FILTERS, np.float32),
+            W2=xavier(CONV2_FILTERS, CONV1_FILTERS, KERNEL, KERNEL),
+            b2=np.zeros(CONV2_FILTERS, np.float32),
+            W3=xavier(FC1, FLAT),
+            b3=np.zeros(FC1, np.float32),
+            W4=xavier(CLASSES, FC1),
+            b4=np.zeros(CLASSES, np.float32),
+        )
+
+    def items(self):
+        return [(n, getattr(self, n)) for n in PARAM_NAMES]
+
+    def copy(self) -> "LeNetParams":
+        return LeNetParams(**{n: v.copy() for n, v in self.items()})
+
+    def count(self) -> int:
+        """Total parameter count (~431K for LeNet)."""
+        return sum(v.size for _, v in self.items())
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class ForwardState:
+    """Intermediate activations kept for the backward pass."""
+
+    x0: np.ndarray
+    a1: np.ndarray
+    p1: np.ndarray
+    m1: np.ndarray
+    a2: np.ndarray
+    p2: np.ndarray
+    m2: np.ndarray
+    f: np.ndarray
+    h: np.ndarray
+    hr: np.ndarray
+    logits: np.ndarray
+
+
+def reference_forward(p: LeNetParams, x0: np.ndarray) -> ForwardState:
+    a1 = conv2d_forward(x0, p.W1) + p.b1[None, :, None, None]
+    p1, m1 = maxpool2x2_forward(a1)
+    a2 = conv2d_forward(p1, p.W2) + p.b2[None, :, None, None]
+    p2, m2 = maxpool2x2_forward(a2)
+    f = p2.reshape(p2.shape[0], FLAT)
+    h = f @ p.W3.T + p.b3
+    hr = np.maximum(h, 0)
+    logits = hr @ p.W4.T + p.b4
+    return ForwardState(x0, a1, p1, m1, a2, p2, m2, f, h, hr, logits)
+
+
+def reference_loss(logits: np.ndarray, labels: np.ndarray) -> float:
+    sm = softmax(logits)
+    n = labels.shape[0]
+    return float(-np.log(sm[np.arange(n), labels] + 1e-12).mean())
+
+
+def reference_backward(
+    p: LeNetParams, s: ForwardState, labels: np.ndarray
+) -> dict[str, np.ndarray]:
+    n = labels.shape[0]
+    dlogits = softmax(s.logits)
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+
+    grads: dict[str, np.ndarray] = {}
+    grads["W4"] = dlogits.T @ s.hr
+    grads["b4"] = dlogits.sum(axis=0)
+    dhr = dlogits @ p.W4
+    dh = dhr * (s.h > 0)
+    grads["W3"] = dh.T @ s.f
+    grads["b3"] = dh.sum(axis=0)
+    df = dh @ p.W3
+    dp2 = df.reshape(s.p2.shape)
+    da2 = maxpool2x2_backward(dp2, s.m2, s.a2.shape)
+    grads["W2"] = conv2d_backward_filter(s.p1, da2)
+    grads["b2"] = da2.sum(axis=(0, 2, 3))
+    dp1 = conv2d_backward_data(da2, p.W2)
+    da1 = maxpool2x2_backward(dp1, s.m1, s.a1.shape)
+    grads["W1"] = conv2d_backward_filter(s.x0, da1)
+    grads["b1"] = da1.sum(axis=(0, 2, 3))
+    return grads
+
+
+def reference_step(
+    p: LeNetParams, x0: np.ndarray, labels: np.ndarray, lr: float
+) -> float:
+    """One SGD step in place; returns the pre-update loss."""
+    s = reference_forward(p, x0)
+    loss = reference_loss(s.logits, labels)
+    grads = reference_backward(p, s, labels)
+    for name, g in grads.items():
+        getattr(p, name)[...] -= lr * g.astype(np.float32)
+    return loss

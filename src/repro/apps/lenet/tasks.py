@@ -1,0 +1,370 @@
+"""MAPS-Multi task definitions for LeNet training (§6.1).
+
+Each layer is an *unmodified routine* (§4.6) wrapping the simulated cuDNN
+v2 / CUBLAS primitives — exactly how the paper's three frameworks all run
+the same vendor kernels — with the memory access patterns declaring its
+partitioning:
+
+* forward/backward activations: ``BlockStriped`` in, ``InjectiveStriped``
+  out (batch partitioning = data parallelism);
+* shared parameters: ``Replicated`` inputs;
+* data-parallel weight gradients: ``ReductiveStatic`` outputs (summed
+  across devices — the framework infers the gradient exchange);
+* hybrid model parallelism (fc1): ``Block2D`` row-striped weights,
+  ``Block2DTransposed`` (full) activations, transposes via the
+  column-striped patterns — switching a layer between data and model
+  parallelism is literally a container swap, the paper's headline
+  usability claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import CostContext, Kernel
+from repro.core.unmodified import RoutineContext, make_routine
+from repro.libs import cudnn
+from repro.libs.cublas import gemm_time
+
+
+def _local_work(ctx: CostContext) -> int:
+    return ctx.work_rect[0].size
+
+
+def _stream(ctx: CostContext, nbytes: float) -> float:
+    return nbytes / (ctx.spec.mem_bandwidth * ctx.calib.stream_efficiency)
+
+
+# -- convolution / pooling ------------------------------------------------------
+def make_conv_fwd() -> Kernel:
+    """Containers: BlockStriped(x), Replicated(w), Replicated(b),
+    InjectiveStriped(y); grid (batch,)."""
+
+    def body(rc: RoutineContext) -> None:
+        x, w, b, y = rc.parameters
+        y[...] = cudnn.conv2d_forward(x, w) + b[None, :, None, None]
+
+    def cost(ctx: CostContext) -> float:
+        x = ctx.containers[0].datum
+        w = ctx.containers[1].datum
+        n = _local_work(ctx)
+        k, c, r, s = w.shape
+        oh, ow = x.shape[2] - r + 1, x.shape[3] - s + 1
+        return cudnn.conv_time(
+            ctx.spec, ctx.calib, cudnn.conv_flops(n, c, k, oh, ow, r, s)
+        )
+
+    return make_routine("cudnnConvFwd", body, cost=cost)
+
+
+def make_conv_bwd_data() -> Kernel:
+    """Containers: BlockStriped(dy), Replicated(w), InjectiveStriped(dx)."""
+
+    def body(rc: RoutineContext) -> None:
+        dy, w, dx = rc.parameters
+        dx[...] = cudnn.conv2d_backward_data(dy, w)
+
+    def cost(ctx: CostContext) -> float:
+        dy = ctx.containers[0].datum
+        w = ctx.containers[1].datum
+        n = _local_work(ctx)
+        k, c, r, s = w.shape
+        oh, ow = dy.shape[2], dy.shape[3]
+        return cudnn.conv_time(
+            ctx.spec, ctx.calib, cudnn.conv_flops(n, c, k, oh, ow, r, s)
+        )
+
+    return make_routine("cudnnConvBwdData", body, cost=cost)
+
+
+def make_conv_bwd_filter() -> Kernel:
+    """Containers: BlockStriped(x), BlockStriped(dy), ReductiveStatic(dw),
+    ReductiveStatic(db) — the per-device partial filter gradients are the
+    data-parallel exchange the framework aggregates."""
+
+    def body(rc: RoutineContext) -> None:
+        x, dy, dw, db = rc.parameters
+        dw += cudnn.conv2d_backward_filter(x, dy)
+        db += dy.sum(axis=(0, 2, 3))
+
+    def cost(ctx: CostContext) -> float:
+        x = ctx.containers[0].datum
+        dy = ctx.containers[1].datum
+        n = _local_work(ctx)
+        k = dy.shape[1]
+        c = x.shape[1]
+        oh, ow = dy.shape[2], dy.shape[3]
+        r = x.shape[2] - oh + 1
+        return cudnn.conv_time(
+            ctx.spec, ctx.calib, cudnn.conv_flops(n, c, k, oh, ow, r, r)
+        )
+
+    return make_routine("cudnnConvBwdFilter", body, cost=cost)
+
+
+def make_pool_fwd() -> Kernel:
+    """Containers: BlockStriped(x), InjectiveStriped(y),
+    InjectiveStriped(mask)."""
+
+    def body(rc: RoutineContext) -> None:
+        x, y, mask = rc.parameters
+        pooled, arg = cudnn.maxpool2x2_forward(x)
+        y[...] = pooled
+        mask[...] = arg
+
+    def cost(ctx: CostContext) -> float:
+        x = ctx.containers[0].datum
+        elems = _local_work(ctx) * int(np.prod(x.shape[1:]))
+        return cudnn.pool_time(ctx.spec, ctx.calib, elems)
+
+    return make_routine("cudnnPoolFwd", body, cost=cost)
+
+
+def make_pool_bwd() -> Kernel:
+    """Containers: BlockStriped(dy), BlockStriped(mask),
+    InjectiveStriped(dx)."""
+
+    def body(rc: RoutineContext) -> None:
+        dy, mask, dx = rc.parameters
+        dx[...] = cudnn.maxpool2x2_backward(dy, mask, dx.shape)
+
+    def cost(ctx: CostContext) -> float:
+        dx = ctx.containers[2].datum
+        elems = _local_work(ctx) * int(np.prod(dx.shape[1:]))
+        return cudnn.pool_time(ctx.spec, ctx.calib, elems)
+
+    return make_routine("cudnnPoolBwd", body, cost=cost)
+
+
+# -- reshape / transpose ----------------------------------------------------------
+def make_reshape() -> Kernel:
+    """Containers: BlockStriped(x), InjectiveStriped(y) of equal volume."""
+
+    def body(rc: RoutineContext) -> None:
+        x, y = rc.parameters
+        y[...] = x.reshape(y.shape)
+
+    def cost(ctx: CostContext) -> float:
+        x = ctx.containers[0].datum
+        n = _local_work(ctx) * int(np.prod(x.shape[1:]))
+        return _stream(ctx, 2 * 4 * n)
+
+    return make_routine("reshape", body, cost=cost)
+
+
+def make_transpose() -> Kernel:
+    """(B,F) row stripes -> (F,B) column stripes. Containers:
+    BlockStriped(x), InjectiveColumnStriped(xT); grid (B,). No
+    communication: each device transposes its own batch stripe."""
+
+    def body(rc: RoutineContext) -> None:
+        x, xt = rc.parameters
+        xt[...] = x.T
+
+    def cost(ctx: CostContext) -> float:
+        x = ctx.containers[0].datum
+        n = _local_work(ctx) * x.shape[1]
+        return _stream(ctx, 2 * 4 * n)
+
+    return make_routine("transpose", body, cost=cost)
+
+
+def make_untranspose() -> Kernel:
+    """(F,B) -> (B,F). Containers: BlockColumnStriped(xT),
+    InjectiveStriped(x); grid (B,). When xT was produced row-striped this
+    triggers the all-to-all activation exchange of hybrid parallelism."""
+
+    def body(rc: RoutineContext) -> None:
+        xt, x = rc.parameters
+        x[...] = xt.T
+
+    def cost(ctx: CostContext) -> float:
+        x = ctx.containers[1].datum
+        n = _local_work(ctx) * x.shape[1]
+        return _stream(ctx, 2 * 4 * n)
+
+    return make_routine("untranspose", body, cost=cost)
+
+
+# -- fully connected (data parallel) -----------------------------------------------
+def make_fc_fwd() -> Kernel:
+    """y = x @ w.T + b. Containers: BlockStriped(x), Replicated(w),
+    Replicated(b), InjectiveStriped(y); grid (batch,)."""
+
+    def body(rc: RoutineContext) -> None:
+        x, w, b, y = rc.parameters
+        y[...] = x @ w.T + b
+
+    def cost(ctx: CostContext) -> float:
+        w = ctx.containers[1].datum
+        out_f, in_f = w.shape
+        return gemm_time(ctx, _local_work(ctx), out_f, in_f)
+
+    return make_routine("cublasFcFwd", body, cost=cost)
+
+
+def make_fc_bwd_data() -> Kernel:
+    """dx = dy @ w. Containers: BlockStriped(dy), Replicated(w),
+    InjectiveStriped(dx)."""
+
+    def body(rc: RoutineContext) -> None:
+        dy, w, dx = rc.parameters
+        dx[...] = dy @ w
+
+    def cost(ctx: CostContext) -> float:
+        w = ctx.containers[1].datum
+        out_f, in_f = w.shape
+        return gemm_time(ctx, _local_work(ctx), in_f, out_f)
+
+    return make_routine("cublasFcBwdData", body, cost=cost)
+
+
+def make_fc_bwd_filter() -> Kernel:
+    """dw = dy.T @ x, db = sum(dy). Containers: BlockStriped(dy),
+    BlockStriped(x), ReductiveStatic(dw), ReductiveStatic(db)."""
+
+    def body(rc: RoutineContext) -> None:
+        dy, x, dw, db = rc.parameters
+        dw += dy.T @ x
+        db += dy.sum(axis=0)
+
+    def cost(ctx: CostContext) -> float:
+        dw = ctx.containers[2].datum
+        out_f, in_f = dw.shape
+        return gemm_time(ctx, out_f, in_f, _local_work(ctx))
+
+    return make_routine("cublasFcBwdFilter", body, cost=cost)
+
+
+# -- fully connected (model parallel, hybrid §6.1) ---------------------------------
+def make_mp_fc_fwd() -> Kernel:
+    """hT = w_rows @ fT + b_rows. Containers: Block2D(w), BlockStriped(b),
+    Block2DTransposed(fT) [full -> automatic all-gather],
+    InjectiveStriped(hT); grid (out_features,)."""
+
+    def body(rc: RoutineContext) -> None:
+        w, b, ft, ht = rc.parameters
+        ht[...] = w @ ft + b[:, None]
+
+    def cost(ctx: CostContext) -> float:
+        ft = ctx.containers[2].datum
+        in_f, batch = ft.shape
+        return gemm_time(ctx, _local_work(ctx), batch, in_f)
+
+    return make_routine("cublasMpFcFwd", body, cost=cost)
+
+
+def make_mp_relu_fwd() -> Kernel:
+    """Containers: BlockStriped(hT), InjectiveStriped(hrT)."""
+
+    def body(rc: RoutineContext) -> None:
+        ht, hrt = rc.parameters
+        hrt[...] = np.maximum(ht, 0)
+
+    def cost(ctx: CostContext) -> float:
+        ht = ctx.containers[0].datum
+        return _stream(ctx, 2 * 4 * _local_work(ctx) * ht.shape[1])
+
+    return make_routine("mpRelu", body, cost=cost)
+
+
+def make_mp_relu_bwd() -> Kernel:
+    """dhT = dhrT * (hT > 0). Containers: BlockStriped(hT),
+    BlockStriped(dhrT) [produced column-striped -> all-to-all],
+    InjectiveStriped(dhT)."""
+
+    def body(rc: RoutineContext) -> None:
+        ht, dhrt, dht = rc.parameters
+        dht[...] = dhrt * (ht > 0)
+
+    def cost(ctx: CostContext) -> float:
+        ht = ctx.containers[0].datum
+        return _stream(ctx, 3 * 4 * _local_work(ctx) * ht.shape[1])
+
+    return make_routine("mpReluBwd", body, cost=cost)
+
+
+def make_mp_fc_bwd_filter() -> Kernel:
+    """dw_rows = dhT_rows @ fT.T; db_rows = dhT_rows.sum(1). Model-parallel
+    weight gradients stay device-local (InjectiveStriped) — the hybrid
+    approach's memory/communication win. Containers: BlockStriped(dhT),
+    Block2DTransposed(fT), InjectiveStriped(dw), InjectiveStriped(db)."""
+
+    def body(rc: RoutineContext) -> None:
+        dht, ft, dw, db = rc.parameters
+        dw[...] = dht @ ft.T
+        db[...] = dht.sum(axis=1)
+
+    def cost(ctx: CostContext) -> float:
+        ft = ctx.containers[1].datum
+        in_f, batch = ft.shape
+        return gemm_time(ctx, _local_work(ctx), in_f, batch)
+
+    return make_routine("cublasMpFcBwdFilter", body, cost=cost)
+
+
+def make_mp_fc_bwd_data() -> Kernel:
+    """dfT += w_rows.T @ dhT_rows — a reduction over the partitioned
+    feature dimension: ReductiveStatic(dfT) (all-reduce inferred by the
+    framework). Containers: Block2D(w), BlockStriped(dhT),
+    ReductiveStatic(dfT); grid (out_features,)."""
+
+    def body(rc: RoutineContext) -> None:
+        w, dht, dft = rc.parameters
+        dft += w.T @ dht
+
+    def cost(ctx: CostContext) -> float:
+        dft = ctx.containers[2].datum
+        in_f, batch = dft.shape
+        return gemm_time(ctx, in_f, batch, _local_work(ctx))
+
+    return make_routine("cublasMpFcBwdData", body, cost=cost)
+
+
+# -- loss and update --------------------------------------------------------------
+def make_softmax_loss() -> Kernel:
+    """dlogits = (softmax(logits) - onehot(labels)) / batch_total; also
+    accumulates the mean NLL into a 1-element reductive loss. Containers:
+    BlockStriped(logits), BlockStriped(labels), InjectiveStriped(dlogits),
+    ReductiveStatic(loss); constants: batch_total."""
+
+    def body(rc: RoutineContext) -> None:
+        logits, labels, dlogits, loss = rc.parameters
+        total = rc.constant("batch_total")
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        sm = e / e.sum(axis=1, keepdims=True)
+        n = labels.shape[0]
+        idx = np.arange(n)
+        loss += -np.log(sm[idx, labels] + 1e-12).sum() / total
+        sm[idx, labels] -= 1.0
+        dlogits[...] = sm / total
+
+    def cost(ctx: CostContext) -> float:
+        classes = ctx.containers[0].datum.shape[1]
+        return _stream(ctx, 4 * 4 * _local_work(ctx) * classes)
+
+    return make_routine("softmaxLoss", body, cost=cost)
+
+
+def make_sgd_update() -> Kernel:
+    """w -= lr * dw, partitioned along the parameter's first dimension.
+    Containers: BlockStriped(w), BlockStriped(dw), InjectiveStriped(w);
+    grid (w.shape[0],); constants: lr.
+
+    For data-parallel (ReductiveStatic) gradients, reading ``dw`` triggers
+    the framework's aggregation + redistribution — the gradient exchange.
+    For model-parallel (InjectiveStriped) gradients the stripes are
+    already local and no communication occurs.
+    """
+
+    def body(rc: RoutineContext) -> None:
+        w_in, dw, w_out = rc.parameters
+        w_out[...] = w_in - rc.constant("lr") * dw.astype(w_in.dtype)
+
+    def cost(ctx: CostContext) -> float:
+        w = ctx.containers[0].datum
+        frac = _local_work(ctx) / w.shape[0]
+        return _stream(ctx, 3 * 4 * w.size * frac)
+
+    return make_routine("sgdUpdate", body, cost=cost)

@@ -1,0 +1,554 @@
+"""Multi-GPU LeNet training over MAPS-Multi (§6.1, Fig. 10/11).
+
+Two concurrency schemes, selected by ``mode``:
+
+* ``"data"`` — pure data parallelism: every task is batch-partitioned;
+  weight gradients are ``ReductiveStatic`` outputs whose aggregation and
+  redistribution the framework infers (the per-iteration parameter
+  exchange the paper describes as data parallelism's scaling limit).
+* ``"hybrid"`` — Krizhevsky-style hybrid data/model parallelism: the
+  convolution/pooling part stays data-parallel while the first (large)
+  fully-connected layer is model-parallel — its weights live row-striped
+  on the devices, never exchanged; instead the (smaller) activations are
+  exchanged, automatically, because the model-parallel GEMM declares
+  ``Block2DTransposed`` (full) input over batch-striped activations.
+
+Switching schemes changes only which containers the fc1 tasks declare —
+the paper's headline usability result (§6.1: "switching between data
+parallelism and the hybrid approach in MAPS-Multi requires only a single
+access pattern modification").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.lenet import tasks as T
+from repro.apps.lenet.network import (
+    CLASSES,
+    CONV1_FILTERS,
+    CONV2_FILTERS,
+    FC1,
+    FLAT,
+    LeNetParams,
+    PARAM_NAMES,
+)
+from repro.core import Datum, Grid, Scheduler
+from repro.patterns import (
+    Block2D,
+    Block2DTransposed,
+    BlockColumnStriped,
+    BlockStriped,
+    InjectiveColumnStriped,
+    InjectiveStriped,
+    ReductiveStatic,
+    Replicated,
+)
+from repro.sim.node import SimNode
+
+
+class MapsLeNetTrainer:
+    """LeNet trainer on a simulated multi-GPU node.
+
+    Args:
+        node: The simulated node (functional for correctness runs,
+            timing-only for throughput measurements).
+        params: Initial host-side parameters (bound in functional mode).
+        batch: Global batch size (the paper uses 2048).
+        mode: ``"data"`` or ``"hybrid"``.
+        lr: SGD learning rate.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        params: LeNetParams,
+        batch: int,
+        mode: str = "data",
+        lr: float = 0.05,
+    ):
+        if mode not in ("data", "hybrid"):
+            raise ValueError(f"unknown parallelism mode {mode!r}")
+        self.node = node
+        self.sched = Scheduler(node)
+        self.params = params
+        self.batch = batch
+        self.mode = mode
+        self.lr = lr
+        self._build_datums()
+        self._build_kernels()
+        self._analyze_all()
+
+    # -- datum construction ------------------------------------------------------
+    def _datum(self, name: str, shape, dtype=np.float32) -> Datum:
+        d = Datum(shape, dtype, name)
+        if self.node.functional:
+            d.bind(np.zeros(shape, dtype))
+        return d
+
+    def _build_datums(self) -> None:
+        b = self.batch
+        f = self.node.functional
+        self.x0 = self._datum("x0", (b, 1, 28, 28))
+        self.labels = self._datum("labels", (b,), np.int32)
+        self.a1 = self._datum("a1", (b, CONV1_FILTERS, 24, 24))
+        self.p1 = self._datum("p1", (b, CONV1_FILTERS, 12, 12))
+        self.m1 = self._datum("m1", (b, CONV1_FILTERS, 12, 12), np.int8)
+        self.a2 = self._datum("a2", (b, CONV2_FILTERS, 8, 8))
+        self.p2 = self._datum("p2", (b, CONV2_FILTERS, 4, 4))
+        self.m2 = self._datum("m2", (b, CONV2_FILTERS, 4, 4), np.int8)
+        self.f = self._datum("f", (b, FLAT))
+        self.h = self._datum("h", (b, FC1))
+        self.hr = self._datum("hr", (b, FC1))
+        self.logits = self._datum("logits", (b, CLASSES))
+        self.dlogits = self._datum("dlogits", (b, CLASSES))
+        self.loss = self._datum("loss", (1,))
+        # Backward activations.
+        self.dhr = self._datum("dhr", (b, FC1))
+        self.dh = self._datum("dh", (b, FC1))
+        self.df = self._datum("df", (b, FLAT))
+        self.dp2 = self._datum("dp2", (b, CONV2_FILTERS, 4, 4))
+        self.da2 = self._datum("da2", (b, CONV2_FILTERS, 8, 8))
+        self.dp1 = self._datum("dp1", (b, CONV1_FILTERS, 12, 12))
+        self.da1 = self._datum("da1", (b, CONV1_FILTERS, 24, 24))
+        # Hybrid-mode transposed activations.
+        if self.mode == "hybrid":
+            self.fT = self._datum("fT", (FLAT, b))
+            self.hT = self._datum("hT", (FC1, b))
+            self.hrT = self._datum("hrT", (FC1, b))
+            self.dhrT = self._datum("dhrT", (FC1, b))
+            self.dhT = self._datum("dhT", (FC1, b))
+            self.dfT = self._datum("dfT", (FLAT, b))
+        # Parameters and gradients.
+        self.p_datums: dict[str, Datum] = {}
+        self.g_datums: dict[str, Datum] = {}
+        for name, arr in self.params.items():
+            pd = Datum(arr.shape, np.float32, name)
+            if f:
+                pd.bind(arr)
+            gd = self._datum("d" + name, arr.shape)
+            self.p_datums[name] = pd
+            self.g_datums[name] = gd
+
+    def _build_kernels(self) -> None:
+        self.k_conv_fwd = T.make_conv_fwd()
+        self.k_conv_bwd_data = T.make_conv_bwd_data()
+        self.k_conv_bwd_filter = T.make_conv_bwd_filter()
+        self.k_pool_fwd = T.make_pool_fwd()
+        self.k_pool_bwd = T.make_pool_bwd()
+        self.k_reshape = T.make_reshape()
+        self.k_fc_fwd = T.make_fc_fwd()
+        self.k_fc_bwd_data = T.make_fc_bwd_data()
+        self.k_fc_bwd_filter = T.make_fc_bwd_filter()
+        self.k_softmax = T.make_softmax_loss()
+        self.k_update = T.make_sgd_update()
+        if self.mode == "hybrid":
+            self.k_transpose = T.make_transpose()
+            self.k_untranspose = T.make_untranspose()
+            self.k_mp_fc_fwd = T.make_mp_fc_fwd()
+            self.k_mp_relu = T.make_mp_relu_fwd()
+            self.k_mp_relu_bwd = T.make_mp_relu_bwd()
+            self.k_mp_fc_bwd_filter = T.make_mp_fc_bwd_filter()
+            self.k_mp_fc_bwd_data = T.make_mp_fc_bwd_data()
+        else:
+            from repro.kernels.elementwise import (
+                make_relu_grad_kernel,
+                make_relu_kernel,
+            )
+
+            # Data-parallel ReLU runs batch-striped via routine wrappers.
+            self.k_relu = T.make_mp_relu_fwd()  # same body, striped dim 0
+            self.k_relu_bwd = T.make_mp_relu_bwd()
+
+    # -- task list --------------------------------------------------------------
+    def _task_list(self):
+        """The per-iteration (kernel, containers, grid, constants) tuples,
+        in dependency order."""
+        b = self.batch
+        bgrid = Grid((b,), block0=1)
+        P, G = self.p_datums, self.g_datums
+        calls = [
+            (
+                self.k_conv_fwd,
+                (
+                    BlockStriped(self.x0),
+                    Replicated(P["W1"]),
+                    Replicated(P["b1"]),
+                    InjectiveStriped(self.a1),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_pool_fwd,
+                (
+                    BlockStriped(self.a1),
+                    InjectiveStriped(self.p1),
+                    InjectiveStriped(self.m1),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_conv_fwd,
+                (
+                    BlockStriped(self.p1),
+                    Replicated(P["W2"]),
+                    Replicated(P["b2"]),
+                    InjectiveStriped(self.a2),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_pool_fwd,
+                (
+                    BlockStriped(self.a2),
+                    InjectiveStriped(self.p2),
+                    InjectiveStriped(self.m2),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_reshape,
+                (BlockStriped(self.p2), InjectiveStriped(self.f)),
+                bgrid,
+                {},
+            ),
+        ]
+        calls += self._fc1_forward(bgrid)
+        calls += [
+            (
+                self.k_fc_fwd,
+                (
+                    BlockStriped(self.hr),
+                    Replicated(P["W4"]),
+                    Replicated(P["b4"]),
+                    InjectiveStriped(self.logits),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_softmax,
+                (
+                    BlockStriped(self.logits),
+                    BlockStriped(self.labels),
+                    InjectiveStriped(self.dlogits),
+                    ReductiveStatic(self.loss),
+                ),
+                bgrid,
+                {"batch_total": b},
+            ),
+            (
+                self.k_fc_bwd_filter,
+                (
+                    BlockStriped(self.dlogits),
+                    BlockStriped(self.hr),
+                    ReductiveStatic(G["W4"]),
+                    ReductiveStatic(G["b4"]),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_fc_bwd_data,
+                (
+                    BlockStriped(self.dlogits),
+                    Replicated(P["W4"]),
+                    InjectiveStriped(self.dhr),
+                ),
+                bgrid,
+                {},
+            ),
+        ]
+        calls += self._fc1_backward(bgrid)
+        calls += [
+            (
+                self.k_reshape,
+                (BlockStriped(self.df), InjectiveStriped(self.dp2)),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_pool_bwd,
+                (
+                    BlockStriped(self.dp2),
+                    BlockStriped(self.m2),
+                    InjectiveStriped(self.da2),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_conv_bwd_filter,
+                (
+                    BlockStriped(self.p1),
+                    BlockStriped(self.da2),
+                    ReductiveStatic(G["W2"]),
+                    ReductiveStatic(G["b2"]),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_conv_bwd_data,
+                (
+                    BlockStriped(self.da2),
+                    Replicated(P["W2"]),
+                    InjectiveStriped(self.dp1),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_pool_bwd,
+                (
+                    BlockStriped(self.dp1),
+                    BlockStriped(self.m1),
+                    InjectiveStriped(self.da1),
+                ),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_conv_bwd_filter,
+                (
+                    BlockStriped(self.x0),
+                    BlockStriped(self.da1),
+                    ReductiveStatic(G["W1"]),
+                    ReductiveStatic(G["b1"]),
+                ),
+                bgrid,
+                {},
+            ),
+        ]
+        calls += self._updates()
+        return calls
+
+    def _fc1_forward(self, bgrid: Grid):
+        P, G = self.p_datums, self.g_datums
+        if self.mode == "data":
+            return [
+                (
+                    self.k_fc_fwd,
+                    (
+                        BlockStriped(self.f),
+                        Replicated(P["W3"]),
+                        Replicated(P["b3"]),
+                        InjectiveStriped(self.h),
+                    ),
+                    bgrid,
+                    {},
+                ),
+                (
+                    self.k_relu,
+                    (BlockStriped(self.h), InjectiveStriped(self.hr)),
+                    bgrid,
+                    {},
+                ),
+            ]
+        fgrid = Grid((FC1,), block0=1)
+        return [
+            (
+                self.k_transpose,
+                (BlockStriped(self.f), InjectiveColumnStriped(self.fT)),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_mp_fc_fwd,
+                (
+                    Block2D(P["W3"]),
+                    BlockStriped(P["b3"]),
+                    Block2DTransposed(self.fT),
+                    InjectiveStriped(self.hT),
+                ),
+                fgrid,
+                {},
+            ),
+            (
+                self.k_mp_relu,
+                (BlockStriped(self.hT), InjectiveStriped(self.hrT)),
+                fgrid,
+                {},
+            ),
+            (
+                self.k_untranspose,
+                (BlockColumnStriped(self.hrT), InjectiveStriped(self.hr)),
+                bgrid,
+                {},
+            ),
+        ]
+
+    def _fc1_backward(self, bgrid: Grid):
+        P, G = self.p_datums, self.g_datums
+        if self.mode == "data":
+            return [
+                (
+                    self.k_relu_bwd,
+                    (
+                        BlockStriped(self.h),
+                        BlockStriped(self.dhr),
+                        InjectiveStriped(self.dh),
+                    ),
+                    bgrid,
+                    {},
+                ),
+                (
+                    self.k_fc_bwd_filter,
+                    (
+                        BlockStriped(self.dh),
+                        BlockStriped(self.f),
+                        ReductiveStatic(G["W3"]),
+                        ReductiveStatic(G["b3"]),
+                    ),
+                    bgrid,
+                    {},
+                ),
+                (
+                    self.k_fc_bwd_data,
+                    (
+                        BlockStriped(self.dh),
+                        Replicated(P["W3"]),
+                        InjectiveStriped(self.df),
+                    ),
+                    bgrid,
+                    {},
+                ),
+            ]
+        fgrid = Grid((FC1,), block0=1)
+        return [
+            (
+                self.k_transpose,
+                (BlockStriped(self.dhr), InjectiveColumnStriped(self.dhrT)),
+                bgrid,
+                {},
+            ),
+            (
+                self.k_mp_relu_bwd,
+                (
+                    BlockStriped(self.hT),
+                    BlockStriped(self.dhrT),
+                    InjectiveStriped(self.dhT),
+                ),
+                fgrid,
+                {},
+            ),
+            (
+                self.k_mp_fc_bwd_filter,
+                (
+                    BlockStriped(self.dhT),
+                    Block2DTransposed(self.fT),
+                    InjectiveStriped(G["W3"]),
+                    InjectiveStriped(G["b3"]),
+                ),
+                fgrid,
+                {},
+            ),
+            (
+                self.k_mp_fc_bwd_data,
+                (
+                    Block2D(P["W3"]),
+                    BlockStriped(self.dhT),
+                    ReductiveStatic(self.dfT),
+                ),
+                fgrid,
+                {},
+            ),
+            (
+                self.k_untranspose,
+                (BlockColumnStriped(self.dfT), InjectiveStriped(self.df)),
+                bgrid,
+                {},
+            ),
+        ]
+
+    def _updates(self):
+        calls = []
+        for name in PARAM_NAMES:
+            p, g = self.p_datums[name], self.g_datums[name]
+            grid = Grid((p.shape[0],), block0=1)
+            calls.append(
+                (
+                    self.k_update,
+                    (BlockStriped(p), BlockStriped(g), InjectiveStriped(p)),
+                    grid,
+                    {"lr": self.lr},
+                )
+            )
+        return calls
+
+    # -- framework interaction ------------------------------------------------------
+    def _analyze_all(self) -> None:
+        for kernel, containers, grid, constants in self._task_list():
+            self.sched.analyze_call(
+                kernel, *containers, grid=grid, constants=constants
+            )
+
+    def run_iteration(self) -> None:
+        """Queue one training iteration (does not wait)."""
+        for kernel, containers, grid, constants in self._task_list():
+            self.sched.invoke_unmodified(
+                kernel, *containers, grid=grid, constants=constants
+            )
+
+    def train_batch(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> Optional[float]:
+        """Functional: load a batch, run one iteration, return the loss."""
+        if not self.node.functional:
+            raise RuntimeError("train_batch requires a functional node")
+        self.x0.host[...] = images
+        self.labels.host[...] = labels
+        self.sched.mark_host_dirty(self.x0)
+        self.sched.mark_host_dirty(self.labels)
+        self.run_iteration()
+        self.sched.gather(self.loss)
+        return float(self.loss.host[0])
+
+    def forward_batch(self, images: np.ndarray) -> np.ndarray:
+        """Forward-only inference through the framework: runs the forward
+        task chain on the devices and gathers the logits. Returns the
+        ``(batch, 10)`` logits array."""
+        if not self.node.functional:
+            raise RuntimeError("forward_batch requires a functional node")
+        self.x0.host[...] = images
+        self.sched.mark_host_dirty(self.x0)
+        forward = self._task_list()[: 5 + (4 if self.mode == "hybrid" else 2) + 1]
+        for kernel, containers, grid, constants in forward:
+            self.sched.invoke_unmodified(
+                kernel, *containers, grid=grid, constants=constants
+            )
+        self.sched.gather(self.logits)
+        return self.logits.host.copy()
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy over one device-resident batch."""
+        logits = self.forward_batch(images)
+        return float((logits.argmax(axis=1) == labels).mean())
+
+    def gather_params(self) -> LeNetParams:
+        """Bring the device-resident parameters back to the host."""
+        for name in PARAM_NAMES:
+            self.sched.gather_async(self.p_datums[name])
+        self.sched.wait_all()
+        return self.params
+
+    def measure_iteration(self, warmup: int = 1, iters: int = 3) -> float:
+        """Timing mode: steady-state simulated seconds per iteration."""
+        for _ in range(warmup):
+            self.run_iteration()
+        self.sched.wait_all()
+        t0 = self.node.time
+        for _ in range(iters):
+            self.run_iteration()
+        self.sched.wait_all()
+        return (self.node.time - t0) / iters
+
+    def throughput(self, warmup: int = 1, iters: int = 3) -> float:
+        """Training throughput in images/second (the Fig. 11 metric)."""
+        return self.batch / self.measure_iteration(warmup, iters)

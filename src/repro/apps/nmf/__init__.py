@@ -1,0 +1,15 @@
+"""Non-negative matrix factorization over MAPS-Multi (§6.2, Figs. 12-13)."""
+
+from repro.apps.nmf.algorithm import (
+    frobenius_error,
+    nmf_init,
+    reference_iteration,
+)
+from repro.apps.nmf.maps_nmf import MapsNMF
+
+__all__ = [
+    "nmf_init",
+    "reference_iteration",
+    "frobenius_error",
+    "MapsNMF",
+]

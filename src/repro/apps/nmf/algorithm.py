@@ -1,0 +1,53 @@
+"""Non-negative matrix factorization: reference updates (§6.2).
+
+Given ``V (n x m)``, find non-negative ``W (n x k)``, ``H (k x m)`` with
+``V ~= W @ H``, via the multiplicative update rule the paper cites
+(Brunet et al.):
+
+    H_ij <- H_ij * (sum_p W_pi V_pj / (WH)_pj) / (sum_r W_ri)
+    W_ij <- W_ij * (sum_p H_jp V_ip / (WH)_ip) / (sum_r H_jr)
+
+The reference implementation here is the oracle the MAPS-Multi version is
+validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+EPS = 1e-9
+
+
+def nmf_init(
+    n: int, m: int, k: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random non-negative V, W, H (float32)."""
+    rng = np.random.default_rng(seed)
+    v = rng.random((n, m), dtype=np.float32) + 0.1
+    w = rng.random((n, k), dtype=np.float32) + 0.1
+    h = rng.random((k, m), dtype=np.float32) + 0.1
+    return v, w, h
+
+
+def reference_iteration(
+    v: np.ndarray, w: np.ndarray, h: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One full (H then W) multiplicative update; returns new (W, H)."""
+    wh = w @ h
+    vt = v / (wh + EPS)
+    acc = w.T @ vt  # (k, m)
+    col = w.sum(axis=0)  # (k,)
+    h = h * acc / (col[:, None] + EPS)
+
+    wh2 = w @ h
+    vt2 = v / (wh2 + EPS)
+    num = vt2 @ h.T  # (n, k)
+    row = h.sum(axis=1)  # (k,)
+    w = w * num / (row[None, :] + EPS)
+    return w, h
+
+
+def frobenius_error(v: np.ndarray, w: np.ndarray, h: np.ndarray) -> float:
+    """||V - WH||_F, the convergence criterion of §6.2."""
+    d = v - w @ h
+    return float(np.sqrt((d * d).sum()))

@@ -1,0 +1,6 @@
+"""Comparator implementations the paper evaluates against (§5-6)."""
+
+from repro.baselines.nmf_mgpu import NmfMgpu
+from repro.baselines.torch_like import CaffeLikeLeNet, TorchLikeLeNet
+
+__all__ = ["TorchLikeLeNet", "CaffeLikeLeNet", "NmfMgpu"]

@@ -1,0 +1,138 @@
+"""NMF-mGPU baseline (§6.2, Fig. 13 comparator).
+
+The paper's analysis of the NMF-mGPU source (~15,000 lines): its GPU
+kernels are highly optimized *for the Kepler architecture* (ILP +
+specialized instructions), but its single-node multi-GPU support runs
+over MPI — device-to-device exchanges pass through the host and pay MPI
+and IPC latencies, where MAPS-Multi issues direct peer-to-peer copies.
+
+The model: identical per-iteration compute structure and GEMM/streaming
+cost models as :class:`repro.apps.nmf.maps_nmf.MapsNMF`, with
+
+* a Kepler-tuning factor — full calibrated rates on Kepler, a modest
+  efficiency loss on Maxwell (hand-tuned ILP/ISA choices don't carry
+  over);
+* both per-iteration exchanges (Acc all-reduce, H broadcast) staged
+  through pageable host memory with per-message MPI/IPC latency, and the
+  all-reduce combine performed on the host by the MPI reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.calibration import calibration_for
+from repro.hardware.specs import Architecture, GPUSpec
+from repro.hardware.topology import HOST
+from repro.libs.cublas import gemm_flops, gemm_size_efficiency
+from repro.sim.node import SimNode
+
+#: Efficiency of the Kepler-tuned kernels per architecture.
+ARCH_FACTOR = {Architecture.KEPLER: 1.0, Architecture.MAXWELL: 0.78}
+
+
+@dataclass
+class NmfMgpu:
+    """Timing model of NMF-mGPU factorizing an (n x m) matrix, rank k."""
+
+    spec: GPUSpec
+    num_gpus: int
+    n: int = 16384
+    m: int = 4096
+    k: int = 128
+
+    def __post_init__(self) -> None:
+        self.node = SimNode(self.spec, self.num_gpus, functional=False)
+        g = self.num_gpus
+        self._compute = [self.node.new_stream(d, "compute") for d in range(g)]
+        self._out = [self.node.new_stream(d, "copy-out") for d in range(g)]
+        self._in = [self.node.new_stream(d, "copy-in") for d in range(g)]
+        self._ready: list = [None] * g
+
+    def _compute_time(self) -> float:
+        """Per-device compute seconds for one full iteration."""
+        calib = calibration_for(self.spec)
+        factor = ARCH_FACTOR[self.spec.architecture]
+        rate = calib.sgemm_flops * factor
+        bw = self.spec.mem_bandwidth * calib.stream_efficiency * factor
+        rows = self.n // self.num_gpus
+        t = 0.0
+
+        def gemm(mm, nn, kk):
+            return gemm_flops(mm, nn, kk) / (
+                rate * gemm_size_efficiency(mm, nn, kk)
+            )
+
+        # Two WH stripes, two V~ divisions, Acc, Num, H & W updates.
+        t += 2 * gemm(rows, self.m, self.k)  # WH
+        t += 2 * (3 * 4 * rows * self.m) / bw  # V / WH
+        t += gemm(self.k, self.m, rows)  # Acc
+        t += gemm(rows, self.k, self.m)  # Num
+        t += (4 * 4 * (self.k // self.num_gpus + 1) * self.m) / bw  # H upd
+        t += (4 * 4 * rows * self.k) / bw  # W update
+        return t
+
+    def _queue_iteration(self) -> None:
+        node = self.node
+        g = self.num_gpus
+        mpi_lat = node.interconnect.mpi_ipc_latency
+        acc_bytes = self.k * self.m * 4
+        h_bytes = self.k * self.m * 4
+        compute = self._compute_time()
+
+        events = []
+        for d in range(g):
+            if self._ready[d] is not None:
+                node.wait_event(self._compute[d], self._ready[d])
+            node.launch_kernel(
+                self._compute[d], compute, label=f"mgpu:iter@gpu{d}"
+            )
+            events.append(node.record_event(self._compute[d], f"mgpu:k{d}"))
+
+        if g == 1:
+            self._ready[0] = events[0]
+            return
+
+        # MPI_Allreduce of Acc: every rank's partial to the host (staged,
+        # pageable), reduced by the MPI library on the host, result
+        # re-broadcast; then MPI_Bcast of the updated H stripes.
+        gathered = []
+        for d in range(g):
+            node.wait_event(self._out[d], events[d])
+            node.memcpy(
+                self._out[d], d, HOST, acc_bytes,
+                pageable=True, extra_latency=mpi_lat,
+                label=f"mgpu:acc{d}-d2h",
+            )
+            gathered.append(node.record_event(self._out[d], f"mgpu:a{d}"))
+        hstream = node.new_stream(HOST, "host", "mgpu.reduce")
+        for ev in gathered:
+            node.wait_event(hstream, ev)
+        node.host_op(
+            hstream,
+            g * acc_bytes / node.interconnect.host_aggregation_bw,
+            label="mgpu:mpi-reduce",
+        )
+        red = node.record_event(hstream, "mgpu:reduced")
+        for d in range(g):
+            node.wait_event(self._in[d], red)
+            node.memcpy(
+                self._in[d], HOST, d, acc_bytes + h_bytes,
+                pageable=True, extra_latency=mpi_lat,
+                label=f"mgpu:bcast{d}",
+            )
+            self._ready[d] = node.record_event(self._in[d], f"mgpu:r{d}")
+
+    def measure_iteration(self, warmup: int = 1, iters: int = 3) -> float:
+        for _ in range(warmup):
+            self._queue_iteration()
+        self.node.run()
+        t0 = self.node.time
+        for _ in range(iters):
+            self._queue_iteration()
+        self.node.run()
+        return (self.node.time - t0) / iters
+
+    def throughput(self) -> float:
+        """Iterations per second."""
+        return 1.0 / self.measure_iteration()

@@ -1,0 +1,316 @@
+"""Torch-like multi-GPU LeNet trainer (the §6.1 comparator).
+
+The paper attributes Torch's lower scaling (~2.07x hybrid / ~2.3x
+data-parallel on 4 GTX 780s, vs MAPS-Multi's 2.79x / 3.12x) to two
+defects its analysis found:
+
+* *"Torch performing all weight updates on a single GPU"* — every
+  device's gradients are staged through (pageable) host memory to GPU 0,
+  updated there, and the parameters broadcast back the same way; and
+* *"unnecessary device-to-host copies in each iteration"* — the batch
+  outputs are copied to the host every iteration.
+
+Compute kernels use the same cuDNN/CUBLAS cost models as the MAPS
+trainer (all frameworks call the same vendor routines — why their
+single-GPU throughputs coincide in Fig. 11); only the orchestration
+differs. This baseline drives the simulated node directly, without the
+MAPS scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.lenet.network import CLASSES, FC1, FLAT, LeNetParams
+from repro.hardware.calibration import GpuCalibration, calibration_for
+from repro.hardware.specs import GPUSpec
+from repro.hardware.topology import HOST
+from repro.libs import cudnn
+from repro.libs.cublas import gemm_flops, gemm_size_efficiency
+from repro.sim.node import SimNode
+
+#: LeNet parameter bytes (~431K float32 parameters).
+PARAM_BYTES = LeNetParams.initialize(0).count() * 4
+#: Convolutional-part parameter bytes (W1, b1, W2, b2).
+CONV_PARAM_BYTES = (20 * 25 + 20 + 50 * 20 * 25 + 50) * 4
+
+
+def _gemm_t(calib: GpuCalibration, m: int, n: int, k: int) -> float:
+    return gemm_flops(m, n, k) / (
+        calib.sgemm_flops * gemm_size_efficiency(m, n, k)
+    )
+
+
+def lenet_compute_time(
+    spec: GPUSpec,
+    calib: GpuCalibration,
+    local_batch: int,
+    hybrid: bool,
+    num_gpus: int,
+) -> float:
+    """Per-device forward+backward compute seconds for one iteration,
+    using the same layer cost models as the MAPS trainer."""
+    n = local_batch
+    total_batch = local_batch * num_gpus
+    t = 0.0
+    # conv1 fwd + bwd-filter (bwd-data not needed for the input layer).
+    c1 = cudnn.conv_flops(n, 1, 20, 24, 24, 5, 5)
+    t += 2 * cudnn.conv_time(spec, calib, c1)
+    # conv2 fwd + bwd-filter + bwd-data.
+    c2 = cudnn.conv_flops(n, 20, 50, 8, 8, 5, 5)
+    t += 3 * cudnn.conv_time(spec, calib, c2)
+    # pooling fwd + bwd.
+    t += 2 * cudnn.pool_time(spec, calib, n * 20 * 24 * 24)
+    t += 2 * cudnn.pool_time(spec, calib, n * 50 * 8 * 8)
+    # fully connected part.
+    if hybrid:
+        rows = FC1 // num_gpus
+        t += _gemm_t(calib, rows, total_batch, FLAT)  # fc1 fwd
+        t += _gemm_t(calib, rows, FLAT, total_batch)  # fc1 bwd filter
+        t += _gemm_t(calib, FLAT, total_batch, rows)  # fc1 bwd data
+    else:
+        t += _gemm_t(calib, n, FC1, FLAT)
+        t += _gemm_t(calib, FC1, FLAT, n)
+        t += _gemm_t(calib, n, FLAT, FC1)
+    t += _gemm_t(calib, n, CLASSES, FC1)
+    t += _gemm_t(calib, CLASSES, FC1, n)
+    t += _gemm_t(calib, n, FC1, CLASSES)
+    # softmax + relu + reshapes: memory bound, small.
+    bw = spec.mem_bandwidth * calib.stream_efficiency
+    t += (6 * 4 * n * FC1 + 4 * 4 * n * CLASSES + 4 * 4 * n * FLAT) / bw
+    return t
+
+
+@dataclass
+class TorchLikeLeNet:
+    """Timing model of the Torch-era data-parallel / hybrid trainer."""
+
+    spec: GPUSpec
+    num_gpus: int
+    batch: int
+    mode: str = "data"  # "data" | "hybrid"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("data", "hybrid"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        self.node = SimNode(self.spec, self.num_gpus, functional=False)
+        g = self.num_gpus
+        self._compute = [self.node.new_stream(d, "compute") for d in range(g)]
+        self._out = [self.node.new_stream(d, "copy-out") for d in range(g)]
+        self._in = [self.node.new_stream(d, "copy-in") for d in range(g)]
+        #: Per-device events the next iteration must wait on (the previous
+        #: parameter broadcast — iterations are synchronous in Torch).
+        self._param_ready: list = [None] * g
+
+    # -- compute phases --------------------------------------------------------------
+    def _phase_times(self, local: int) -> tuple[float, float, float]:
+        """(conv forward, fc fwd+bwd, conv backward) per-device seconds."""
+        calib = calibration_for(self.spec)
+        spec = self.spec
+        g = self.num_gpus
+        n = local
+        bw = spec.mem_bandwidth * calib.stream_efficiency
+        c1 = cudnn.conv_flops(n, 1, 20, 24, 24, 5, 5)
+        c2 = cudnn.conv_flops(n, 20, 50, 8, 8, 5, 5)
+        conv_fwd = (
+            cudnn.conv_time(spec, calib, c1)
+            + cudnn.conv_time(spec, calib, c2)
+            + cudnn.pool_time(spec, calib, n * 20 * 24 * 24)
+            + cudnn.pool_time(spec, calib, n * 50 * 8 * 8)
+        )
+        conv_bwd = (
+            2 * cudnn.conv_time(spec, calib, c2)  # bwd filter + data
+            + cudnn.conv_time(spec, calib, c1)  # bwd filter
+            + cudnn.pool_time(spec, calib, n * 20 * 24 * 24)
+            + cudnn.pool_time(spec, calib, n * 50 * 8 * 8)
+        )
+        total_batch = n * g
+        if self.mode == "hybrid":
+            rows = FC1 // g
+            fc = (
+                _gemm_t(calibration_for(spec), rows, total_batch, FLAT)
+                + _gemm_t(calibration_for(spec), rows, FLAT, total_batch)
+                + _gemm_t(calibration_for(spec), FLAT, total_batch, rows)
+            )
+        else:
+            fc = (
+                _gemm_t(calibration_for(spec), n, FC1, FLAT)
+                + _gemm_t(calibration_for(spec), FC1, FLAT, n)
+                + _gemm_t(calibration_for(spec), n, FLAT, FC1)
+            )
+        fc += (
+            _gemm_t(calibration_for(spec), n, CLASSES, FC1)
+            + _gemm_t(calibration_for(spec), CLASSES, FC1, n)
+            + _gemm_t(calibration_for(spec), n, FC1, CLASSES)
+        )
+        fc += (6 * 4 * n * FC1 + 4 * 4 * n * CLASSES + 4 * 4 * n * FLAT) / bw
+        return conv_fwd, fc, conv_bwd
+
+    # -- one iteration ------------------------------------------------------------
+    def _queue_iteration(self) -> None:
+        node = self.node
+        g = self.num_gpus
+        local = self.batch // g
+        hybrid = self.mode == "hybrid"
+        conv_fwd_t, fc_t, conv_bwd_t = self._phase_times(local)
+
+        # Iterations are synchronous: forward waits for the previous
+        # parameter broadcast.
+        for d in range(g):
+            if self._param_ready[d] is not None:
+                node.wait_event(self._compute[d], self._param_ready[d])
+
+        conv_done = []
+        for d in range(g):
+            node.launch_kernel(
+                self._compute[d], conv_fwd_t, label=f"torch:convfwd@gpu{d}"
+            )
+            conv_done.append(node.record_event(self._compute[d], f"cf{d}"))
+
+        fc_waits: dict[int, list] = {d: [] for d in range(g)}
+        if hybrid:
+            # Forward all-gather of the flattened activations. The
+            # fbcunn-era container issues these synchronously from one
+            # host thread on the default stream, so the copies serialize
+            # (unlike MAPS' concurrent per-device copy streams).
+            stripe_f = FLAT * local * 4
+            prev = None
+            for d in range(g):
+                for s in range(g):
+                    if s == d:
+                        continue
+                    node.wait_event(self._out[s], conv_done[s])
+                    if prev is not None:
+                        node.wait_event(self._out[s], prev)
+                    node.memcpy(self._out[s], s, d, stripe_f, label="torch:fT")
+                    prev = node.record_event(self._out[s], f"fT{s}->{d}")
+                    fc_waits[d].append(prev)
+
+        fc_done = []
+        for d in range(g):
+            for ev in fc_waits[d]:
+                node.wait_event(self._compute[d], ev)
+            node.launch_kernel(
+                self._compute[d], fc_t, label=f"torch:fc@gpu{d}"
+            )
+            fc_done.append(node.record_event(self._compute[d], f"fc{d}"))
+
+        bwd_waits: dict[int, list] = {d: [] for d in range(g)}
+        if hybrid:
+            # Backward exchange (fc1 input-gradient reduce-scatter plus the
+            # batch-major re-scatters), serialized the same way.
+            stripe_f = FLAT * local * 4
+            stripe_h = FC1 * local * 4 // g
+            prev = None
+            for d in range(g):
+                for s in range(g):
+                    if s == d:
+                        continue
+                    node.wait_event(self._out[s], fc_done[s])
+                    if prev is not None:
+                        node.wait_event(self._out[s], prev)
+                    node.memcpy(self._out[s], s, d, stripe_f, label="torch:dfT")
+                    node.memcpy(self._out[s], s, d, stripe_h, label="torch:hr")
+                    node.memcpy(self._out[s], s, d, stripe_h, label="torch:dhr")
+                    prev = node.record_event(self._out[s], f"dfT{s}->{d}")
+                    bwd_waits[d].append(prev)
+
+        kernel_events = []
+        for d in range(g):
+            for ev in bwd_waits[d]:
+                node.wait_event(self._compute[d], ev)
+            node.launch_kernel(
+                self._compute[d], conv_bwd_t, label=f"torch:convbwd@gpu{d}"
+            )
+            kernel_events.append(
+                node.record_event(self._compute[d], f"torch:done{d}")
+            )
+
+        # Defect 2: unnecessary D2H copy of the outputs every iteration.
+        for d in range(g):
+            node.wait_event(self._out[d], kernel_events[d])
+            node.memcpy(
+                self._out[d], d, HOST, local * CLASSES * 4,
+                pageable=True, label="torch:outputs-d2h",
+            )
+
+        # Defect 1: gradients staged through pageable host memory to GPU 0,
+        # update there, parameters broadcast back the same way. In hybrid
+        # mode only the replicated (conv + fc2) parameters take this path;
+        # the partitioned fc1 parameters update in place.
+        grad_bytes = PARAM_BYTES
+        if hybrid:
+            fc1_bytes = (FC1 * FLAT + FC1) * 4
+            grad_bytes = PARAM_BYTES - fc1_bytes
+        events = []
+        prev = None
+        for d in range(1, g):
+            node.wait_event(self._out[d], kernel_events[d])
+            if prev is not None:
+                node.wait_event(self._out[d], prev)
+            node.memcpy(
+                self._out[d], d, HOST, grad_bytes,
+                pageable=True, label=f"torch:grads{d}-d2h",
+            )
+            ev = node.record_event(self._out[d], f"torch:g{d}")
+            node.wait_event(self._in[0], ev)
+            node.memcpy(
+                self._in[0], HOST, 0, grad_bytes,
+                pageable=True, label=f"torch:grads{d}-h2d",
+            )
+            prev = node.record_event(self._in[0], f"torch:ag{d}")
+            events.append(prev)
+        # Serial update kernel on GPU 0.
+        for ev in events:
+            node.wait_event(self._compute[0], ev)
+        calib0 = calibration_for(self.spec)
+        upd = 3 * PARAM_BYTES / (
+            self.spec.mem_bandwidth * calib0.stream_efficiency
+        )
+        node.launch_kernel(self._compute[0], upd, label="torch:update@gpu0")
+        uev = node.record_event(self._compute[0], "torch:updated")
+        # Broadcast the updated parameters back through the host.
+        node.wait_event(self._out[0], uev)
+        node.memcpy(
+            self._out[0], 0, HOST, grad_bytes,
+            pageable=True, label="torch:params-d2h",
+        )
+        bev = node.record_event(self._out[0], "torch:params-host")
+        self._param_ready[0] = uev
+        for d in range(1, g):
+            node.wait_event(self._in[d], bev)
+            node.memcpy(
+                self._in[d], HOST, d, grad_bytes,
+                pageable=True, label=f"torch:params{d}-h2d",
+            )
+            self._param_ready[d] = node.record_event(
+                self._in[d], f"torch:params{d}"
+            )
+
+    def measure_iteration(self, warmup: int = 1, iters: int = 3) -> float:
+        for _ in range(warmup):
+            self._queue_iteration()
+        self.node.run()
+        t0 = self.node.time
+        for _ in range(iters):
+            self._queue_iteration()
+        self.node.run()
+        return (self.node.time - t0) / iters
+
+    def throughput(self) -> float:
+        return self.batch / self.measure_iteration()
+
+
+@dataclass
+class CaffeLikeLeNet:
+    """Caffe rev. 2a7fe03 did not support multi-GPU training (§6.1): the
+    baseline is the same cuDNN compute on one GPU, no exchanges."""
+
+    spec: GPUSpec
+    batch: int
+
+    def throughput(self) -> float:
+        calib = calibration_for(self.spec)
+        t = lenet_compute_time(self.spec, calib, self.batch, False, 1)
+        t += 2 * 7e-6 * 12  # kernel launch latencies, ~12 launches
+        return self.batch / t

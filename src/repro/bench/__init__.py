@@ -1,0 +1,28 @@
+"""Benchmark harness: experiment drivers and reporting utilities."""
+
+from repro.bench.experiments import (
+    ScalingResult,
+    deep_learning_throughput,
+    gemm_scaling,
+    gol_scaling,
+    gol_single_gpu_variants,
+    histogram_scaling,
+    nmf_throughput,
+    table4_single_gpu,
+    xt_gemm_scaling,
+)
+from repro.bench.reporting import fmt_table, record_result
+
+__all__ = [
+    "ScalingResult",
+    "gol_scaling",
+    "gol_single_gpu_variants",
+    "histogram_scaling",
+    "gemm_scaling",
+    "xt_gemm_scaling",
+    "table4_single_gpu",
+    "deep_learning_throughput",
+    "nmf_throughput",
+    "fmt_table",
+    "record_result",
+]

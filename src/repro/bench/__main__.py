@@ -1,0 +1,155 @@
+"""Command-line report runner: ``python -m repro.bench [experiment ...]``.
+
+Regenerates the paper's tables/figures without pytest. With no arguments
+it runs everything; otherwise pass experiment names from ``--list``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import (
+    deep_learning_throughput,
+    gemm_scaling,
+    gol_scaling,
+    gol_single_gpu_variants,
+    histogram_scaling,
+    nmf_throughput,
+    table4_single_gpu,
+    xt_gemm_scaling,
+)
+from repro.bench.reporting import fmt_table
+from repro.hardware import GTX_780, PAPER_GPUS
+
+
+def fig6() -> str:
+    rows = []
+    for spec in PAPER_GPUS:
+        for label, r in (
+            ("Game of Life", gol_scaling(spec)),
+            ("Histogram", histogram_scaling(spec)),
+            ("SGEMM", gemm_scaling(spec)),
+        ):
+            rows.append(
+                [spec.name, label] + [f"{s:.2f}x" for s in r.speedups]
+            )
+    return fmt_table(
+        "Figure 6: framework scaling (speedup vs 1 GPU)",
+        ["GPU", "App", "1", "2", "3", "4"],
+        rows,
+    )
+
+
+def fig7() -> str:
+    rows = []
+    for spec in PAPER_GPUS:
+        t = gol_single_gpu_variants(spec)
+        rows.append(
+            [spec.name]
+            + [f"{t[v] * 1e3:.2f} ms" for v in ("naive", "maps", "maps_ilp")]
+        )
+    return fmt_table(
+        "Figure 7: Game of Life single GPU (8K board)",
+        ["GPU", "naive", "MAPS", "MAPS+ILP"],
+        rows,
+    )
+
+
+def fig9() -> str:
+    rows = []
+    for spec in PAPER_GPUS:
+        maps, xt = gemm_scaling(spec), xt_gemm_scaling(spec)
+        rows.append(
+            [spec.name, "maps"] + [f"{s:.2f}x" for s in maps.speedups]
+        )
+        rows.append([spec.name, "xt"] + [f"{s:.2f}x" for s in xt.speedups])
+    return fmt_table(
+        "Figure 9: chained 8K SGEMM vs CUBLAS-XT",
+        ["GPU", "impl", "1", "2", "3", "4"],
+        rows,
+    )
+
+
+def table4() -> str:
+    rows = []
+    for spec in PAPER_GPUS:
+        r = table4_single_gpu(spec)
+        rows.append(
+            [
+                spec.name,
+                f"{r['cublas'] * 1e3:.2f} ms",
+                f"{r['cublas_over_maps'] * 1e3:.2f} ms",
+                f"{r['cublas_xt'] * 1e3:.2f} ms",
+            ]
+        )
+    return fmt_table(
+        "Table 4: single-GPU 8K SGEMM",
+        ["GPU", "CUBLAS", "over MAPS", "CUBLAS-XT"],
+        rows,
+    )
+
+
+def fig11() -> str:
+    r = deep_learning_throughput(GTX_780)
+    rows = [
+        [name] + [f"{tp:.0f}" for tp in tps] for name, tps in r.items()
+    ]
+    return fmt_table(
+        "Figure 11: LeNet throughput img/s (GTX 780, batch 2048)",
+        ["impl", "1", "2", "3", "4"],
+        rows,
+    )
+
+
+def fig13() -> str:
+    rows = []
+    for spec in PAPER_GPUS:
+        r = nmf_throughput(spec)
+        for name, tps in r.items():
+            rows.append([spec.name, name] + [f"{tp:.1f}" for tp in tps])
+    return fmt_table(
+        "Figure 13: NMF iterations/s (16K x 4K, k=128)",
+        ["GPU", "impl", "1", "2", "3", "4"],
+        rows,
+    )
+
+
+EXPERIMENTS = {
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig9": fig9,
+    "table4": table4,
+    "fig11": fig11,
+    "fig13": fig13,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"subset to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+    names = args.experiments or sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    for name in names:
+        print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Result-table formatting and persistence for the benchmark harness."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+
+def fmt_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render an aligned plain-text table with a title rule."""
+    headers = list(headers)
+    rows = [list(r) for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def record_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it under ``results_dir``."""
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / f"{name}.txt").write_text(text)
+    print(f"\n{text}")

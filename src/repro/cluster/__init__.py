@@ -1,0 +1,6 @@
+"""Cluster extension (paper §8 future work): MAPS-Multi across nodes."""
+
+from repro.cluster.network import ClusterNetwork, NetworkCalibration
+from repro.cluster.stencil import ClusterStencil
+
+__all__ = ["ClusterNetwork", "NetworkCalibration", "ClusterStencil"]

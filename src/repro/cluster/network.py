@@ -1,0 +1,59 @@
+"""Inter-node network model for the cluster extension (paper §8).
+
+§8: *"In distributed HPC environments, communication latency is orders of
+magnitude higher than within a multi-GPU node."* The model is a
+switched fabric of the 2015 era (FDR InfiniBand-class by default): each
+node has one full-duplex uplink; a message between nodes pays the MPI
+software latency plus serialization on both uplinks; messages sharing an
+uplink direction serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NetworkCalibration:
+    """Fabric constants (defaults: FDR InfiniBand + MPI, 2015-era)."""
+
+    #: Per-direction uplink bandwidth, bytes/second.
+    bandwidth: float = 5.0e9
+    #: End-to-end message latency (MPI + NIC + switch), seconds. Compare
+    #: the intra-node 8 us transfer setup: an order of magnitude more.
+    latency: float = 20.0e-6
+
+
+class ClusterNetwork:
+    """Tracks per-node, per-direction uplink occupancy in cluster time."""
+
+    def __init__(self, num_nodes: int, calib: NetworkCalibration | None = None):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        self.num_nodes = num_nodes
+        self.calib = calib or NetworkCalibration()
+        # (node, direction) -> busy-until timestamp. 0=egress, 1=ingress.
+        self._busy: dict[tuple[int, int], float] = {}
+
+    def transfer(
+        self, src: int, dst: int, nbytes: int, ready: float
+    ) -> float:
+        """Schedule one message; returns its completion time.
+
+        ``ready`` is when the payload is available on the source host.
+        The message serializes behind earlier traffic on the source's
+        egress and the destination's ingress channels.
+        """
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError(f"bad node pair {src}->{dst}")
+        if src == dst:
+            return ready
+        start = max(
+            ready,
+            self._busy.get((src, 0), 0.0),
+            self._busy.get((dst, 1), 0.0),
+        )
+        end = start + self.calib.latency + nbytes / self.calib.bandwidth
+        self._busy[(src, 0)] = end
+        self._busy[(dst, 1)] = end
+        return end

@@ -1,0 +1,25 @@
+"""Host-level framework: Datum, Task, Memory Analyzer, Location Monitor,
+Scheduler (Fig. 1a)."""
+
+from repro.core.datum import Datum, Matrix, Vector, from_array
+from repro.core.grid import Grid
+from repro.core.location_monitor import CopyOp, LocationMonitor
+from repro.core.memory_analyzer import MemoryAnalyzer
+from repro.core.scheduler import Scheduler
+from repro.core.task import CostContext, Kernel, Task, TaskHandle
+
+__all__ = [
+    "Datum",
+    "Matrix",
+    "Vector",
+    "from_array",
+    "Grid",
+    "Kernel",
+    "Task",
+    "TaskHandle",
+    "CostContext",
+    "MemoryAnalyzer",
+    "LocationMonitor",
+    "CopyOp",
+    "Scheduler",
+]

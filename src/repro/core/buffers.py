@@ -1,0 +1,53 @@
+"""Helpers mapping between actual datum coordinates and per-device buffer
+(virtual) coordinates.
+
+Device buffers cover the analyzer's bounding box in *virtual* coordinates,
+which may extend beyond the datum for WRAP halos (e.g. rows ``[-1, 2049)``
+of an 8192-row matrix). An instance of actual rows ``[8191, 8192)`` then
+lives at virtual rows ``[-1, 0)``. :func:`locate_virtual` finds the unique
+virtual position of an actual region within a buffer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.errors import DeviceError
+from repro.sim.memory import DeviceBuffer
+from repro.utils.rect import Rect
+
+
+def locate_virtual(
+    buffer: DeviceBuffer, actual: Rect, datum_shape: Sequence[int]
+) -> Rect:
+    """The virtual rect inside ``buffer`` holding actual region ``actual``.
+
+    Searches the candidate wrap offsets (-N, 0, +N per dimension); exactly
+    one candidate must fall inside the buffer's extent — stencil radii are
+    far smaller than datum extents, so halos never alias interiors.
+    """
+    candidates = []
+    offsets_per_dim = [(-s, 0, s) for s in datum_shape]
+    for offs in itertools.product(*offsets_per_dim):
+        cand = actual.shift(offs)
+        if buffer.rect.contains(cand):
+            candidates.append(cand)
+    if len(candidates) != 1:
+        raise DeviceError(
+            f"actual region {actual} maps to {len(candidates)} virtual "
+            f"positions in buffer extent {buffer.rect} (datum shape "
+            f"{tuple(datum_shape)}); expected exactly one"
+        )
+    return candidates[0]
+
+
+def holds_actual(
+    buffer: DeviceBuffer, actual: Rect, datum_shape: Sequence[int]
+) -> bool:
+    """Whether the buffer extent has space for actual region ``actual``."""
+    offsets_per_dim = [(-s, 0, s) for s in datum_shape]
+    return any(
+        buffer.rect.contains(actual.shift(offs))
+        for offs in itertools.product(*offsets_per_dim)
+    )

@@ -1,0 +1,72 @@
+"""Work-space (grid) description and thread-block partitioning.
+
+The paradigm partitions a task to GPUs *"by evenly distributing the
+thread-blocks among the devices"* (§2.1). The grid counts threads in work
+space (one output item per thread, or several with ILP); blocks tile the
+grid; the scheduler splits whole blocks along dimension 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.rect import Rect
+
+#: Default thread-block edge along the partitioned dimension, matching a
+#: typical CUDA block height.
+DEFAULT_BLOCK0 = 8
+
+
+@dataclass(frozen=True)
+class Grid:
+    """Task work dimensions.
+
+    Attributes:
+        shape: Number of threads per work dimension (outermost first).
+        block0: Thread-block extent along dimension 0 — the granularity of
+            partitioning (devices receive whole blocks).
+    """
+
+    shape: tuple[int, ...]
+    block0: int = DEFAULT_BLOCK0
+
+    def __init__(self, shape: Sequence[int], block0: int = DEFAULT_BLOCK0):
+        object.__setattr__(self, "shape", tuple(int(s) for s in shape))
+        object.__setattr__(self, "block0", int(block0))
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise ValueError(f"invalid grid shape {self.shape}")
+        if self.block0 < 1:
+            raise ValueError("block0 must be >= 1")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_blocks0(self) -> int:
+        return -(-self.shape[0] // self.block0)
+
+    def full_rect(self) -> Rect:
+        return Rect.from_shape(self.shape)
+
+    def partition(self, num_devices: int) -> list[Rect]:
+        """Even thread-block split along dimension 0.
+
+        Returns one work rect per device; devices beyond the block count
+        receive empty rects (a 2-row grid on 4 GPUs leaves 2 idle).
+        """
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        nb = self.num_blocks0
+        base, extra = divmod(nb, num_devices)
+        rects = []
+        start = 0
+        for d in range(num_devices):
+            count = base + (1 if d < extra else 0)
+            b0 = min(start * self.block0, self.shape[0])
+            e0 = min((start + count) * self.block0, self.shape[0])
+            start += count
+            ivals = [(b0, e0)] + [(0, s) for s in self.shape[1:]]
+            rects.append(Rect(*ivals))
+        return rects

@@ -1,0 +1,264 @@
+"""The Segment Location Monitor (§4.4, Algorithm 2).
+
+Tracks all host and device instances of each datum. Per datum it keeps:
+
+* ``up_to_date`` — for each location (host or device), the list of datum
+  regions (in *actual* coordinates) whose current values are resident
+  there, each with the event that signals its producer finished;
+* the *aggregation state* — set when a duplicated output pattern
+  (Reductive/Unstructured) left per-device partial results that must be
+  combined before the datum can be read (Algorithm 2, lines 15–17);
+* ``pending_reads`` — completion events of transfers/kernels that read an
+  instance, which a subsequent writer must wait on (WAR hazards).
+
+:meth:`compute_copies` is Algorithm 2: given a required segment and a
+target location, produce the minimal list of copy operations, preferring a
+single-source copy and otherwise intersecting with every other device's
+``lastOutput`` regions (the paper notes the naive O(g) scan is fine for
+g < 10 devices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import SchedulingError
+from repro.hardware.topology import HOST
+from repro.patterns.base import Aggregation
+from repro.sim.commands import Event
+from repro.utils.rect import Rect, coalesce
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.datum import Datum
+
+
+@dataclass(frozen=True)
+class CopyOp:
+    """One planned segment copy (produces one peer-to-peer/host transfer)."""
+
+    src: int  # location: device index or HOST
+    dst: int
+    actual: Rect  # region in actual datum coordinates
+    #: Event of the source instance's producer; the copy waits on it.
+    wait: Optional[Event]
+
+
+@dataclass
+class _Instance:
+    rect: Rect
+    event: Optional[Event]  # producer completion; None = always ready
+
+
+@dataclass
+class _DatumState:
+    #: location -> up-to-date instances (actual coordinates).
+    up_to_date: dict[int, list[_Instance]] = field(default_factory=dict)
+    #: Pending aggregation of duplicated partials (device -> event).
+    agg_mode: Aggregation = Aggregation.NONE
+    agg_sources: dict[int, Optional[Event]] = field(default_factory=dict)
+    #: location -> events of in-flight readers of instances there.
+    pending_reads: dict[int, list[Event]] = field(default_factory=dict)
+
+
+class LocationMonitor:
+    """Per-datum instance tracking and Algorithm 2."""
+
+    def __init__(self) -> None:
+        self._state: dict[int, _DatumState] = {}
+        self._datums: dict[int, "Datum"] = {}
+
+    # -- state access ------------------------------------------------------
+    def _st(self, datum: "Datum") -> _DatumState:
+        st = self._state.get(id(datum))
+        if st is None:
+            st = _DatumState()
+            # A freshly-seen datum's authoritative copy is its host buffer.
+            st.up_to_date[HOST] = [_Instance(Rect.from_shape(datum.shape), None)]
+            self._state[id(datum)] = st
+            self._datums[id(datum)] = datum
+        return st
+
+    def instances(self, datum: "Datum", loc: int) -> list[Rect]:
+        """Up-to-date regions of a datum at a location (for tests)."""
+        return [i.rect for i in self._st(datum).up_to_date.get(loc, [])]
+
+    def needs_aggregation(self, datum: "Datum") -> bool:
+        return self._st(datum).agg_mode is not Aggregation.NONE
+
+    def aggregation(self, datum: "Datum") -> tuple[Aggregation, dict[int, Optional[Event]]]:
+        st = self._st(datum)
+        return st.agg_mode, dict(st.agg_sources)
+
+    # -- Algorithm 2 -----------------------------------------------------------
+    def compute_copies(
+        self,
+        datum: "Datum",
+        required: Iterable[Rect],
+        target: int,
+        prefer: Iterable[int] = (),
+    ) -> list[CopyOp]:
+        """Copy operations bringing ``required`` regions up to date at
+        ``target``.
+
+        Raises :class:`SchedulingError` if the datum has partial results
+        pending aggregation (the scheduler must aggregate first) or if a
+        region exists nowhere — the latter indicates a framework bug or a
+        read of never-written data.
+        """
+        st = self._st(datum)
+        if st.agg_mode is not Aggregation.NONE:
+            raise SchedulingError(
+                f"datum {datum.name!r} has partial results pending "
+                "aggregation; gather/aggregate before reading it"
+            )
+        ops: list[CopyOp] = []
+        have = [i.rect for i in st.up_to_date.get(target, [])]
+        for rect in required:
+            if rect.empty:
+                continue
+            missing = rect.subtract_all(have)  # lines 2-4: skip if up to date
+            for piece in missing:
+                ops.extend(self._plan_piece(st, datum, piece, target, prefer))
+        return ops
+
+    def _locations(
+        self, st: _DatumState, target: int, prefer: Iterable[int]
+    ) -> list[int]:
+        """Candidate source locations, nearest first, host last."""
+        locs = [l for l in st.up_to_date if l != target and l != HOST]
+        pref = [l for l in prefer if l in locs]
+        rest = sorted(l for l in locs if l not in pref)
+        ordered = pref + rest
+        if HOST in st.up_to_date:
+            ordered.append(HOST)
+        return ordered
+
+    def _plan_piece(
+        self,
+        st: _DatumState,
+        datum: "Datum",
+        piece: Rect,
+        target: int,
+        prefer: Iterable[int],
+    ) -> list[CopyOp]:
+        locations = self._locations(st, target, prefer)
+        # Lines 5-8: whole piece available at a single location.
+        for loc in locations:
+            for inst in st.up_to_date.get(loc, []):
+                if inst.rect.contains(piece):
+                    return [CopyOp(loc, target, piece, inst.event)]
+        # Lines 9-14: assemble from intersections across locations.
+        ops: list[CopyOp] = []
+        remaining = [piece]
+        for loc in locations:
+            if not remaining:
+                break
+            for inst in st.up_to_date.get(loc, []):
+                next_remaining: list[Rect] = []
+                for r in remaining:
+                    inter = r.intersect(inst.rect)
+                    if inter.empty:
+                        next_remaining.append(r)
+                    else:
+                        ops.append(CopyOp(loc, target, inter, inst.event))
+                        next_remaining.extend(r.subtract(inter))
+                remaining = next_remaining
+                if not remaining:
+                    break
+        if remaining:
+            raise SchedulingError(
+                f"segment {remaining} of datum {datum.name!r} is not "
+                "available at any location (read of never-written data?)"
+            )
+        return ops
+
+    # -- state transitions ---------------------------------------------------
+    def mark_copied(
+        self, datum: "Datum", target: int, actual: Rect, event: Optional[Event]
+    ) -> None:
+        """A copy landed ``actual`` at ``target`` (it is now up to date)."""
+        st = self._st(datum)
+        insts = st.up_to_date.setdefault(target, [])
+        self._insert(insts, actual, event)
+
+    def mark_read(self, datum: "Datum", loc: int, event: Event) -> None:
+        """Register an in-flight reader of the instance at ``loc``."""
+        self._st(datum).pending_reads.setdefault(loc, []).append(event)
+
+    def take_war_events(self, datum: "Datum", loc: int) -> list[Event]:
+        """Events a writer at ``loc`` must wait for (consumes them)."""
+        return self._st(datum).pending_reads.pop(loc, [])
+
+    def mark_written(
+        self, datum: "Datum", device: int, rect: Rect, event: Optional[Event]
+    ) -> None:
+        """A kernel wrote ``rect`` on ``device``: every other instance
+        overlapping it is now stale; the device's instance is authoritative."""
+        st = self._st(datum)
+        st.agg_mode = Aggregation.NONE
+        st.agg_sources.clear()
+        for loc, insts in st.up_to_date.items():
+            if loc == device:
+                continue
+            updated: list[_Instance] = []
+            for inst in insts:
+                for part in inst.rect.subtract(rect):
+                    updated.append(_Instance(part, inst.event))
+            st.up_to_date[loc] = updated
+        self._insert(st.up_to_date.setdefault(device, []), rect, event)
+
+    def mark_partial(
+        self,
+        datum: "Datum",
+        mode: Aggregation,
+        sources: dict[int, Optional[Event]],
+    ) -> None:
+        """A duplicated output pattern produced per-device partials: no
+        location is up to date until aggregation combines them."""
+        if mode is Aggregation.NONE:
+            raise SchedulingError("mark_partial requires an aggregation mode")
+        st = self._st(datum)
+        st.up_to_date = {}
+        st.agg_mode = mode
+        st.agg_sources = dict(sources)
+
+    def mark_aggregated(self, datum: "Datum", event: Optional[Event]) -> None:
+        """Host aggregation completed: host holds the authoritative datum."""
+        st = self._st(datum)
+        st.agg_mode = Aggregation.NONE
+        st.agg_sources.clear()
+        st.up_to_date = {
+            HOST: [_Instance(Rect.from_shape(datum.shape), event)]
+        }
+
+    def mark_host_dirty(self, datum: "Datum") -> None:
+        """The user modified the bound host buffer: invalidate devices."""
+        st = self._st(datum)
+        st.agg_mode = Aggregation.NONE
+        st.agg_sources.clear()
+        st.up_to_date = {
+            HOST: [_Instance(Rect.from_shape(datum.shape), None)]
+        }
+
+    # -- helpers ------------------------------------------------------------------
+    @staticmethod
+    def _insert(insts: list[_Instance], rect: Rect, event: Optional[Event]) -> None:
+        """Insert an instance, removing parts it supersedes."""
+        out: list[_Instance] = []
+        for inst in insts:
+            if rect.contains(inst.rect):
+                continue
+            if inst.rect.overlaps(rect):
+                for part in inst.rect.subtract(rect):
+                    out.append(_Instance(part, inst.event))
+            else:
+                out.append(inst)
+        out.append(_Instance(rect, event))
+        insts[:] = out
+
+    def host_covered(self, datum: "Datum") -> bool:
+        """Whether the host instance covers the full datum (for tests)."""
+        full = Rect.from_shape(datum.shape)
+        insts = self.instances(datum, HOST)
+        return not full.subtract_all(insts)

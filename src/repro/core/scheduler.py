@@ -1,0 +1,590 @@
+"""The multi-GPU Scheduler (§4.3, Algorithm 1) and host-level aggregators.
+
+The scheduler mediates between the framework and the devices. Per
+submitted task it:
+
+1. constructs the Task and determines the grid segmentation (§2.1),
+2. runs the per-pattern Segmenters to infer memory segmentation,
+3. obtains allocated buffers from the Memory Analyzer,
+4. computes required segment copies with the Segment Location Monitor,
+5. distributes copy commands to the per-device invoker streams, and
+6. queues the kernels, with GPU events enforcing memory consistency.
+
+One compute stream plus two copy streams (one per copy engine direction)
+are created per device — the simulation counterpart of the paper's
+one-invoker-thread-per-device design with concurrent copy/compute queues.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.buffers import locate_virtual
+from repro.core.datum import Datum
+from repro.core.grid import Grid
+from repro.core.location_monitor import CopyOp, LocationMonitor
+from repro.core.memory_analyzer import MemoryAnalyzer
+from repro.core.task import CostContext, Kernel, Task, TaskHandle
+from repro.device_api.context import KernelContext
+from repro.device_api.views import make_view
+from repro.errors import SchedulingError
+from repro.hardware.topology import HOST
+from repro.patterns.base import Aggregation, InputContainer, OutputContainer
+from repro.patterns.output_patterns import combine
+from repro.sim.commands import Event
+from repro.utils.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import SimNode
+
+
+class Scheduler:
+    """Host-level entry point (paper Table 2).
+
+    Methods use snake_case; CamelCase aliases matching the paper's API
+    (``AnalyzeCall``, ``Invoke``, ``Gather``, ...) are provided at the
+    bottom of the class.
+    """
+
+    def __init__(self, node: "SimNode", auto_analyze: bool = False):
+        """Args:
+            node: The simulated multi-GPU node to drive.
+            auto_analyze: §8 future-work automation — when True, ``invoke``
+                runs the memory analysis implicitly for task signatures that
+                were never ``AnalyzeCall``-ed. Convenient, but allocations
+                then grow on demand instead of being sized up front, so
+                double-buffered access patterns may allocate twice (compare
+                Fig. 3); the paper's explicit-AnalyzeCall discipline remains
+                the default.
+        """
+        self.node = node
+        self.auto_analyze = auto_analyze
+        self.analyzer = MemoryAnalyzer(node)
+        self.monitor = LocationMonitor()
+        g = node.num_gpus
+        self._compute = [
+            node.new_stream(d, "compute", f"gpu{d}.compute") for d in range(g)
+        ]
+        self._copy_in = [
+            node.new_stream(d, "copy-in", f"gpu{d}.copy-in") for d in range(g)
+        ]
+        self._copy_out = [
+            node.new_stream(d, "copy-out", f"gpu{d}.copy-out") for d in range(g)
+        ]
+        self._host_stream = node.new_stream(HOST, "host", "host.aggregate")
+        self.handles: list[TaskHandle] = []
+
+    # -- public API (paper Table 2) -------------------------------------------
+    def analyze_call(
+        self,
+        kernel: Kernel,
+        *containers,
+        grid: Grid | None = None,
+        constants: Mapping[str, Any] | None = None,
+    ) -> Task:
+        """Forward-declare a task so the memory analyzer can size
+        per-device allocations (§4.2). Accepts the same parameters as
+        :meth:`invoke`."""
+        task = Task(kernel, containers, grid, constants)
+        self.analyzer.analyze(task)
+        self.node.host_advance(self.node.interconnect.scheduler_container_overhead)
+        return task
+
+    def invoke(
+        self,
+        kernel: Kernel,
+        *containers,
+        grid: Grid | None = None,
+        constants: Mapping[str, Any] | None = None,
+    ) -> TaskHandle:
+        """Schedule and queue a task (Algorithm 1). Returns a handle."""
+        task = Task(kernel, containers, grid, constants)
+        return self._schedule(task)
+
+    def invoke_unmodified(
+        self,
+        routine: Kernel,
+        *containers,
+        grid: Grid | None = None,
+        constants: Mapping[str, Any] | None = None,
+    ) -> TaskHandle:
+        """Schedule an unmodified GPU routine (§4.6): same pipeline as
+        :meth:`invoke`, but the wrapper receives raw per-device segment
+        arrays (a :class:`~repro.core.unmodified.RoutineContext`)."""
+        if not routine.raw:
+            raise SchedulingError(
+                f"{routine.name!r} is not an unmodified routine; build it "
+                "with make_routine()"
+            )
+        task = Task(routine, containers, grid, constants)
+        return self._schedule(task)
+
+    def gather_async(self, datum: Datum) -> None:
+        """Queue the transfers (and aggregation) bringing ``datum`` back
+        into its bound host buffer."""
+        if self.monitor.needs_aggregation(datum):
+            self._aggregate(datum)
+            return
+        full = Rect.from_shape(datum.shape)
+        ops = self.monitor.compute_copies(datum, [full], HOST)
+        for op in ops:
+            self._enqueue_copy(datum, op)
+
+    def gather(self, datum: Datum) -> float:
+        """Gather ``datum`` to the host and wait (synchronous)."""
+        self.gather_async(datum)
+        return self.wait_all()
+
+    def gather_region(self, datum: Datum, region: Rect) -> None:
+        """Queue the transfers bringing only ``region`` of ``datum`` up to
+        date on the host (used e.g. for inter-node halo exchange in the
+        cluster extension). Reductive datums must be gathered whole."""
+        if self.monitor.needs_aggregation(datum):
+            raise SchedulingError(
+                f"datum {datum.name!r} has pending partial results; "
+                "gather it whole"
+            )
+        for op in self.monitor.compute_copies(datum, [region], HOST):
+            self._enqueue_copy(datum, op)
+
+    def mark_host_region_dirty(self, datum: Datum, region: Rect) -> None:
+        """The application overwrote ``region`` of the bound host buffer
+        (e.g. received remote halo rows): device-resident copies of that
+        region are stale; the rest stays valid."""
+        self.monitor.mark_written(datum, HOST, region, None)
+
+    def wait_all(self) -> float:
+        """Run the simulation until every queued command has executed;
+        returns the simulated time."""
+        return self.node.run()
+
+    def wait(self, handle: TaskHandle) -> float:
+        """Wait for a specific task (drains the queues; the handle's
+        completion is guaranteed afterwards)."""
+        if handle.task is None:  # pragma: no cover - defensive
+            raise SchedulingError("invalid task handle")
+        return self.node.run()
+
+    def mark_host_dirty(self, datum: Datum) -> None:
+        """Tell the framework the bound host buffer was modified by the
+        application, invalidating device-resident instances."""
+        self.monitor.mark_host_dirty(datum)
+
+    # -- Algorithm 1 ------------------------------------------------------------
+    def _schedule(self, task: Task) -> TaskHandle:
+        node = self.node
+        ic = node.interconnect
+        if self.auto_analyze:
+            self.analyzer.ensure(task)
+        partition = task.grid.partition(node.num_gpus)  # line 2
+        active = [d for d, w in enumerate(partition) if not w.empty]
+        if not active:
+            raise SchedulingError(f"task {task.name} has an empty grid")
+
+        # Host-side scheduling overhead (task construction, segmentation,
+        # location-monitor bookkeeping).
+        node.host_advance(
+            ic.scheduler_task_overhead
+            + ic.scheduler_container_overhead * len(task.containers) * len(active)
+        )
+
+        # Pending-aggregation inputs are resolved first: segmented disjoint
+        # consumers get a device-level reduce-scatter (Algorithm 1 line 17:
+        # "copy segment from one device to another, aggregating as
+        # necessary"); anything else falls back to host-level aggregation.
+        for c in task.inputs:
+            if self.monitor.needs_aggregation(c.datum):
+                consumer_rects = {
+                    d: c.required(task.grid.shape, partition[d]).virtual
+                    for d in active
+                }
+                self._resolve_aggregation(c.datum, consumer_rects)
+
+        # Lines 3-12: segmentation, allocation and copy planning per device.
+        kernel_waits: dict[int, list[Event]] = {d: [] for d in active}
+        for d in active:
+            w = partition[d]
+            for c in task.inputs:
+                req = c.required(task.grid.shape, w)
+                self.analyzer.check_within(c.datum, d, req.virtual)
+                self.analyzer.buffer(c.datum, d)
+                if self.monitor.needs_aggregation(c.datum):
+                    self._aggregate(c.datum)
+                ops = self.monitor.compute_copies(
+                    c.datum,
+                    [a for _, a in req.pieces],
+                    d,
+                    prefer=self._peers(d),
+                )
+                for op in ops:  # line 13: distribute to invoker streams
+                    ev = self._enqueue_copy(c.datum, op)
+                    kernel_waits[d].append(ev)
+            for c in task.outputs:
+                owned = c.owned(task.grid.shape, w)
+                self.analyzer.check_within(c.datum, d, owned)
+                self.analyzer.buffer(c.datum, d)
+                # WAR: wait for in-flight readers of the previous contents.
+                kernel_waits[d].extend(self.monitor.take_war_events(c.datum, d))
+                if c.duplicated:
+                    self._enqueue_clear(task, c, d, kernel_waits[d])
+
+        # Lines 14-21: queue kernels, record completion events.
+        handle = TaskHandle(task, submitted_at=node.host_time)
+        dev_events: dict[int, Event] = {}
+        for d in active:
+            w = partition[d]
+            stream = self._compute[d]
+            for ev in kernel_waits[d]:
+                node.wait_event(stream, ev)
+            spec = node.devices[d].spec
+            cost_ctx = CostContext(
+                work_rect=w,
+                grid=task.grid,
+                containers=task.containers,
+                constants=task.constants,
+                spec=spec,
+                calib=node.devices[d].calib,
+            )
+            duration = task.kernel.duration(cost_ctx)
+            payload = self._kernel_payload(task, d, w, len(active))
+            node.launch_kernel(
+                stream, duration, payload, label=f"{task.name}@gpu{d}"
+            )
+            ev = node.record_event(stream, f"{task.name}@gpu{d}")
+            dev_events[d] = ev
+            handle.events.append(ev)
+
+        # Monitor updates: written segments / pending partials / reads.
+        for d in active:
+            w = partition[d]
+            for c in task.inputs:
+                self.monitor.mark_read(c.datum, d, dev_events[d])
+        for c in task.outputs:
+            if c.duplicated:
+                self.monitor.mark_partial(
+                    c.datum,
+                    c.aggregation,
+                    {d: dev_events[d] for d in active},
+                )
+            else:
+                for d in active:
+                    owned = c.owned(task.grid.shape, partition[d])
+                    self.monitor.mark_written(c.datum, d, owned, dev_events[d])
+
+        self.handles.append(handle)
+        return handle
+
+    # -- helpers -------------------------------------------------------------------
+    def _peers(self, device: int) -> list[int]:
+        """Preferred copy sources: same-switch peers first."""
+        topo = self.node.topology
+        peers = [
+            o
+            for o in range(self.node.num_gpus)
+            if o != device and topo.same_switch(o, device)
+        ]
+        return peers
+
+    def _enqueue_copy(self, datum: Datum, op: CopyOp) -> Event:
+        """Queue one segment copy on the appropriate copy stream."""
+        node = self.node
+        if op.src == HOST:
+            stream = self._copy_in[op.dst]
+        else:
+            stream = self._copy_out[op.src]
+        if op.wait is not None:
+            node.wait_event(stream, op.wait)
+        nbytes = op.actual.size * datum.dtype.itemsize
+        payload = self._copy_payload(datum, op) if node.functional else None
+        node.memcpy(
+            stream,
+            src=op.src,
+            dst=op.dst,
+            nbytes=nbytes,
+            payload=payload,
+            label=f"copy:{datum.name}:{op.src}->{op.dst}",
+        )
+        ev = node.record_event(stream, f"copy:{datum.name}:{op.src}->{op.dst}")
+        self.monitor.mark_copied(datum, op.dst, op.actual, ev)
+        self.monitor.mark_read(datum, op.src, ev)
+        return ev
+
+    def _copy_payload(self, datum: Datum, op: CopyOp):
+        analyzer = self.analyzer
+
+        def payload() -> None:
+            if op.src == HOST:
+                src_arr = datum.host[op.actual.slices()]
+            else:
+                sbuf = analyzer.buffer(datum, op.src)
+                virt = locate_virtual(sbuf, op.actual, datum.shape)
+                src_arr = sbuf.view(virt)
+            if op.dst == HOST:
+                datum.host[op.actual.slices()] = src_arr
+            else:
+                dbuf = analyzer.buffer(datum, op.dst)
+                virt = locate_virtual(dbuf, op.actual, datum.shape)
+                dbuf.view(virt)[...] = src_arr
+
+        return payload
+
+    def _enqueue_clear(
+        self, task: Task, container: OutputContainer, device: int,
+        waits: list[Event],
+    ) -> None:
+        """Zero a duplicated output buffer before the kernel accumulates
+        into it (device-side memset on the compute stream)."""
+        node = self.node
+        buf = self.analyzer.buffer(container.datum, device)
+        spec = node.devices[device].spec
+        calib = node.devices[device].calib
+        duration = buf.nbytes / (spec.mem_bandwidth * calib.stream_efficiency)
+        stream = self._compute[device]
+        for ev in waits:
+            node.wait_event(stream, ev)
+        waits.clear()
+        payload = None
+        if node.functional:
+            def payload(b=buf):  # noqa: E731 - small closure
+                b.data.fill(0)
+        node.launch_kernel(
+            stream, duration, payload,
+            label=f"memset:{container.datum.name}@gpu{device}",
+        )
+
+    def _kernel_payload(self, task: Task, device: int, work_rect: Rect,
+                        num_active: int):
+        if not self.node.functional or task.kernel.func is None:
+            return None
+        if task.kernel.raw:
+            return self._routine_payload(task, device, work_rect, num_active)
+        analyzer = self.analyzer
+
+        def payload() -> None:
+            views = tuple(
+                make_view(
+                    c,
+                    analyzer.buffer(c.datum, device),
+                    task.grid.shape,
+                    work_rect,
+                )
+                for c in task.containers
+            )
+            ctx = KernelContext(
+                device=device,
+                num_devices=num_active,
+                grid=task.grid,
+                work_rect=work_rect,
+                views=views,
+                constants=task.constants,
+            )
+            task.kernel.func(ctx)
+
+        return payload
+
+    def _routine_payload(self, task: Task, device: int, work_rect: Rect,
+                         num_active: int):
+        """Payload for unmodified routines: raw segment arrays (§4.6)."""
+        from repro.core.unmodified import RoutineContext
+
+        analyzer = self.analyzer
+
+        def payload() -> None:
+            params: list = []
+            segments: list[Rect] = []
+            for c in task.containers:
+                if isinstance(c, InputContainer):
+                    seg = c.required(task.grid.shape, work_rect).virtual
+                else:
+                    seg = c.owned(task.grid.shape, work_rect)
+                buf = analyzer.buffer(c.datum, device)
+                params.append(buf.view(seg))
+                segments.append(seg)
+            ctx = RoutineContext(
+                device=device,
+                num_devices=num_active,
+                parameters=tuple(params),
+                container_segments=tuple(segments),
+                constants=task.constants,
+                context=task.kernel.context,
+            )
+            task.kernel.func(ctx)
+
+        return payload
+
+    # -- device-level reduce-scatter (Algorithm 1, line 17) -------------------------
+    def _resolve_aggregation(
+        self, datum: Datum, consumer_rects: dict[int, Rect]
+    ) -> None:
+        """Resolve a pending reductive aggregation for a consuming task.
+
+        When each consumer device needs a *disjoint* region and the regions
+        cover the datum, the partials are combined device-side: every
+        consumer pulls its region from the other sources peer-to-peer and
+        reduces locally — no host round trip. Otherwise (overlapping
+        consumers, non-sum reductions, single device) the host-level
+        aggregator path runs.
+        """
+        mode, sources = self.monitor.aggregation(datum)
+        if (
+            mode is not Aggregation.SUM
+            or len(sources) <= 1
+            or len(consumer_rects) <= 1
+        ):
+            self._aggregate(datum)
+            return
+        rects = list(consumer_rects.values())
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                if a.overlaps(b):
+                    self._aggregate(datum)
+                    return
+        full = Rect.from_shape(datum.shape)
+        if full.subtract_all(rects):
+            self._aggregate(datum)
+            return
+        self._reduce_scatter(datum, consumer_rects, sources)
+
+    def _reduce_scatter(
+        self,
+        datum: Datum,
+        consumer_rects: dict[int, Rect],
+        sources: dict[int, Optional[Event]],
+    ) -> None:
+        node = self.node
+        itemsize = datum.dtype.itemsize
+        write_events: dict[int, tuple[Rect, Event]] = {}
+        for d, rect in consumer_rects.items():
+            if rect.empty:
+                continue
+            dbuf = self.analyzer.buffer(datum, d)
+            stages: list[Any] = []
+            copy_events: list[Event] = []
+            for s, sev in sorted(sources.items()):
+                if s == d:
+                    continue
+                stream = self._copy_out[s]
+                if sev is not None:
+                    node.wait_event(stream, sev)
+                payload = None
+                if node.functional:
+                    sbuf = self.analyzer.buffer(datum, s)
+
+                    def payload(sbuf=sbuf, rect=rect, stages=stages):
+                        stages.append(sbuf.view(rect).copy())
+                node.memcpy(
+                    stream,
+                    src=s,
+                    dst=d,
+                    nbytes=rect.size * itemsize,
+                    payload=payload,
+                    label=f"reduce-scatter:{datum.name}:{s}->{d}",
+                )
+                ev = node.record_event(stream, f"rs:{datum.name}:{s}->{d}")
+                copy_events.append(ev)
+                self.monitor.mark_read(datum, s, ev)
+            # Local reduction kernel on the consumer's compute stream.
+            stream = self._compute[d]
+            own = sources.get(d)
+            if own is not None:
+                node.wait_event(stream, own)
+            for ev in copy_events:
+                node.wait_event(stream, ev)
+            spec = node.devices[d].spec
+            calib = node.devices[d].calib
+            nbytes = rect.size * itemsize * (len(sources))
+            duration = nbytes / (spec.mem_bandwidth * calib.stream_efficiency)
+            payload = None
+            if node.functional:
+                has_own = d in sources
+
+                def payload(dbuf=dbuf, rect=rect, stages=stages,
+                            has_own=has_own):
+                    view = dbuf.view(rect)
+                    if not has_own:
+                        view[...] = 0
+                    for part in stages:
+                        view += part
+            node.launch_kernel(
+                stream, duration, payload,
+                label=f"reduce:{datum.name}@gpu{d}",
+            )
+            ev = node.record_event(stream, f"reduce:{datum.name}@gpu{d}")
+            write_events[d] = (rect, ev)
+        # The datum is now segmented among the consumers (the first
+        # mark_written also clears the aggregation flag).
+        for d, (rect, ev) in write_events.items():
+            self.monitor.mark_written(datum, d, rect, ev)
+
+    # -- host-level aggregation (§3.2 post-processing) -----------------------------
+    def _aggregate(self, datum: Datum) -> None:
+        """Combine per-device duplicated partials into the host buffer."""
+        mode, sources = self.monitor.aggregation(datum)
+        if mode is Aggregation.NONE:
+            return
+        node = self.node
+        ic = node.interconnect
+        stages: dict[int, Any] = {}
+        copy_events: list[Event] = []
+        for d, kev in sorted(sources.items()):
+            buf = self.analyzer.buffer(datum, d)
+            stream = self._copy_out[d]
+            if kev is not None:
+                node.wait_event(stream, kev)
+            payload = None
+            if node.functional:
+                def payload(d=d, buf=buf):
+                    stages[d] = (
+                        buf.data.copy(),
+                        getattr(buf, "dynamic_count", None),
+                    )
+            node.memcpy(
+                stream,
+                src=d,
+                dst=HOST,
+                nbytes=buf.nbytes,
+                payload=payload,
+                label=f"gather-partial:{datum.name}:{d}->host",
+            )
+            copy_events.append(
+                node.record_event(stream, f"gather-partial:{datum.name}:{d}")
+            )
+
+        for ev in copy_events:
+            node.wait_event(self._host_stream, ev)
+        # The host combine is memory bound over all partials.
+        duration = (
+            len(sources) * datum.nbytes / ic.host_aggregation_bw
+        )
+        hpayload = None
+        if node.functional:
+            def hpayload():
+                ordered = [stages[d] for d in sorted(stages)]
+                if mode is Aggregation.APPEND:
+                    total = 0
+                    for arr, count in ordered:
+                        n = int(count or 0)
+                        datum.host[total : total + n] = arr[:n]
+                        total += n
+                    datum.dynamic_total = total  # type: ignore[attr-defined]
+                else:
+                    datum.host[...] = combine(
+                        mode, [arr for arr, _ in ordered]
+                    ).astype(datum.dtype, copy=False)
+        node.host_op(
+            self._host_stream, duration, hpayload,
+            label=f"aggregate:{datum.name}",
+        )
+        hev = node.record_event(self._host_stream, f"aggregate:{datum.name}")
+        self.monitor.mark_aggregated(datum, hev)
+
+    # -- paper-style CamelCase aliases ------------------------------------------------
+    AnalyzeCall = analyze_call
+    Invoke = invoke
+    InvokeUnmodified = invoke_unmodified
+    Gather = gather
+    GatherAsync = gather_async
+    Wait = wait
+    WaitAll = wait_all

@@ -1,0 +1,64 @@
+"""Unmodified GPU routine support (§4.6).
+
+MAPS-Multi can multi-GPU-partition existing, highly optimized GPU routines
+(CUBLAS, CUFFT, CUB) via wrapper functions with a predetermined prototype:
+instead of a pattern-view kernel body, the scheduler calls the host-level
+wrapper once per device with the device ID, stream, raw buffer pointers and
+their corresponding memory segments (compare Fig. 5's SAXPY wrapper).
+
+Here a wrapper is a Python callable receiving a :class:`RoutineContext`;
+``make_routine`` packages it as a :class:`~repro.core.task.Kernel` with
+``raw=True`` so the scheduler builds raw segment arrays instead of pattern
+views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.task import CostFn, Kernel
+from repro.utils.rect import Rect
+
+
+@dataclass(frozen=True)
+class RoutineContext:
+    """What an unmodified-routine wrapper receives per device.
+
+    Mirrors Fig. 5: ``deviceIdx``, the per-GPU ``parameters`` (buffer
+    pointers — here numpy views of the device segments), the
+    ``container_segments`` giving each parameter's datum region, the
+    invocation ``constants`` (``GetConstantParameter`` analogue) and the
+    programmer-generated ``context`` object (e.g. per-GPU library handles).
+    """
+
+    device: int
+    num_devices: int
+    parameters: tuple[Optional[np.ndarray], ...]
+    container_segments: tuple[Rect, ...]
+    constants: Mapping[str, Any]
+    context: Any
+
+    def segment_dims(self, index: int) -> tuple[int, ...]:
+        """Shape of the ``index``-th parameter's segment
+        (``container_segments[i].m_dimensions`` in the paper's C++)."""
+        return self.container_segments[index].shape
+
+    def constant(self, name: str, default: Any = None) -> Any:
+        """``GetConstantParameter`` analogue."""
+        return self.constants.get(name, default)
+
+
+RoutineFn = Callable[[RoutineContext], None]
+
+
+def make_routine(
+    name: str,
+    fn: RoutineFn | None,
+    cost: CostFn | None = None,
+    context: Any = None,
+) -> Kernel:
+    """Wrap an external routine for ``Scheduler.invoke_unmodified``."""
+    return Kernel(name=name, func=fn, cost=cost, raw=True, context=context)

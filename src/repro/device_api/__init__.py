@@ -1,0 +1,39 @@
+"""Device-level API: index-free kernel programming (Fig. 1b, §4.5)."""
+
+from repro.device_api.context import KernelContext
+from repro.device_api.foreach import (
+    OutputIterator,
+    ReductiveIterator,
+    WindowAccessor,
+    aligned,
+    maps_foreach,
+    maps_foreach_reductive,
+)
+from repro.device_api.views import (
+    BlockView,
+    DynamicOutputView,
+    FullView,
+    ReductiveStaticView,
+    StructuredInjectiveView,
+    UnstructuredInjectiveView,
+    WindowView,
+    make_view,
+)
+
+__all__ = [
+    "KernelContext",
+    "make_view",
+    "WindowView",
+    "BlockView",
+    "FullView",
+    "StructuredInjectiveView",
+    "ReductiveStaticView",
+    "DynamicOutputView",
+    "UnstructuredInjectiveView",
+    "maps_foreach",
+    "maps_foreach_reductive",
+    "aligned",
+    "OutputIterator",
+    "ReductiveIterator",
+    "WindowAccessor",
+]

@@ -1,0 +1,46 @@
+"""Kernel execution context: what a MAPS-Multi kernel body receives.
+
+The device-level infrastructure (Fig. 1b) gives kernels index-free access
+to their containers through *views* (the Python analogue of the paper's
+thread-level controllers/iterators). ``MAPS_MULTI_INIT`` — the macro that
+offsets thread-blocks per device to form the virtual multi-GPU grid — is
+implicit here: each view is already restricted to the device's share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.grid import Grid
+from repro.utils.rect import Rect
+
+
+@dataclass(frozen=True)
+class KernelContext:
+    """Per-device execution context passed to a kernel's functional body.
+
+    Attributes:
+        device: Device index within the virtual multi-GPU grid.
+        num_devices: Total devices executing the task.
+        grid: Full task work dimensions.
+        work_rect: This device's share of the work space.
+        views: One device-level view per task container, in container
+            order (inputs and outputs interleaved as passed).
+        constants: The task's constant inputs (§4: fixed-size parameters
+            needed by all GPUs).
+    """
+
+    device: int
+    num_devices: int
+    grid: Grid
+    work_rect: Rect
+    views: tuple
+    constants: Mapping[str, Any]
+
+    def view(self, index: int):
+        """View of the ``index``-th task container."""
+        return self.views[index]
+
+    def __getitem__(self, index: int):
+        return self.views[index]

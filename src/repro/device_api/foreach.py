@@ -1,0 +1,145 @@
+"""Scalar reference iterators: the literal MAPS_FOREACH semantics.
+
+The paper's device code (Fig. 2b, Fig. 4) loops per thread over output
+iterators, aligning input iterators to them::
+
+    MAPS_FOREACH(nextgen_iter, next_gen) {
+        MAPS_FOREACH_ALIGNED(iter, current_gen, nextgen_iter) { ... }
+        *nextgen_iter = result;
+    }
+    next_gen.commit();
+
+The vectorized views in :mod:`repro.device_api.views` execute whole device
+segments at once; this module provides the one-element-at-a-time
+equivalents so property tests can assert that both execution schemes
+produce identical results on small grids. It is intentionally slow —
+reference semantics only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.device_api.views import (
+    ReductiveStaticView,
+    StructuredInjectiveView,
+    WindowView,
+)
+from repro.errors import DeviceError
+
+
+@dataclass
+class OutputIterator:
+    """One thread's handle on one structured output element."""
+
+    view: StructuredInjectiveView
+    index: tuple[int, ...]  # datum coordinates
+    _local: tuple[int, ...]  # segment-local coordinates
+
+    def set(self, value) -> None:
+        """``*iter = value``."""
+        self.view.array[self._local] = value
+
+    def get(self):
+        return self.view.array[self._local]
+
+
+def maps_foreach(view: StructuredInjectiveView) -> Iterator[OutputIterator]:
+    """Iterate output elements of the device's segment (MAPS_FOREACH)."""
+    if not isinstance(view, StructuredInjectiveView):
+        raise DeviceError(
+            "maps_foreach iterates StructuredInjective outputs; got "
+            f"{type(view).__name__}"
+        )
+    origin = view.rect.begin
+    for local in np.ndindex(view.array.shape):
+        index = tuple(o + l for o, l in zip(origin, local))
+        yield OutputIterator(view, index, local)
+
+
+class WindowAccessor:
+    """Aligned window access for one output element (relative coords)."""
+
+    def __init__(self, view: WindowView, index: tuple[int, ...]):
+        self.view = view
+        # Element position inside the padded array's center region.
+        self._base = tuple(
+            i - b + r
+            for i, b, r in zip(
+                index, view.center_rect.begin, view.radius
+            )
+        )
+        if any(
+            not (0 <= p - r < s)
+            for p, r, s in zip(self._base, view.radius, view.center_rect.shape)
+        ):
+            raise DeviceError(
+                f"aligned index {index} outside device segment "
+                f"{view.center_rect}"
+            )
+
+    def __getitem__(self, offsets):
+        """``accessor[dy, dx]`` — the neighbor at the given offsets."""
+        if isinstance(offsets, int):
+            offsets = (offsets,)
+        if len(offsets) != len(self._base):
+            raise DeviceError(
+                f"need {len(self._base)} offsets, got {len(offsets)}"
+            )
+        pos = []
+        for p, o, r in zip(self._base, offsets, self.view.radius):
+            if abs(o) > r:
+                raise DeviceError(f"offset {o} exceeds window radius {r}")
+            pos.append(p + o)
+        return self.view._padded[tuple(pos)]
+
+    @property
+    def value(self):
+        """The center element itself."""
+        return self[tuple([0] * len(self._base))]
+
+    def __iter__(self):
+        """Iterate the full window in row-major offset order
+        (MAPS_FOREACH_ALIGNED over window elements)."""
+        import itertools
+
+        for offs in itertools.product(
+            *[range(-r, r + 1) for r in self.view.radius]
+        ):
+            yield self[offs]
+
+
+def aligned(view: WindowView, out_iter: OutputIterator) -> WindowAccessor:
+    """Align a window input iterator with an output iterator
+    (``input.align(output)`` / MAPS_FOREACH_ALIGNED). Requires the input
+    and output data to share work dimensions (as in stencils)."""
+    return WindowAccessor(view, out_iter.index)
+
+
+@dataclass
+class ReductiveIterator:
+    """One thread's handle on a Reductive (Static) output (Fig. 4):
+    ``hist_iter[bin] += 1`` becomes ``it.add(bin)``."""
+
+    view: ReductiveStaticView
+
+    def add(self, bin_index: int, weight=1) -> None:
+        if self.view.container.op != "sum":
+            raise DeviceError("add requires a sum-reduction container")
+        self.view.partial.reshape(-1)[int(bin_index)] += weight
+
+
+def maps_foreach_reductive(
+    view: ReductiveStaticView, work_view: WindowView
+) -> Iterator[tuple[ReductiveIterator, WindowAccessor]]:
+    """Iterate work items of a reductive kernel: yields the reductive
+    iterator paired with the aligned input accessor for each element of
+    the device's input segment (the histogram loop of Fig. 4)."""
+    it = ReductiveIterator(view)
+    origin = work_view.center_rect.begin
+    for local in np.ndindex(work_view.center_rect.shape):
+        index = tuple(o + l for o, l in zip(origin, local))
+        yield it, WindowAccessor(work_view, index)

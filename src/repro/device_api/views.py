@@ -1,0 +1,401 @@
+"""Device-level container views: index-free data access for kernels.
+
+These are the Python analogue of the paper's device-level containers
+(Fig. 1b): kernels never compute global indices; they read inputs through
+pattern-shaped accessors (window neighborhoods, block stripes) and write
+outputs through injective arrays or reductive aggregators.
+
+Views operate on whole device segments with numpy (the vectorized
+"bulk-synchronous thread-block" execution mode); the scalar reference
+iterators of :mod:`repro.device_api.foreach` provide the literal
+one-thread-at-a-time semantics for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DeviceError, PatternMismatchError
+from repro.patterns.base import InputContainer, OutputContainer
+from repro.patterns.boundary import Boundary
+from repro.patterns.input_patterns import (
+    Block2D,
+    Block2DTransposed,
+    BlockColumnStriped,
+    BlockStriped,
+    FullReplicationInput,
+    WindowND,
+)
+from repro.patterns.output_patterns import (
+    InjectiveColumnStriped,
+    InjectiveStriped,
+    ReductiveDynamic,
+    ReductiveStatic,
+    StructuredInjective,
+    UnstructuredInjective,
+    IrregularOutput,
+)
+from repro.sim.memory import DeviceBuffer
+from repro.utils.rect import Rect
+
+def _scales(work_shape: Sequence[int], datum_shape: Sequence[int]) -> tuple[int, ...]:
+    return tuple(d // w for w, d in zip(work_shape, datum_shape))
+
+
+def _scaled(work_rect: Rect, scales: Sequence[int]) -> Rect:
+    return Rect(
+        *[
+            (iv.begin * s, iv.end * s)
+            for iv, s in zip(work_rect.intervals, scales)
+        ]
+    )
+
+
+class WindowView:
+    """Neighborhood access for Window (ND) inputs.
+
+    ``center()`` is the device's own region; ``offset(o1, ..., oN)`` is
+    the same-shaped region shifted by the given per-dimension offsets
+    (|o_d| <= radius_d) — the vectorized equivalent of the paper's
+    relative-coordinate iterator access.
+    """
+
+    def __init__(
+        self,
+        container: WindowND,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        datum = container.datum
+        self.radius = container.radius
+        scales = _scales(work_shape, datum.shape)
+        self.center_rect = _scaled(work_rect, scales)
+        self._padded = self._assemble(buffer, datum.shape)
+
+    def _assemble(self, buffer: DeviceBuffer, shape: Sequence[int]) -> np.ndarray:
+        """Build the center+halo array from the device buffer.
+
+        Each halo position maps to a buffer position: directly where the
+        framework placed halo data; modularly when the buffer holds the
+        full period of a wrapped dimension; clamped to the nearest edge
+        under CLAMP; or to synthesized zeros under ZERO/NO_CHECKS. The
+        mapping is materialized as per-dimension index arrays and gathered
+        with successive ``np.take`` calls.
+        """
+        want = self.center_rect.expand(list(self.radius))
+        arr = buffer.view(buffer.rect)
+        boundary = self.container.boundary
+        index_lists: list[np.ndarray] = []
+        zero_masks: list[np.ndarray] = []
+        for d in range(want.ndim):
+            lo, hi = buffer.rect[d].begin, buffer.rect[d].end
+            n = shape[d]
+            idxs = np.empty(want[d].size, dtype=np.int64)
+            mask = np.zeros(want[d].size, dtype=bool)
+            for i, v in enumerate(range(want[d].begin, want[d].end)):
+                pos: int | None = None
+                if boundary is Boundary.WRAP:
+                    for cand in (v, v - n, v + n):
+                        if lo <= cand < hi:
+                            pos = cand - lo
+                            break
+                elif boundary is Boundary.CLAMP:
+                    c = min(max(v, 0), n - 1)
+                    if lo <= c < hi:
+                        pos = c - lo
+                else:  # ZERO / NO_CHECKS
+                    if 0 <= v < n and lo <= v < hi:
+                        pos = v - lo
+                    else:
+                        pos = 0
+                        mask[i] = True
+                if pos is None:
+                    raise DeviceError(
+                        f"window position {v} (dim {d}) has no backing "
+                        f"data in buffer extent {buffer.rect} "
+                        f"(boundary {boundary.value})"
+                    )
+                idxs[i] = pos
+            index_lists.append(idxs)
+            zero_masks.append(mask)
+        out = arr
+        for d, idxs in enumerate(index_lists):
+            out = np.take(out, idxs, axis=d)
+        if any(m.any() for m in zero_masks):
+            out = out.copy()
+            for d, m in enumerate(zero_masks):
+                if m.any():
+                    sl = [slice(None)] * want.ndim
+                    sl[d] = m
+                    out[tuple(sl)] = 0
+        return out
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.center_rect.shape
+
+    def center(self) -> np.ndarray:
+        return self.offset(*([0] * self.center_rect.ndim))
+
+    def offset(self, *offsets: int) -> np.ndarray:
+        """The center-shaped region shifted by per-dimension offsets."""
+        if len(offsets) != self.center_rect.ndim:
+            raise DeviceError(
+                f"offset needs {self.center_rect.ndim} components"
+            )
+        slices = []
+        for d, off in enumerate(offsets):
+            r = self.radius[d]
+            if abs(off) > r:
+                raise DeviceError(
+                    f"offset {off} exceeds window radius {r} in dim {d}"
+                )
+            start = r + off
+            slices.append(slice(start, start + self.center_rect.shape[d]))
+        return self._padded[tuple(slices)]
+
+    def neighborhood_sum(self, include_center: bool = False) -> np.ndarray:
+        """Sum over the full window (minus the center unless requested) —
+        a convenience for stencil kernels like the Game of Life."""
+        import itertools
+
+        acc = None
+        for offs in itertools.product(
+            *[range(-r, r + 1) for r in self.radius]
+        ):
+            if not include_center and all(o == 0 for o in offs):
+                continue
+            v = self.offset(*offs)
+            acc = v.copy() if acc is None else acc + v
+        if acc is None:
+            acc = self.center().copy()
+        return acc
+
+
+class BlockView:
+    """Row-stripe access for Block (2D) inputs (e.g. GEMM's first operand)."""
+
+    def __init__(
+        self,
+        container: Block2D,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        self.rect = container.required(work_shape, work_rect).virtual
+        self._arr = buffer.view(self.rect)
+
+    @property
+    def stripe(self) -> np.ndarray:
+        """This device's rows of the matrix."""
+        return self._arr
+
+
+class FullView:
+    """Whole-datum access for fully-replicated inputs (Block 1D/2D-T,
+    Adjacency, Traversal, Permutation, Irregular)."""
+
+    def __init__(
+        self,
+        container: InputContainer,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        self.rect = container.required(work_shape, work_rect).virtual
+        self._arr = buffer.view(self.rect)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._arr
+
+
+class StructuredInjectiveView:
+    """Write access to the device's exact output segment.
+
+    ``array`` is the segment; assigning into it is the vectorized
+    equivalent of ``*iter = value``. ``commit()`` marks the coalesced
+    write-back performed by the device-level aggregator (§4.5.2); the cost
+    model accounts for it, and kernels are expected to call it.
+    """
+
+    def __init__(
+        self,
+        container: StructuredInjective,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        self.rect = container.owned(work_shape, work_rect)
+        self._arr = buffer.view(self.rect)
+        self.committed = False
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._arr
+
+    def write(self, values: np.ndarray) -> None:
+        if values.shape != self._arr.shape:
+            raise DeviceError(
+                f"output shape {values.shape} != segment shape "
+                f"{self._arr.shape}"
+            )
+        self._arr[...] = values
+
+    def commit(self) -> None:
+        self.committed = True
+
+
+class ReductiveStaticView:
+    """Per-device partial accumulator for Reductive (Static) outputs.
+
+    ``partial`` is the device-private duplicate (e.g. a 256-bin histogram);
+    ``add_at`` performs the shared-memory-aggregator equivalent of
+    ``hist_iter[bin] += w`` over arrays of bins.
+    """
+
+    def __init__(
+        self,
+        container: ReductiveStatic,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        self.rect = Rect.from_shape(container.datum.shape)
+        self._arr = buffer.view(self.rect)
+        self.committed = False
+
+    @property
+    def partial(self) -> np.ndarray:
+        return self._arr
+
+    def add_at(self, indices: np.ndarray, weights: np.ndarray | None = None) -> None:
+        if self.container.op != "sum":
+            raise DeviceError("add_at requires a sum-reduction container")
+        flat = self._arr.reshape(-1)
+        idx = np.asarray(indices).reshape(-1)
+        if weights is None:
+            counts = np.bincount(idx, minlength=flat.size)
+        else:
+            counts = np.bincount(
+                idx, weights=np.asarray(weights).reshape(-1), minlength=flat.size
+            )
+        flat += counts.astype(flat.dtype, copy=False)
+
+    def max_at(self, indices: np.ndarray, values: np.ndarray) -> None:
+        if self.container.op != "max":
+            raise DeviceError("max_at requires a max-reduction container")
+        flat = self._arr.reshape(-1)
+        np.maximum.at(flat, np.asarray(indices).reshape(-1),
+                      np.asarray(values).reshape(-1))
+
+    def commit(self) -> None:
+        self.committed = True
+
+
+class DynamicOutputView:
+    """Append-only output for Reductive (Dynamic) / Irregular patterns.
+
+    Each device appends a runtime-determined number of elements; the
+    host-level aggregator later concatenates per-device prefixes in device
+    order (§3.2: "the aggregation process appends the results from each
+    GPU to a single output array").
+    """
+
+    def __init__(
+        self,
+        container: ReductiveDynamic | IrregularOutput,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        self.rect = Rect.from_shape(container.datum.shape)
+        self._arr = buffer.view(self.rect)
+        self._buffer = buffer
+        buffer.dynamic_count = 0  # type: ignore[attr-defined]
+
+    @property
+    def capacity(self) -> int:
+        return self._arr.shape[0]
+
+    @property
+    def count(self) -> int:
+        return self._buffer.dynamic_count  # type: ignore[attr-defined]
+
+    def append(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        n = values.shape[0]
+        c = self.count
+        if c + n > self.capacity:
+            raise DeviceError(
+                f"dynamic output overflow: {c}+{n} > capacity {self.capacity}"
+            )
+        self._arr[c : c + n] = values
+        self._buffer.dynamic_count = c + n  # type: ignore[attr-defined]
+
+
+class UnstructuredInjectiveView:
+    """Scatter-write access for Unstructured Injective outputs.
+
+    The device-private duplicate is zero-initialized; ``scatter`` writes
+    values at arbitrary flat indices. Disjointness across devices is the
+    pattern's contract (injectivity); the post-kernel aggregation sums the
+    duplicates.
+    """
+
+    def __init__(
+        self,
+        container: UnstructuredInjective,
+        buffer: DeviceBuffer,
+        work_shape: Sequence[int],
+        work_rect: Rect,
+    ):
+        self.container = container
+        self.rect = Rect.from_shape(container.datum.shape)
+        self._arr = buffer.view(self.rect)
+
+    @property
+    def duplicate(self) -> np.ndarray:
+        return self._arr
+
+    def scatter(self, flat_indices: np.ndarray, values: np.ndarray) -> None:
+        self._arr.reshape(-1)[np.asarray(flat_indices).reshape(-1)] = (
+            np.asarray(values).reshape(-1)
+        )
+
+
+def make_view(
+    container,
+    buffer: DeviceBuffer,
+    work_shape: Sequence[int],
+    work_rect: Rect,
+):
+    """Construct the device-level view matching a container's pattern."""
+    if isinstance(container, WindowND):
+        return WindowView(container, buffer, work_shape, work_rect)
+    if isinstance(container, Block2D):
+        return BlockView(container, buffer, work_shape, work_rect)
+    if isinstance(
+        container, (Block2DTransposed, BlockStriped, BlockColumnStriped, FullReplicationInput)
+    ):
+        return FullView(container, buffer, work_shape, work_rect)
+    if isinstance(container, (StructuredInjective, InjectiveStriped, InjectiveColumnStriped)):
+        return StructuredInjectiveView(container, buffer, work_shape, work_rect)
+    if isinstance(container, ReductiveStatic):
+        return ReductiveStaticView(container, buffer, work_shape, work_rect)
+    if isinstance(container, (ReductiveDynamic, IrregularOutput)):
+        return DynamicOutputView(container, buffer, work_shape, work_rect)
+    if isinstance(container, UnstructuredInjective):
+        return UnstructuredInjectiveView(container, buffer, work_shape, work_rect)
+    raise PatternMismatchError(
+        f"no device-level view for container type {type(container).__name__}"
+    )

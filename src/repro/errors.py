@@ -1,0 +1,37 @@
+"""Exception hierarchy for the MAPS-Multi reproduction.
+
+The paper notes (§4.2) that the framework performs error checking in the
+memory analyzer and raises runtime errors when programmer-provided access
+patterns do not match task invocation parameters; these exceptions make
+those failure modes explicit and testable.
+"""
+
+from __future__ import annotations
+
+
+class MapsError(Exception):
+    """Base class for all framework errors."""
+
+
+class PatternMismatchError(MapsError):
+    """Access pattern incompatible with the datum or task it is applied to."""
+
+
+class AnalysisError(MapsError):
+    """A task was invoked without a prior matching ``AnalyzeCall`` (§4.2)."""
+
+
+class AllocationError(MapsError):
+    """Device memory allocation failed (out of memory, bad size)."""
+
+
+class SchedulingError(MapsError):
+    """Scheduler invariant violated (bad task, unknown handle, ...)."""
+
+
+class SimulationError(MapsError):
+    """Discrete-event simulator invariant violated (deadlock, bad command)."""
+
+
+class DeviceError(SimulationError):
+    """Invalid device operation (bad stream, unallocated buffer, ...)."""

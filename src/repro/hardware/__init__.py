@@ -1,0 +1,35 @@
+"""Hardware models: GPU specs (Table 3), calibration, node topology."""
+
+from repro.hardware.calibration import (
+    DEFAULT_INTERCONNECT,
+    GpuCalibration,
+    InterconnectCalibration,
+    calibration_for,
+)
+from repro.hardware.specs import (
+    GTX_780,
+    GTX_980,
+    PAPER_GPUS,
+    TITAN_BLACK,
+    Architecture,
+    GPUSpec,
+    gpu_by_name,
+)
+from repro.hardware.topology import HOST, Link, NodeTopology
+
+__all__ = [
+    "Architecture",
+    "GPUSpec",
+    "GTX_780",
+    "TITAN_BLACK",
+    "GTX_980",
+    "PAPER_GPUS",
+    "gpu_by_name",
+    "GpuCalibration",
+    "InterconnectCalibration",
+    "calibration_for",
+    "DEFAULT_INTERCONNECT",
+    "NodeTopology",
+    "Link",
+    "HOST",
+]

@@ -1,0 +1,118 @@
+"""GPU device specifications for the simulated testbeds.
+
+The paper's experimental setup (Table 3) uses three identical quad-GPU
+nodes, one per GPU model:
+
+=====================  ========  ==============  =======
+Model (architecture)   Memory    SMs x cores     Peak BW
+=====================  ========  ==============  =======
+GTX 780 (Kepler)       3 GiB     12 x 192        288 GB/s
+Titan Black (Kepler)   6 GiB     15 x 192        336 GB/s
+GTX 980 (Maxwell)      4 GiB     16 x 128        224 GB/s
+=====================  ========  ==============  =======
+
+SM/core counts come straight from Table 3; clocks and bandwidths from the
+vendor datasheets. ``peak_sp_gflops`` is the standard
+``2 * cores * clock`` single-precision FMA peak.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.units import GIB
+
+
+class Architecture(enum.Enum):
+    """GPU microarchitecture generations relevant to the paper."""
+
+    KEPLER = "Kepler"
+    MAXWELL = "Maxwell"
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        name: Marketing name, e.g. ``"GTX 780"``.
+        architecture: Microarchitecture generation.
+        num_sms: Number of streaming multiprocessors.
+        cores_per_sm: CUDA cores per SM.
+        core_clock_ghz: Sustained boost clock in GHz.
+        global_memory_bytes: Global memory capacity in bytes.
+        mem_bandwidth: Peak global memory bandwidth in bytes/second.
+        shared_mem_per_sm: Shared memory per SM in bytes.
+        copy_engines: Number of asynchronous copy engines (2 on all three
+            models: one per direction, enabling simultaneous bidirectional
+            transfers, §2).
+    """
+
+    name: str
+    architecture: Architecture
+    num_sms: int
+    cores_per_sm: int
+    core_clock_ghz: float
+    global_memory_bytes: int
+    mem_bandwidth: float
+    shared_mem_per_sm: int = 48 * 1024
+    copy_engines: int = 2
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        """Single-precision FMA peak in GFLOP/s."""
+        return 2.0 * self.num_cores * self.core_clock_ghz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.architecture.value})"
+
+
+GTX_780 = GPUSpec(
+    name="GTX 780",
+    architecture=Architecture.KEPLER,
+    num_sms=12,
+    cores_per_sm=192,
+    core_clock_ghz=0.900,
+    global_memory_bytes=3 * GIB,
+    mem_bandwidth=288.4e9,
+)
+
+TITAN_BLACK = GPUSpec(
+    name="Titan Black",
+    architecture=Architecture.KEPLER,
+    num_sms=15,
+    cores_per_sm=192,
+    core_clock_ghz=0.980,
+    global_memory_bytes=6 * GIB,
+    mem_bandwidth=336.0e9,
+)
+
+GTX_980 = GPUSpec(
+    name="GTX 980",
+    architecture=Architecture.MAXWELL,
+    num_sms=16,
+    cores_per_sm=128,
+    core_clock_ghz=1.216,
+    global_memory_bytes=4 * GIB,
+    mem_bandwidth=224.0e9,
+)
+
+#: The three testbeds of Table 3, in paper order.
+PAPER_GPUS: tuple[GPUSpec, ...] = (GTX_780, TITAN_BLACK, GTX_980)
+
+_BY_NAME = {s.name: s for s in PAPER_GPUS}
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up one of the paper's GPU models by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU model {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None

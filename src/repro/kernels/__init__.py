@@ -1,0 +1,59 @@
+"""Built-in MAPS-Multi kernels (Game of Life, histogram, elementwise)."""
+
+from repro.kernels.elementwise import (
+    make_map_kernel,
+    make_relu_grad_kernel,
+    make_relu_kernel,
+    make_saxpy_kernel,
+    make_scale_kernel,
+    make_sqdiff_reduce_kernel,
+    make_sum_reduce_kernel,
+    map_containers,
+)
+from repro.kernels.game_of_life import (
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.kernels.nbody import (
+    make_nbody_kernel,
+    nbody_containers,
+    nbody_reference,
+)
+from repro.kernels.spmv import (
+    CsrDatums,
+    make_spmv_kernel,
+    spmv_containers,
+    spmv_grid,
+)
+from repro.kernels.histogram import (
+    histogram_containers,
+    histogram_grid,
+    make_histogram_kernel,
+    make_naive_histogram_routine,
+)
+
+__all__ = [
+    "make_gol_kernel",
+    "gol_containers",
+    "gol_reference_step",
+    "make_histogram_kernel",
+    "make_naive_histogram_routine",
+    "histogram_containers",
+    "histogram_grid",
+    "make_map_kernel",
+    "map_containers",
+    "make_saxpy_kernel",
+    "make_scale_kernel",
+    "make_relu_kernel",
+    "make_relu_grad_kernel",
+    "make_sum_reduce_kernel",
+    "make_sqdiff_reduce_kernel",
+    "make_spmv_kernel",
+    "spmv_containers",
+    "spmv_grid",
+    "CsrDatums",
+    "make_nbody_kernel",
+    "nbody_containers",
+    "nbody_reference",
+]

@@ -1,0 +1,132 @@
+"""Elementwise and reduction kernels: the small utility operations real
+applications are stitched together from (NMF's Frobenius norm, the CNN's
+activation functions, SAXPY-style updates).
+
+All are memory-bound; costs are streamed-bytes over the calibrated
+fraction of peak bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.datum import Datum
+from repro.core.task import CostContext, Kernel
+from repro.patterns import (
+    NO_CHECKS,
+    ReductiveStatic,
+    StructuredInjective,
+    WindowND,
+)
+
+
+def _stream_time(ctx: CostContext, nbytes: float) -> float:
+    return nbytes / (ctx.spec.mem_bandwidth * ctx.calib.stream_efficiency)
+
+
+def make_map_kernel(
+    name: str,
+    op: Callable[..., np.ndarray],
+    num_inputs: int = 1,
+) -> Kernel:
+    """An elementwise kernel ``out = op(in_1, ..., in_k, **constants)``.
+
+    Containers: ``num_inputs`` zero-radius Window inputs followed by one
+    StructuredInjective output, all with identical shapes.
+    """
+
+    def body(ctx) -> None:
+        ins = [v.center() for v in ctx.views[:num_inputs]]
+        out = ctx.views[num_inputs]
+        out.write(
+            op(*ins, **ctx.constants).astype(out.array.dtype, copy=False)
+        )
+        out.commit()
+
+    def cost(ctx: CostContext) -> float:
+        itemsize = ctx.containers[num_inputs].datum.dtype.itemsize
+        elems = ctx.containers[num_inputs].owned(
+            ctx.grid.shape, ctx.work_rect
+        ).size
+        return _stream_time(ctx, elems * itemsize * (num_inputs + 1))
+
+    return Kernel(name, func=body, cost=cost)
+
+
+def map_containers(inputs: list[Datum], output: Datum):
+    """Containers for a :func:`make_map_kernel` task."""
+    return tuple(WindowND(d, 0, NO_CHECKS) for d in inputs) + (
+        StructuredInjective(output),
+    )
+
+
+# -- ready-made elementwise kernels -------------------------------------------
+def make_saxpy_kernel() -> Kernel:
+    """``y = alpha * x + y`` (constants: alpha). Containers:
+    Window(x), Window(y), StructuredInjective(y)."""
+
+    def body(ctx) -> None:
+        x, y_in, y_out = ctx.views
+        y_out.write(ctx.constants["alpha"] * x.center() + y_in.center())
+        y_out.commit()
+
+    def cost(ctx: CostContext) -> float:
+        elems = ctx.containers[2].owned(ctx.grid.shape, ctx.work_rect).size
+        return _stream_time(ctx, elems * 4 * 3)
+
+    return Kernel("saxpy", func=body, cost=cost)
+
+
+def make_scale_kernel() -> Kernel:
+    """``out = alpha * in``."""
+    return make_map_kernel("scale", lambda x, alpha: alpha * x)
+
+
+def make_relu_kernel() -> Kernel:
+    return make_map_kernel("relu", lambda x: np.maximum(x, 0))
+
+
+def make_relu_grad_kernel() -> Kernel:
+    """``dx = dy * (x > 0)``."""
+    return make_map_kernel("relu-grad", lambda x, dy: dy * (x > 0), 2)
+
+
+def make_sum_reduce_kernel() -> Kernel:
+    """Device-wide sum into a 1-element Reductive (Static) output —
+    the §4.5.3 "device-wide reduction" use of the device-level API.
+
+    Containers: Window(x, r=0), ReductiveStatic(out of shape (1,)).
+    """
+
+    def body(ctx) -> None:
+        x, out = ctx.views
+        out.partial[0] += x.center().sum(dtype=out.partial.dtype)
+        out.commit()
+
+    def cost(ctx: CostContext) -> float:
+        win = ctx.containers[0]
+        elems = win.required(ctx.grid.shape, ctx.work_rect).virtual.size
+        return _stream_time(ctx, elems * win.datum.dtype.itemsize)
+
+    return Kernel("sum-reduce", func=body, cost=cost)
+
+
+def make_sqdiff_reduce_kernel() -> Kernel:
+    """Sum of squared differences (NMF's ||V - WH|| convergence check).
+
+    Containers: Window(a, 0), Window(b, 0), ReductiveStatic((1,))."""
+
+    def body(ctx) -> None:
+        a, b, out = ctx.views
+        d = a.center().astype(np.float64) - b.center()
+        out.partial[0] += float((d * d).sum())
+        out.commit()
+
+    def cost(ctx: CostContext) -> float:
+        win = ctx.containers[0]
+        elems = win.required(ctx.grid.shape, ctx.work_rect).virtual.size
+        return _stream_time(ctx, 2 * elems * win.datum.dtype.itemsize)
+
+    return Kernel("sqdiff-reduce", func=body, cost=cost)

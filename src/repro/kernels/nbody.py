@@ -1,0 +1,83 @@
+"""All-pairs N-body — the Block (1D) pattern (Table 1).
+
+Each thread computes the force on one body against *all* bodies, so the
+position/mass buffer is Table 1's Block (1D): every thread requires the
+entire buffer, loaded to thread-blocks in chunks. Output accelerations
+are Structured Injective. The paper's canonical Block (1D) example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.datum import Datum
+from repro.core.grid import Grid
+from repro.core.task import CostContext, Kernel
+from repro.patterns import Block1D, BlockStriped, StructuredInjective
+
+SOFTENING = 1e-3
+
+
+def make_nbody_kernel() -> Kernel:
+    """acc_stripe = sum over all bodies of softened gravity.
+
+    Containers: BlockStriped(pos_x of my bodies? no —) the device computes
+    accelerations for its stripe of bodies, against the full body set:
+    ``Block1D(bodies), StructuredInjective(accel)``; grid (n,). The
+    ``bodies`` datum packs [x, y, z, mass] as an (n*4,)-element vector
+    (1-D, per the pattern); accel packs [ax, ay, az] likewise... to keep
+    the 1-D pattern exact we use separate 1-D datums per component.
+    """
+
+    def body(ctx) -> None:
+        # views: x, y, z, m (Block1D, full), ax, ay, az (striped outputs)
+        x, y, z, m = (v.array for v in ctx.views[:4])
+        ax_v, ay_v, az_v = ctx.views[4:]
+        sl = ctx.work_rect.slices()
+        dx = x[None, :] - x[sl][:, None]
+        dy = y[None, :] - y[sl][:, None]
+        dz = z[None, :] - z[sl][:, None]
+        r2 = dx * dx + dy * dy + dz * dz + SOFTENING
+        inv_r3 = r2 ** -1.5
+        w = m[None, :] * inv_r3
+        ax_v.write((w * dx).sum(axis=1).astype(np.float32))
+        ay_v.write((w * dy).sum(axis=1).astype(np.float32))
+        az_v.write((w * dz).sum(axis=1).astype(np.float32))
+
+    def cost(ctx: CostContext) -> float:
+        n_total = ctx.containers[0].datum.shape[0]
+        n_local = ctx.work_rect[0].size
+        flops = 23.0 * n_local * n_total  # classic all-pairs count
+        # Compute bound at ~60% of peak (shared-memory tiled kernel).
+        return flops / (ctx.spec.peak_sp_gflops * 1e9 * 0.6)
+
+    return Kernel("nbody", func=body, cost=cost)
+
+
+def nbody_containers(
+    x: Datum, y: Datum, z: Datum, m: Datum,
+    ax: Datum, ay: Datum, az: Datum,
+):
+    return (
+        Block1D(x),
+        Block1D(y),
+        Block1D(z),
+        Block1D(m),
+        StructuredInjective(ax),
+        StructuredInjective(ay),
+        StructuredInjective(az),
+    )
+
+
+def nbody_reference(x, y, z, m):
+    """Plain-numpy all-pairs accelerations."""
+    dx = x[None, :] - x[:, None]
+    dy = y[None, :] - y[:, None]
+    dz = z[None, :] - z[:, None]
+    r2 = dx * dx + dy * dy + dz * dz + SOFTENING
+    w = m[None, :] * r2 ** -1.5
+    return (
+        (w * dx).sum(axis=1).astype(np.float32),
+        (w * dy).sum(axis=1).astype(np.float32),
+        (w * dz).sum(axis=1).astype(np.float32),
+    )

@@ -1,0 +1,93 @@
+"""Sparse matrix-vector multiplication — the Adjacency pattern (Table 1).
+
+SpMV is Table 1's canonical Adjacency example: each row's nonzeros access
+the dense input vector sporadically but with a fixed pattern, so the
+vector is replicated on every device (Adjacency), while the sparse matrix
+itself — stored CSR-style as three dense arrays — is consumed in row
+stripes and the output vector produced Structured-Injectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.datum import Datum, Vector, from_array
+from repro.core.grid import Grid
+from repro.core.task import CostContext, Kernel
+from repro.patterns import (
+    Adjacency,
+    BlockStriped,
+    StructuredInjective,
+)
+
+
+class CsrDatums:
+    """A CSR matrix bound as three datums plus its dense operand."""
+
+    def __init__(self, matrix: sp.csr_matrix, name: str = "A"):
+        matrix = matrix.tocsr()
+        self.rows, self.cols = matrix.shape
+        self.nnz = matrix.nnz
+        # Row pointer is row-aligned: rowptr[i] and rowptr[i+1] delimit
+        # row i, so a stripe of rows needs rowptr rows [b, e+1) — we store
+        # starts and counts separately to keep stripes self-contained.
+        starts = matrix.indptr[:-1].astype(np.int64)
+        counts = np.diff(matrix.indptr).astype(np.int64)
+        self.row_start = from_array(starts, f"{name}.rowstart")
+        self.row_count = from_array(counts, f"{name}.rowcount")
+        # Indices/data are indexed through row_start: replicate them
+        # (their access pattern from a row stripe is sporadic-but-fixed,
+        # i.e. Adjacency, like the vector).
+        self.indices = from_array(
+            matrix.indices.astype(np.int64), f"{name}.indices"
+        )
+        self.data = from_array(
+            matrix.data.astype(np.float32), f"{name}.data"
+        )
+
+
+def make_spmv_kernel() -> Kernel:
+    """y_stripe = A_stripe @ x.
+
+    Containers: BlockStriped(row_start), BlockStriped(row_count),
+    Adjacency(indices), Adjacency(data), Adjacency(x),
+    StructuredInjective(y); grid (rows,).
+    """
+
+    def body(ctx) -> None:
+        starts_v, counts_v, idx_v, data_v, x_v, y_v = ctx.views
+        starts, counts = starts_v.array, counts_v.array
+        idx, data, x = idx_v.array, data_v.array, x_v.array
+        out = np.zeros(starts.shape[0], dtype=np.float32)
+        for i in range(starts.shape[0]):
+            s, c = starts[i], counts[i]
+            if c:
+                out[i] = data[s : s + c] @ x[idx[s : s + c]]
+        y_v.write(out)
+        y_v.commit()
+
+    def cost(ctx: CostContext) -> float:
+        # Memory bound: nnz * (value + index + gathered x element).
+        counts = ctx.containers[1].datum
+        frac = ctx.work_rect[0].size / counts.shape[0]
+        nnz = getattr(counts, "_nnz_hint", counts.size * 4)
+        nbytes = frac * nnz * (4 + 8 + 4)
+        return nbytes / (ctx.spec.mem_bandwidth * ctx.calib.stream_efficiency)
+
+    return Kernel("spmv", func=body, cost=cost)
+
+
+def spmv_containers(csr: CsrDatums, x: Datum, y: Datum):
+    return (
+        BlockStriped(csr.row_start),
+        BlockStriped(csr.row_count),
+        Adjacency(csr.indices),
+        Adjacency(csr.data),
+        Adjacency(x),
+        StructuredInjective(y),
+    )
+
+
+def spmv_grid(csr: CsrDatums) -> Grid:
+    return Grid((csr.rows,), block0=1)

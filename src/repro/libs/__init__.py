@@ -1,0 +1,23 @@
+"""Simulated vendor libraries: CUBLAS, CUBLAS-XT, CUB, cuDNN."""
+
+from repro.libs.cublas import (
+    CublasContext,
+    make_saxpy_routine,
+    make_sgemm_routine,
+    saxpy_containers,
+    sgemm_containers,
+)
+from repro.libs.cub import make_cub_histogram_routine
+from repro.libs.cublasxt import XtGemm, make_xt_node, xt_gemm_time
+
+__all__ = [
+    "CublasContext",
+    "make_sgemm_routine",
+    "make_saxpy_routine",
+    "sgemm_containers",
+    "saxpy_containers",
+    "make_cub_histogram_routine",
+    "XtGemm",
+    "make_xt_node",
+    "xt_gemm_time",
+]

@@ -1,0 +1,39 @@
+"""Simulated CUB histogram (the §5.3 comparator).
+
+CUB ships architecture- and algorithm-specific tuned histogram kernels;
+the paper runs it single-GPU and, via the §4.6 unmodified-routine
+mechanism, multi-GPU. Its calibrated rates honour §5.3's orderings: MAPS
+beats CUB on the GTX 780; CUB wins on the Titan Black and more so on the
+GTX 980 ("architecture and algorithm-specific optimizations, which, by
+design, cannot be incorporated in the generic MAPS-Multi framework").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import CostContext, Kernel
+from repro.core.unmodified import RoutineContext, make_routine
+from repro.patterns import Window2D
+
+
+def make_cub_histogram_routine() -> Kernel:
+    """``cub::DeviceHistogram::HistogramEven`` equivalent.
+
+    Containers: ``Window2D(image, 0, NO_CHECKS), ReductiveStatic(hist)`` —
+    the same pattern declaration as the MAPS kernel; only the device code
+    (and its calibrated rate) differs.
+    """
+
+    def body(rc: RoutineContext) -> None:
+        image, hist = rc.parameters
+        hist += np.bincount(
+            image.reshape(-1), minlength=hist.size
+        ).astype(hist.dtype)
+
+    def cost(ctx: CostContext) -> float:
+        win = next(c for c in ctx.containers if isinstance(c, Window2D))
+        pixels = win.required(ctx.grid.shape, ctx.work_rect).virtual.size
+        return pixels / ctx.calib.cub_hist_rate
+
+    return make_routine("cubHistogram", body, cost=cost)

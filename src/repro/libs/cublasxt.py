@@ -1,0 +1,143 @@
+"""Simulated CUBLAS-XT: NVIDIA's host-API multi-GPU GEMM (§5.4 baseline).
+
+CUBLAS-XT accepts *host* buffers only. Every call tiles the matrices,
+copies A/B tiles host→device through pageable memory, runs the tile GEMMs,
+and copies C tiles back — so chained multiplications pay full PCI-Express
+round trips per call. The paper (Fig. 9, Table 4) measures exactly this
+defect: XT is 3–5x slower than device-resident CUBLAS on one GPU, and its
+multi-GPU scaling saturates on host-link bandwidth.
+
+This baseline bypasses the MAPS scheduler entirely (it *is* the thing
+MAPS-Multi is compared against) and queues commands straight onto a
+:class:`~repro.sim.node.SimNode`.
+
+Calibration: with tile copies overlapping tile GEMMs (XT's streams), the
+call is transfer-bound and ``XT time ~= 8 N^3 / tile / bandwidth`` for the
+default 1024 tile dimension; Table 4's XT column (1393.26 / 1830.82 /
+1017.64 ms at N=8192) back-derives pageable-copy bandwidths of 3.08 /
+2.35 / 4.22 GB/s for the three testbeds. Host chipsets differ per node,
+so per-node pageable bandwidth is a property of the testbed, not the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.hardware.calibration import (
+    DEFAULT_INTERCONNECT,
+    InterconnectCalibration,
+)
+from repro.hardware.specs import GPUSpec
+from repro.hardware.topology import HOST
+from repro.libs.cublas import gemm_size_efficiency
+from repro.sim.node import SimNode
+
+#: CUBLAS-XT default block dimension.
+DEFAULT_TILE = 1024
+
+#: Pageable host-copy bandwidth per testbed (B/s), back-derived from
+#: Table 4 as documented in the module docstring.
+XT_PAGEABLE_BW = {
+    "GTX 780": 3.08e9,
+    "Titan Black": 2.35e9,
+    "GTX 980": 4.22e9,
+}
+
+
+def xt_interconnect(spec: GPUSpec) -> InterconnectCalibration:
+    """Interconnect calibration with the testbed's pageable bandwidth."""
+    return replace(
+        DEFAULT_INTERCONNECT, host_pageable_bw=XT_PAGEABLE_BW[spec.name]
+    )
+
+
+def make_xt_node(
+    spec: GPUSpec, num_gpus: int, functional: bool = False
+) -> SimNode:
+    """A node configured with the testbed's pageable-copy bandwidth."""
+    return SimNode(
+        spec, num_gpus, functional=functional, interconnect=xt_interconnect(spec)
+    )
+
+
+@dataclass
+class XtGemm:
+    """One cublasXt handle bound to a node's GPUs."""
+
+    node: SimNode
+    tile: int = DEFAULT_TILE
+
+    def __post_init__(self) -> None:
+        g = self.node.num_gpus
+        self._compute = [
+            self.node.new_stream(d, "compute", f"xt.gpu{d}.compute")
+            for d in range(g)
+        ]
+        self._h2d = [
+            self.node.new_stream(d, "copy-in", f"xt.gpu{d}.h2d")
+            for d in range(g)
+        ]
+        self._d2h = [
+            self.node.new_stream(d, "copy-out", f"xt.gpu{d}.d2h")
+            for d in range(g)
+        ]
+
+    def gemm(self, n: int) -> float:
+        """Queue one ``n x n x n`` SGEMM from/to host buffers; returns the
+        simulated elapsed time after draining the queues.
+
+        C tiles are distributed round-robin over the GPUs; per C tile,
+        every k-step copies one A tile and one B tile host→device through
+        pageable staging (XT keeps no cross-call residency), then the tile
+        result returns to the host.
+        """
+        node = self.node
+        t0 = node.time
+        b = self.tile
+        ntiles = -(-n // b)
+        g = node.num_gpus
+        spec = node.spec
+        calib = node.devices[0].calib
+        tile_flops = 2.0 * b * b * b
+        tile_time = tile_flops / (
+            calib.sgemm_flops * gemm_size_efficiency(b, b, b)
+        )
+        tile_bytes = b * b * 4
+        c_index = 0
+        for i in range(ntiles):
+            for j in range(ntiles):
+                dev = c_index % g
+                c_index += 1
+                events = []
+                for k in range(ntiles):
+                    node.memcpy(
+                        self._h2d[dev], HOST, dev, tile_bytes,
+                        pageable=True, label=f"xt:A[{i},{k}]->gpu{dev}",
+                    )
+                    node.memcpy(
+                        self._h2d[dev], HOST, dev, tile_bytes,
+                        pageable=True, label=f"xt:B[{k},{j}]->gpu{dev}",
+                    )
+                    ev = node.record_event(self._h2d[dev])
+                    node.wait_event(self._compute[dev], ev)
+                    node.launch_kernel(
+                        self._compute[dev], tile_time,
+                        label=f"xt:gemm[{i},{j},{k}]@gpu{dev}",
+                    )
+                done = node.record_event(self._compute[dev])
+                node.wait_event(self._d2h[dev], done)
+                node.memcpy(
+                    self._d2h[dev], dev, HOST, tile_bytes,
+                    pageable=True, label=f"xt:C[{i},{j}]->host",
+                )
+        node.run()
+        return node.time - t0
+
+
+def xt_gemm_time(spec: GPUSpec, n: int, num_gpus: int = 1,
+                 tile: int = DEFAULT_TILE) -> float:
+    """Convenience: simulated time of one XT GEMM call on a fresh node."""
+    node = make_xt_node(spec, num_gpus, functional=False)
+    return XtGemm(node, tile).gemm(n)

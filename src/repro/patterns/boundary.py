@@ -1,0 +1,31 @@
+"""Boundary conditions for Window (ND) input patterns.
+
+The Game of Life example in the paper uses ``Window2D<T,1,WRAP,...>`` —
+the second template parameter is the radius and the third the boundary
+mode. ``NO_CHECKS`` is used when the kernel guarantees it never reads out
+of bounds (e.g. the histogram's 1x1 window, Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Boundary(enum.Enum):
+    """Out-of-bounds read behaviour of a Window pattern."""
+
+    #: Periodic: reads wrap around to the opposite edge (torus).
+    WRAP = "wrap"
+    #: Reads clamp to the nearest edge element.
+    CLAMP = "clamp"
+    #: Out-of-bounds reads return zero.
+    ZERO = "zero"
+    #: No boundary handling; out-of-bounds reads are a programmer error.
+    NO_CHECKS = "no_checks"
+
+
+#: Module-level aliases matching the paper's macro-style constants.
+WRAP = Boundary.WRAP
+CLAMP = Boundary.CLAMP
+ZERO = Boundary.ZERO
+NO_CHECKS = Boundary.NO_CHECKS

@@ -1,0 +1,28 @@
+"""Discrete-event multi-GPU node simulator (the paper's hardware substrate)."""
+
+from repro.sim.commands import Event, EventRecord, EventWait, HostOp, KernelLaunch, Memcpy
+from repro.sim.costmodel import KernelCost
+from repro.sim.device import Device
+from repro.sim.engine import Engine
+from repro.sim.memory import DeviceBuffer, DeviceMemory
+from repro.sim.node import SimNode
+from repro.sim.stream import Stream
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "SimNode",
+    "Device",
+    "Engine",
+    "Stream",
+    "Event",
+    "KernelLaunch",
+    "Memcpy",
+    "EventRecord",
+    "EventWait",
+    "HostOp",
+    "KernelCost",
+    "DeviceBuffer",
+    "DeviceMemory",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,195 @@
+"""The discrete-event engine.
+
+Executes commands from a set of in-order streams, respecting:
+
+* stream order (a command waits for its stream predecessor),
+* event dependencies (``EventWait`` blocks until the event is recorded),
+* engine occupancy (one kernel per compute engine; one transfer per copy
+  engine per direction),
+* link occupancy (transfers sharing an interconnect link serialize).
+
+Dispatch is greedy earliest-ready-first, which matches FIFO hardware
+arbitration to first order. Functional payloads run at dispatch, which is a
+valid topological order of the dependency graph — so a *missing*
+synchronization in the framework shows up as wrong numerical results, just
+like a real data race.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.hardware.topology import HOST, NodeTopology, PathSegment
+from repro.sim.commands import (
+    Command,
+    EventRecord,
+    EventWait,
+    HostOp,
+    KernelLaunch,
+    Memcpy,
+)
+from repro.sim.device import Device, EngineState
+from repro.sim.stream import Stream
+from repro.sim.trace import Trace, TraceRecord
+
+
+class Engine:
+    """Discrete-event executor over a node's devices, links and streams."""
+
+    def __init__(
+        self,
+        devices: list[Device],
+        topology: NodeTopology,
+        trace: Trace,
+    ):
+        self.devices = devices
+        self.topology = topology
+        self.trace = trace
+        self.host_engine = EngineState("host.compute")
+        self._channel_busy: dict[tuple[int, int], float] = {}
+        self.now = 0.0
+        self.commands_executed = 0
+
+    # -- resource helpers ----------------------------------------------------
+    def _channel_until(self, seg: PathSegment) -> float:
+        return self._channel_busy.get(seg.channel, 0.0)
+
+    def _occupy_path(
+        self, path: Iterable[PathSegment], start: float, nbytes: int
+    ) -> None:
+        """Pipelined (store-and-forward-free) occupancy: each link channel
+        is busy for the time *it* needs to stream the bytes, so a transfer
+        bottlenecked elsewhere doesn't monopolize fast shared links."""
+        lat = self.topology.calib.transfer_latency
+        for seg in path:
+            self._channel_busy[seg.channel] = (
+                start + lat + nbytes / seg.link.bandwidth
+            )
+
+    def _memcpy_resources(
+        self, cmd: Memcpy
+    ) -> tuple[list[EngineState], list[PathSegment]]:
+        engines: list[EngineState] = []
+        if cmd.src != HOST:
+            engines.append(self.devices[cmd.src].copy_out)
+        if cmd.dst != HOST:
+            engines.append(self.devices[cmd.dst].copy_in)
+        path = self.topology.path(cmd.src, cmd.dst, pageable=cmd.pageable)
+        return engines, path
+
+    # -- main loop -------------------------------------------------------------
+    def run(self, streams: list[Stream]) -> float:
+        """Execute all queued commands; returns the final simulated time."""
+        while True:
+            best: tuple[float, int, Stream] | None = None
+            blocked = 0
+            for s in streams:
+                if not s.commands:
+                    continue
+                head = s.commands[0]
+                if isinstance(head, EventWait):
+                    if head.event is None or not head.event.recorded:
+                        blocked += 1
+                        continue
+                    ready = max(
+                        s.cursor, head.earliest_start, head.event.recorded_at
+                    )
+                else:
+                    ready = max(s.cursor, head.earliest_start)
+                key = (ready, s.id, s)
+                if best is None or key[:2] < best[:2]:
+                    best = key
+            if best is None:
+                if blocked:
+                    pend = [s for s in streams if s.commands]
+                    raise SimulationError(
+                        f"deadlock: {blocked} streams blocked on unrecorded "
+                        f"events; pending streams: {pend}"
+                    )
+                break
+            ready, _, stream = best
+            self._dispatch(stream, ready)
+        self.now = max([self.now] + [s.cursor for s in streams])
+        return self.now
+
+    # -- dispatch ---------------------------------------------------------------
+    def _dispatch(self, stream: Stream, ready: float) -> None:
+        cmd = stream.commands.popleft()
+        self.commands_executed += 1
+
+        if isinstance(cmd, EventWait):
+            # Zero-duration; just moves the stream cursor forward.
+            stream.cursor = ready
+            return
+
+        if isinstance(cmd, EventRecord):
+            if cmd.event is None:
+                raise SimulationError("EventRecord without an event")
+            cmd.event.recorded_at = ready
+            stream.cursor = ready
+            return
+
+        if isinstance(cmd, KernelLaunch):
+            dev = self.devices[stream.device]
+            start = max(ready, dev.compute.busy_until)
+            end = start + cmd.duration
+            dev.compute.occupy(start, end)
+            self._finish(stream, cmd, "kernel", stream.device, start, end)
+            return
+
+        if isinstance(cmd, Memcpy):
+            engines, path = self._memcpy_resources(cmd)
+            start = max(
+                [ready]
+                + [e.busy_until for e in engines]
+                + [self._channel_until(seg) for seg in path]
+            )
+            duration = (
+                self.topology.transfer_time(cmd.nbytes, path)
+                + cmd.extra_latency
+            )
+            end = start + duration
+            for e in engines:
+                e.occupy(start, end)
+            self._occupy_path(path, start, cmd.nbytes)
+            self._finish(
+                stream, cmd, "memcpy", cmd.dst, start, end,
+                nbytes=cmd.nbytes, src=cmd.src,
+            )
+            return
+
+        if isinstance(cmd, HostOp):
+            start = max(ready, self.host_engine.busy_until)
+            end = start + cmd.duration
+            self.host_engine.occupy(start, end)
+            self._finish(stream, cmd, "host", HOST, start, end)
+            return
+
+        raise SimulationError(f"unknown command type {type(cmd).__name__}")
+
+    def _finish(
+        self,
+        stream: Stream,
+        cmd: Command,
+        kind: str,
+        device: int,
+        start: float,
+        end: float,
+        nbytes: int = 0,
+        src: int | None = None,
+    ) -> None:
+        stream.cursor = end
+        if cmd.payload is not None:
+            cmd.payload()
+        self.trace.add(
+            TraceRecord(
+                kind=kind,
+                label=cmd.label,
+                device=device,
+                start=start,
+                end=end,
+                nbytes=nbytes,
+                src=src,
+            )
+        )

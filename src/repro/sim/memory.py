@@ -1,0 +1,102 @@
+"""Device global-memory accounting and buffers.
+
+The Memory Analyzer's whole point (§4.2) is to allocate each datum's
+per-device segment *once*, *contiguously*, and *exactly as large as
+needed*. The allocator therefore tracks capacity, live bytes and the
+number of allocation calls, so tests can assert the analyzer's
+one-allocation-per-datum-per-device property and the bounding-box sizes.
+
+Buffers live in *virtual datum coordinates*: a buffer's ``origin`` is the
+N-d index of its element ``[0, ..., 0]`` and may be negative when the
+allocation includes wrap-around halo space (see
+:func:`repro.utils.rect.split_modular`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError, DeviceError
+from repro.utils.rect import Rect
+
+
+@dataclass(eq=False)
+class DeviceBuffer:
+    """A contiguous allocation on one device.
+
+    Attributes:
+        device: Owning device index.
+        rect: Covered region in virtual datum coordinates (the analyzer's
+            bounding box).
+        dtype: Element dtype.
+        data: Backing numpy array in functional mode, else ``None``.
+    """
+
+    device: int
+    rect: Rect
+    dtype: np.dtype
+    data: Optional[np.ndarray] = None
+    freed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.rect.size * self.dtype.itemsize
+
+    @property
+    def origin(self) -> tuple[int, ...]:
+        return self.rect.begin
+
+    def view(self, region: Rect) -> np.ndarray:
+        """Numpy view of ``region`` (virtual coords); functional mode only."""
+        if self.data is None:
+            raise DeviceError("buffer has no functional data (timing-only mode)")
+        if self.freed:
+            raise DeviceError("use after free")
+        if not self.rect.contains(region):
+            raise DeviceError(
+                f"region {region} outside buffer extent {self.rect}"
+            )
+        return self.data[region.slices(self.origin)]
+
+
+class DeviceMemory:
+    """Global-memory accounting for one device."""
+
+    def __init__(self, capacity: int, functional: bool):
+        self.capacity = int(capacity)
+        self.functional = functional
+        self.used = 0
+        self.peak = 0
+        self.alloc_calls = 0
+
+    def allocate(
+        self, device: int, rect: Rect, dtype: np.dtype | type
+    ) -> DeviceBuffer:
+        """Allocate a contiguous buffer covering ``rect``."""
+        dtype = np.dtype(dtype)
+        if rect.empty:
+            # Zero-size allocations are legal (a device with no share of a
+            # datum); they consume no memory.
+            return DeviceBuffer(device, rect, dtype, None)
+        nbytes = rect.size * dtype.itemsize
+        if self.used + nbytes > self.capacity:
+            raise AllocationError(
+                f"device {device} out of memory: requested {nbytes} B, "
+                f"{self.capacity - self.used} B free of {self.capacity} B"
+            )
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+        self.alloc_calls += 1
+        data = np.zeros(rect.shape, dtype=dtype) if self.functional else None
+        return DeviceBuffer(device, rect, dtype, data)
+
+    def free(self, buf: DeviceBuffer) -> None:
+        if buf.freed or buf.rect.empty:
+            buf.freed = True
+            return
+        self.used -= buf.nbytes
+        buf.freed = True
+        buf.data = None

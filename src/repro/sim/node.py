@@ -1,0 +1,189 @@
+"""The simulated multi-GPU node: devices + interconnect + engine façade.
+
+This is the substrate the MAPS-Multi scheduler drives. It corresponds to
+one of the paper's experimental nodes (Table 3): ``SimNode(GTX_780, 4)`` is
+a quad-GTX-780 box with two PCIe-3 switches, each connecting a GPU pair.
+
+Two execution modes (see DESIGN.md §4):
+
+* ``functional=True`` — kernel/copy payloads run real numpy computations on
+  backing arrays, so results can be checked; used by tests and examples.
+* ``functional=False`` — timing only, no arrays; used by the paper-scale
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hardware.calibration import (
+    DEFAULT_INTERCONNECT,
+    InterconnectCalibration,
+)
+from repro.hardware.specs import GPUSpec
+from repro.hardware.topology import HOST, NodeTopology
+from repro.sim.commands import (
+    Event,
+    EventRecord,
+    EventWait,
+    HostOp,
+    KernelLaunch,
+    Memcpy,
+    Payload,
+)
+from repro.sim.device import Device
+from repro.sim.engine import Engine
+from repro.sim.stream import Stream
+from repro.sim.trace import Trace
+
+
+class SimNode:
+    """A multi-GPU node with ``num_gpus`` identical devices."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        num_gpus: int = 4,
+        functional: bool = True,
+        interconnect: InterconnectCalibration | None = None,
+        gpus_per_switch: int = 2,
+    ):
+        if num_gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.spec = spec
+        self.functional = functional
+        self.interconnect = interconnect or DEFAULT_INTERCONNECT
+        self.topology = NodeTopology(
+            num_gpus, gpus_per_switch=gpus_per_switch, calib=self.interconnect
+        )
+        self.devices = [Device(i, spec, functional) for i in range(num_gpus)]
+        self.trace = Trace()
+        self.engine = Engine(self.devices, self.topology, self.trace)
+        self.streams: list[Stream] = []
+        #: Host thread clock — the scheduler advances it to model host-side
+        #: overhead; commands submitted after time t carry earliest_start=t.
+        self.host_time = 0.0
+
+    # -- properties ------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        return len(self.devices)
+
+    @property
+    def time(self) -> float:
+        """Current simulated time (max of engine time and host clock)."""
+        return max(self.engine.now, self.host_time)
+
+    # -- streams ---------------------------------------------------------------
+    def new_stream(
+        self, device: int = HOST, role: str = "compute", label: str = ""
+    ) -> Stream:
+        if device == HOST:
+            s = Stream(HOST, role, label)
+        else:
+            s = self.devices[device].new_stream(role, label)
+        self.streams.append(s)
+        return s
+
+    # -- host clock ----------------------------------------------------------
+    def host_advance(self, dt: float) -> None:
+        """Advance the host thread clock by ``dt`` seconds of CPU work."""
+        self.host_time += dt
+
+    # -- command submission ----------------------------------------------------
+    def launch_kernel(
+        self,
+        stream: Stream,
+        duration: float,
+        payload: Payload = None,
+        label: str = "kernel",
+    ) -> KernelLaunch:
+        if stream.device == HOST:
+            raise ValueError("kernels require a device stream")
+        total = duration + self.interconnect.kernel_launch_latency
+        cmd = KernelLaunch(
+            label=label,
+            payload=payload,
+            earliest_start=self.host_time,
+            duration=total,
+        )
+        stream.enqueue(cmd)
+        return cmd
+
+    def memcpy(
+        self,
+        stream: Stream,
+        src: int,
+        dst: int,
+        nbytes: int,
+        payload: Payload = None,
+        label: str = "memcpy",
+        pageable: bool = False,
+        extra_latency: float = 0.0,
+    ) -> Memcpy:
+        cmd = Memcpy(
+            label=label,
+            payload=payload,
+            earliest_start=self.host_time,
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            pageable=pageable,
+            extra_latency=extra_latency,
+        )
+        stream.enqueue(cmd)
+        return cmd
+
+    def record_event(self, stream: Stream, label: str = "") -> Event:
+        event = Event(label=label)
+        stream.enqueue(
+            EventRecord(label=label, earliest_start=self.host_time, event=event)
+        )
+        return event
+
+    def wait_event(self, stream: Stream, event: Event) -> None:
+        stream.enqueue(
+            EventWait(
+                label=f"wait:{event.label}",
+                earliest_start=self.host_time,
+                event=event,
+            )
+        )
+
+    def host_op(
+        self,
+        stream: Stream,
+        duration: float,
+        payload: Payload = None,
+        label: str = "host-op",
+    ) -> HostOp:
+        cmd = HostOp(
+            label=label,
+            payload=payload,
+            earliest_start=self.host_time,
+            duration=duration,
+        )
+        stream.enqueue(cmd)
+        return cmd
+
+    # -- execution ---------------------------------------------------------------
+    def run(self) -> float:
+        """Drain all queued commands; returns the simulated time afterwards."""
+        t = self.engine.run(self.streams)
+        self.host_time = max(self.host_time, t)
+        return self.time
+
+    def synchronize(self) -> float:
+        """Alias for :meth:`run` (cudaDeviceSynchronize analogue)."""
+        return self.run()
+
+    def memory_report(self) -> dict[int, dict[str, int]]:
+        """Per-device memory accounting (used, peak, allocation calls)."""
+        return {
+            d.index: {
+                "used": d.memory.used,
+                "peak": d.memory.peak,
+                "alloc_calls": d.memory.alloc_calls,
+            }
+            for d in self.devices
+        }

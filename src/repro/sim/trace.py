@@ -1,0 +1,82 @@
+"""Execution trace of the discrete-event simulation.
+
+Every dispatched command leaves a :class:`TraceRecord`; tests use the trace
+to assert *structural* properties the paper claims — e.g. that boundary
+exchanges overlap with kernel execution, that CUBLAS-XT's host staging
+serializes on the uplinks, or that the scheduler issues no redundant
+copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dispatched command."""
+
+    kind: str  # "kernel" | "memcpy" | "host" | "event"
+    label: str
+    device: int  # primary device (memcpy: destination), HOST for host ops
+    start: float
+    end: float
+    nbytes: int = 0
+    src: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only list of trace records with query helpers."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def add(self, rec: TraceRecord) -> None:
+        self.records.append(rec)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def kernels(self) -> list[TraceRecord]:
+        return self.of_kind("kernel")
+
+    def memcpys(self) -> list[TraceRecord]:
+        return self.of_kind("memcpy")
+
+    def matching(self, substring: str) -> list[TraceRecord]:
+        return [r for r in self.records if substring in r.label]
+
+    def total_bytes_copied(self) -> int:
+        return sum(r.nbytes for r in self.memcpys())
+
+    def makespan(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records)
+
+    @staticmethod
+    def overlaps(a: TraceRecord, b: TraceRecord) -> bool:
+        """Whether two records overlap in simulated time."""
+        return a.start < b.end and b.start < a.end
+
+    def any_overlap(
+        self, group_a: Iterable[TraceRecord], group_b: Iterable[TraceRecord]
+    ) -> bool:
+        group_b = list(group_b)
+        return any(
+            self.overlaps(a, b) for a in group_a for b in group_b
+        )
+
+    def clear(self) -> None:
+        self.records.clear()

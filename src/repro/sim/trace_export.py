@@ -1,0 +1,80 @@
+"""Export traces in Chrome trace-event JSON (``chrome://tracing`` /
+Perfetto) format.
+
+Every dispatched command becomes a complete ("X") event on a per-resource
+track: compute engines, copy engines per direction, and the host. Open
+the produced file in ``chrome://tracing`` or https://ui.perfetto.dev to
+inspect the scheduler's overlap interactively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.hardware.topology import HOST
+from repro.sim.timeline import _lane_of
+from repro.sim.trace import Trace
+
+#: Stable track ordering: compute first, then copies, then host.
+_ROLE_ORDER = {"compute": 0, "copy-in": 1, "copy-out": 2}
+
+
+def _tid(lane: str) -> int:
+    if lane == "host":
+        return 10_000
+    gpu, role = lane.split(".", 1)
+    return int(gpu[3:]) * 10 + _ROLE_ORDER.get(role, 9)
+
+
+def to_chrome_trace(trace: Trace, time_unit: float = 1e-6) -> dict:
+    """Convert a trace to a chrome://tracing JSON object.
+
+    Args:
+        trace: The trace to convert.
+        time_unit: Seconds per chrome-trace microsecond tick (the format
+            is microsecond based; simulated seconds are divided by this).
+    """
+    events = []
+    lanes = set()
+    for r in trace:
+        lane = _lane_of(r)
+        lanes.add(lane)
+        args = {"kind": r.kind}
+        if r.nbytes:
+            args["bytes"] = r.nbytes
+        if r.src is not None:
+            args["src"] = "host" if r.src == HOST else f"gpu{r.src}"
+        events.append(
+            {
+                "name": r.label or r.kind,
+                "cat": r.kind,
+                "ph": "X",
+                "ts": r.start / time_unit,
+                "dur": max(r.duration / time_unit, 0.001),
+                "pid": 1,
+                "tid": _tid(lane),
+                "args": args,
+            }
+        )
+    for lane in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": _tid(lane),
+                "args": {"name": lane},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, fp: IO[str] | str) -> None:
+    """Write the chrome-trace JSON to a path or file object."""
+    obj = to_chrome_trace(trace)
+    if isinstance(fp, str):
+        with open(fp, "w") as f:
+            json.dump(obj, f)
+    else:
+        json.dump(obj, fp)

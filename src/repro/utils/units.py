@@ -1,0 +1,30 @@
+"""Byte/time unit constants and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with binary units (``1536 -> '1.50 KiB'``)."""
+    n = float(n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an appropriate SI unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.1f} ns"

@@ -1,0 +1,89 @@
+"""Smoke tests of the experiment drivers at reduced scale (the full-scale
+shape assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ScalingResult,
+    deep_learning_throughput,
+    gemm_scaling,
+    gol_scaling,
+    gol_single_gpu_variants,
+    histogram_scaling,
+    nmf_throughput,
+    run_gemm_chain,
+    run_gol,
+    run_histogram,
+    table4_single_gpu,
+    xt_gemm_scaling,
+)
+from repro.hardware import GTX_780
+
+
+class TestScalingResult:
+    def test_speedups_computed(self):
+        r = ScalingResult("x", [1, 2, 4], [4.0, 2.0, 1.0])
+        assert r.speedups == [1.0, 2.0, 4.0]
+
+    def test_explicit_speedups_kept(self):
+        r = ScalingResult("x", [1], [1.0], speedups=[9.0])
+        assert r.speedups == [9.0]
+
+
+class TestDrivers:
+    def test_run_gol_positive_and_scaling(self):
+        # At 4K the kernel dominates and 4 GPUs win; at 1K the per-task
+        # overhead dominates and multi-GPU stops paying off (realistic
+        # strong-scaling breakdown).
+        t1 = run_gol(GTX_780, 1, size=4096, iters=3)
+        t4 = run_gol(GTX_780, 4, size=4096, iters=3)
+        assert 0 < t4 < t1
+        tiny1 = run_gol(GTX_780, 1, size=512, iters=2)
+        tiny4 = run_gol(GTX_780, 4, size=512, iters=2)
+        assert tiny4 > 0.5 * tiny1  # little or no benefit at tiny sizes
+
+    def test_gol_variants_ordering_small(self):
+        v = gol_single_gpu_variants(GTX_780, size=1024, iters=2)
+        assert v["maps_ilp"] < v["naive"] < v["maps"]
+
+    def test_histogram_impls(self):
+        for impl in ("maps", "naive", "cub"):
+            t = run_histogram(GTX_780, 2, impl, size=1024, iters=2)
+            assert 0 < t < 1.0
+        with pytest.raises(ValueError):
+            run_histogram(GTX_780, 1, "fancy", size=256)
+
+    def test_gemm_chain_steady_state(self):
+        t = run_gemm_chain(GTX_780, 2, size=1024, chain=3)
+        assert 0 < t < 1.0
+
+    def test_scaling_wrappers(self):
+        for fn in (gol_scaling, histogram_scaling, gemm_scaling):
+            if fn is histogram_scaling:
+                r = fn(GTX_780, "maps", (1, 2))
+            else:
+                r = fn(GTX_780, (1, 2))
+            assert len(r.times) == 2
+            assert r.speedups[0] == 1.0
+
+    def test_xt_scaling(self):
+        r = xt_gemm_scaling(GTX_780, (1, 2), size=2048, calls=1)
+        assert len(r.times) == 2
+        assert r.times[0] > 0
+
+    def test_table4(self):
+        t = table4_single_gpu(GTX_780, size=2048)
+        assert set(t) == {"cublas", "cublas_over_maps", "cublas_xt"}
+        assert t["cublas_xt"] > t["cublas"]
+
+    def test_deep_learning_driver_small(self):
+        r = deep_learning_throughput(GTX_780, (1, 2), batch=256)
+        assert set(r) == {
+            "maps_data", "torch_data", "maps_hybrid", "torch_hybrid", "caffe"
+        }
+        assert all(tp > 0 for tps in r.values() for tp in tps)
+
+    def test_nmf_driver_small(self):
+        r = nmf_throughput(GTX_780, (1, 2), n=2048, m=512, k=32)
+        assert set(r) == {"maps", "nmf_mgpu"}
+        assert all(tp > 0 for tps in r.values() for tp in tps)

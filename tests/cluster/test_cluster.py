@@ -1,0 +1,144 @@
+"""Tests for the §8 cluster extension: network model + distributed stencil."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterNetwork, ClusterStencil, NetworkCalibration
+from repro.errors import SchedulingError
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import gol_reference_step, make_gol_kernel
+
+
+def ref_step_rowwrap(x):
+    """Rows wrap (across the node ring); columns are ZERO."""
+    p = np.pad(x, ((1, 1), (1, 1)))
+    p[0, 1:-1] = x[-1]
+    p[-1, 1:-1] = x[0]
+    n = sum(
+        p[1 + dy : 1 + dy + x.shape[0], 1 + dx : 1 + dx + x.shape[1]]
+        for dy in (-1, 0, 1)
+        for dx in (-1, 0, 1)
+        if (dy, dx) != (0, 0)
+    )
+    return ((n == 3) | ((x == 1) & (n == 2))).astype(x.dtype)
+
+
+class TestClusterNetwork:
+    def test_latency_plus_serialization(self):
+        net = ClusterNetwork(2, NetworkCalibration(bandwidth=1e9, latency=1e-5))
+        t = net.transfer(0, 1, 1_000_000, ready=0.0)
+        assert t == pytest.approx(1e-5 + 1e-3)
+
+    def test_same_node_is_free(self):
+        net = ClusterNetwork(2)
+        assert net.transfer(0, 0, 1 << 20, ready=5.0) == 5.0
+
+    def test_egress_serializes(self):
+        net = ClusterNetwork(3, NetworkCalibration(bandwidth=1e9, latency=0.0))
+        t1 = net.transfer(0, 1, 1_000_000, ready=0.0)
+        t2 = net.transfer(0, 2, 1_000_000, ready=0.0)
+        assert t2 == pytest.approx(t1 + 1e-3)
+
+    def test_disjoint_pairs_parallel(self):
+        net = ClusterNetwork(4, NetworkCalibration(bandwidth=1e9, latency=0.0))
+        t1 = net.transfer(0, 1, 1_000_000, ready=0.0)
+        t2 = net.transfer(2, 3, 1_000_000, ready=0.0)
+        assert t1 == pytest.approx(t2)
+
+    def test_bad_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterNetwork(0)
+        with pytest.raises(ValueError):
+            ClusterNetwork(2).transfer(0, 5, 1, 0.0)
+
+    def test_latency_dominates_small_messages(self):
+        """§8's premise: inter-node latency >> intra-node (8 us)."""
+        assert NetworkCalibration().latency > 2 * 8e-6
+
+
+class TestClusterStencil:
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4])
+    @pytest.mark.parametrize("gpus", [1, 2])
+    def test_zero_boundary_matches_reference(self, num_nodes, gpus):
+        rng = np.random.default_rng(1)
+        board = (rng.random((32, 16)) < 0.4).astype(np.int32)
+        cs = ClusterStencil(
+            GTX_780, num_nodes, gpus, board, make_gol_kernel("maps")
+        )
+        cs.run(4)
+        ref = board.copy()
+        for _ in range(4):
+            ref = gol_reference_step(ref, wrap=False)
+        assert (cs.board() == ref).all()
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4])
+    def test_row_wrap_matches_reference(self, num_nodes):
+        rng = np.random.default_rng(2)
+        board = (rng.random((32, 16)) < 0.4).astype(np.int32)
+        cs = ClusterStencil(
+            GTX_780, num_nodes, 2, board, make_gol_kernel("maps"), wrap=True
+        )
+        cs.run(5)
+        ref = board.copy()
+        for _ in range(5):
+            ref = ref_step_rowwrap(ref)
+        assert (cs.board() == ref).all()
+
+    def test_results_identical_across_cluster_sizes(self):
+        rng = np.random.default_rng(3)
+        board = (rng.random((48, 12)) < 0.35).astype(np.int32)
+        outs = []
+        for nodes in (1, 2, 4):
+            cs = ClusterStencil(
+                GTX_780, nodes, 2, board, make_gol_kernel("maps")
+            )
+            cs.run(6)
+            outs.append(cs.board())
+        assert (outs[0] == outs[1]).all()
+        assert (outs[0] == outs[2]).all()
+
+    def test_rejects_indivisible_board(self):
+        with pytest.raises(SchedulingError):
+            ClusterStencil(
+                GTX_780, 3, 1, np.zeros((32, 8), np.int32),
+                make_gol_kernel("maps"),
+            )
+
+    def test_rejects_thin_slabs(self):
+        with pytest.raises(SchedulingError):
+            ClusterStencil(
+                GTX_780, 8, 1, np.zeros((8, 8), np.int32),
+                make_gol_kernel("maps"),
+            )
+
+    def test_timing_mode_needs_no_board(self):
+        cs = ClusterStencil(
+            GTX_780, 2, 2, (512, 256), make_gol_kernel("maps"),
+            functional=False,
+        )
+        t = cs.run(3)
+        assert t > 0
+        with pytest.raises(SchedulingError):
+            cs.board()
+
+    def test_functional_mode_needs_board(self):
+        with pytest.raises(SchedulingError):
+            ClusterStencil(
+                GTX_780, 2, 2, (512, 256), make_gol_kernel("maps"),
+                functional=True,
+            )
+
+    def test_network_latency_slows_cluster_ticks(self):
+        slow = NetworkCalibration(bandwidth=1e9, latency=1e-3)
+        fast = NetworkCalibration(bandwidth=10e9, latency=1e-6)
+        times = {}
+        for name, cal in (("slow", slow), ("fast", fast)):
+            cs = ClusterStencil(
+                GTX_780, 4, 2, (1024, 512), make_gol_kernel("maps"),
+                functional=False, network=cal,
+            )
+            cs.run(2)
+            t0 = cs.time
+            cs.run(4)
+            times[name] = (cs.time - t0) / 4
+        assert times["slow"] > times["fast"] + 0.9e-3

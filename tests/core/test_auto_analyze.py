@@ -1,0 +1,75 @@
+"""Tests for the auto-analysis mode (§8 future work: "the memory analysis
+phase may be automated")."""
+
+import numpy as np
+import pytest
+
+from repro.core import Kernel, Matrix, Scheduler
+from repro.errors import AnalysisError
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import (
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.sim import SimNode
+
+
+def gol_run(auto, analyze_first, iters=4, n=64):
+    node = SimNode(GTX_780, 4, functional=True)
+    sched = Scheduler(node, auto_analyze=auto)
+    rng = np.random.default_rng(8)
+    board = (rng.random((n, n)) < 0.4).astype(np.int32)
+    a = Matrix(n, n, np.int32, "A").bind(board.copy())
+    b = Matrix(n, n, np.int32, "B").bind(np.zeros_like(board))
+    kernel = make_gol_kernel()
+    if analyze_first:
+        sched.analyze_call(kernel, *gol_containers(a, b))
+        sched.analyze_call(kernel, *gol_containers(b, a))
+    for i in range(iters):
+        src, dst = (a, b) if i % 2 == 0 else (b, a)
+        sched.invoke(kernel, *gol_containers(src, dst))
+    out = a if iters % 2 == 0 else b
+    sched.gather(out)
+    ref = board
+    for _ in range(iters):
+        ref = gol_reference_step(ref)
+    return node, out.host, ref
+
+
+class TestAutoAnalyze:
+    def test_default_requires_analyze_call(self):
+        with pytest.raises(AnalysisError):
+            gol_run(auto=False, analyze_first=False)
+
+    def test_auto_mode_runs_unanalyzed_tasks(self):
+        _, out, ref = gol_run(auto=True, analyze_first=False)
+        assert (out == ref).all()
+
+    def test_auto_mode_grows_allocations(self):
+        """Without up-front analysis, the second (reversed) call grows B's
+        allocation — more allocation calls than the Fig. 3 discipline."""
+        node_auto, _, _ = gol_run(auto=True, analyze_first=False)
+        node_explicit, _, _ = gol_run(auto=False, analyze_first=True)
+        autos = sum(d.memory.alloc_calls for d in node_auto.devices)
+        explicit = sum(d.memory.alloc_calls for d in node_explicit.devices)
+        assert explicit == 8  # 2 datums x 4 devices, allocated once each
+        assert autos > explicit  # growth reallocations happened
+
+    def test_auto_mode_preserves_contents_across_growth(self):
+        """Reallocation must not lose resident data mid-computation."""
+        _, out, ref = gol_run(auto=True, analyze_first=False, iters=7)
+        assert (out == ref).all()
+
+    def test_explicit_and_auto_agree(self):
+        _, out_a, _ = gol_run(auto=True, analyze_first=False, iters=5)
+        _, out_e, ref = gol_run(auto=False, analyze_first=True, iters=5)
+        assert (out_a == out_e).all()
+        assert (out_e == ref).all()
+
+    def test_memory_not_leaked_by_growth(self):
+        node, _, _ = gol_run(auto=True, analyze_first=False)
+        for d in node.devices:
+            # Live bytes equal the final (grown) buffers only.
+            assert d.memory.used <= d.memory.peak
+            assert d.memory.used == 2 * (64 // 4 + 2) * 64 * 4

@@ -1,0 +1,98 @@
+"""Unit tests for Datum/Matrix/Vector binding and Grid edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Datum, Grid, Matrix, Vector, from_array
+from repro.errors import PatternMismatchError
+
+
+class TestDatum:
+    def test_basic_properties(self):
+        d = Datum((4, 8), np.float32, "d")
+        assert d.ndim == 2
+        assert d.size == 32
+        assert d.nbytes == 128
+        assert not d.bound
+
+    def test_bind_checks_shape(self):
+        d = Datum((4, 8), np.float32)
+        with pytest.raises(PatternMismatchError, match="shape"):
+            d.bind(np.zeros((8, 4), np.float32))
+
+    def test_bind_checks_dtype(self):
+        d = Datum((4,), np.float32)
+        with pytest.raises(PatternMismatchError, match="dtype"):
+            d.bind(np.zeros(4, np.float64))
+
+    def test_bind_checks_contiguity(self):
+        d = Datum((4, 4), np.float32)
+        base = np.zeros((4, 8), np.float32)
+        with pytest.raises(PatternMismatchError, match="contiguous"):
+            d.bind(base[:, ::2])
+
+    def test_bind_returns_self(self):
+        d = Datum((2,), np.float32)
+        assert d.bind(np.zeros(2, np.float32)) is d
+        assert d.bound
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Datum((0, 4))
+        with pytest.raises(ValueError):
+            Datum(())
+
+    def test_auto_names_unique(self):
+        assert Datum((1,)).name != Datum((1,)).name
+
+    def test_matrix_vector_sugar(self):
+        m = Matrix(3, 5)
+        assert (m.rows, m.cols) == (3, 5)
+        v = Vector(7)
+        assert v.length == 7
+
+    def test_from_array_binds(self):
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        d = from_array(a, "x")
+        assert d.bound and d.shape == (2, 3)
+        assert (d.host == a).all()
+
+
+class TestGridEdgeCases:
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            Grid(())
+        with pytest.raises(ValueError):
+            Grid((0,))
+        with pytest.raises(ValueError):
+            Grid((4,), block0=0)
+
+    def test_remainder_blocks_go_to_early_devices(self):
+        g = Grid((40, 1), block0=8)  # 5 blocks over 4 devices
+        parts = g.partition(4)
+        sizes = [p[0].size for p in parts]
+        assert sizes == [16, 8, 8, 8]
+
+    def test_single_block_goes_to_device_zero(self):
+        g = Grid((8, 8), block0=8)
+        parts = g.partition(4)
+        assert not parts[0].empty
+        assert all(p.empty for p in parts[1:])
+
+    @given(st.integers(1, 6), st.integers(1, 100), st.integers(1, 12))
+    @settings(max_examples=100)
+    def test_partition_invariants(self, g, rows, block0):
+        parts = Grid((rows,), block0=block0).partition(g)
+        # Coverage, contiguity, order.
+        assert parts[0][0].begin == 0
+        assert parts[-1][0].end == rows
+        for a, b in zip(parts, parts[1:]):
+            assert a[0].end == b[0].begin
+        # Early devices never get less work than later ones.
+        sizes = [p[0].size for p in parts]
+        padded = [s for s in sizes if s]
+        assert padded == sorted(padded, reverse=True) or (
+            max(padded) - min(padded) <= block0
+        )

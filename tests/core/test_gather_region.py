@@ -1,0 +1,119 @@
+"""Tests for the regional gather / regional host-dirty public API."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Kernel, Matrix, Scheduler, Vector
+from repro.errors import SchedulingError
+from repro.hardware import GTX_780, HOST
+from repro.patterns import (
+    NO_CHECKS,
+    BlockStriped,
+    InjectiveStriped,
+    ReductiveStatic,
+    StructuredInjective,
+    Window1D,
+)
+from repro.sim import SimNode
+from repro.utils.rect import Rect
+
+
+def fill_kernel(value):
+    def body(ctx):
+        (dst,) = ctx.views
+        dst.write(np.full(dst.array.shape, value, dst.array.dtype))
+
+    return Kernel("fill", func=body)
+
+
+@pytest.fixture
+def setup():
+    node = SimNode(GTX_780, 4, functional=True)
+    sched = Scheduler(node)
+    n = 64
+    v = Vector(n, np.float32, "v").bind(np.zeros(n, np.float32))
+    k = fill_kernel(7.0)
+    grid = Grid((n,), block0=1)
+    sched.analyze_call(k, InjectiveStriped(v), grid=grid)
+    sched.invoke(k, InjectiveStriped(v), grid=grid)
+    return node, sched, v
+
+
+class TestGatherRegion:
+    def test_region_lands_on_host(self, setup):
+        node, sched, v = setup
+        sched.gather_region(v, Rect((8, 24)))
+        sched.wait_all()
+        assert (v.host[8:24] == 7.0).all()
+        assert (v.host[:8] == 0.0).all()  # rest untouched
+
+    def test_region_moves_fewer_bytes_than_full_gather(self, setup):
+        node, sched, v = setup
+        sched.wait_all()
+        before = node.trace.total_bytes_copied()
+        sched.gather_region(v, Rect((0, 8)))
+        sched.wait_all()
+        assert node.trace.total_bytes_copied() - before == 8 * 4
+
+    def test_repeated_region_gather_is_free(self, setup):
+        node, sched, v = setup
+        sched.gather_region(v, Rect((0, 16)))
+        sched.wait_all()
+        before = node.trace.total_bytes_copied()
+        sched.gather_region(v, Rect((0, 16)))
+        sched.wait_all()
+        assert node.trace.total_bytes_copied() == before
+
+    def test_pending_aggregation_rejected(self):
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)
+        n = 16
+        src = Vector(n, np.float32, "s").bind(np.ones(n, np.float32))
+        acc = Vector(n, np.float32, "acc").bind(np.zeros(n, np.float32))
+
+        def produce(ctx):
+            inp, red = ctx.views
+            red.partial[...] += inp.center()
+
+        k = Kernel("p", func=produce)
+        grid = Grid((n,), block0=1)
+        args = (Window1D(src, 0, NO_CHECKS), ReductiveStatic(acc))
+        sched.analyze_call(k, *args, grid=grid)
+        sched.invoke(k, *args, grid=grid)
+        with pytest.raises(SchedulingError, match="whole"):
+            sched.gather_region(acc, Rect((0, 4)))
+
+
+class TestMarkHostRegionDirty:
+    def test_devices_refetch_dirty_region_only(self, setup):
+        node, sched, v = setup
+        sched.gather(v)
+        # Application overwrites rows 16-32 on the host.
+        v.host[16:32] = -1.0
+        sched.mark_host_region_dirty(v, Rect((16, 32)))
+
+        def double(ctx):
+            src, dst = ctx.views
+            dst.write(src.center() * 2.0)
+
+        out = Vector(64, np.float32, "out").bind(np.zeros(64, np.float32))
+        k = Kernel("double", func=double)
+        args = (Window1D(v, 0, NO_CHECKS), StructuredInjective(out))
+        sched.analyze_call(k, *args)
+        before = node.trace.total_bytes_copied()
+        sched.invoke(k, *args)
+        sched.gather(out)
+        # Only the dirty region (plus the gather of `out`) moved.
+        moved = node.trace.total_bytes_copied() - before
+        assert moved == 16 * 4 + 64 * 4
+        expected = np.full(64, 14.0, np.float32)
+        expected[16:32] = -2.0
+        assert (out.host == expected).all()
+
+    def test_clean_regions_stay_resident(self, setup):
+        node, sched, v = setup
+        sched.gather(v)
+        sched.mark_host_region_dirty(v, Rect((0, 4)))
+        insts = sched.monitor.instances(v, 1)
+        # Device 1's stripe (rows 16-32) survives untouched.
+        assert any(r.contains(Rect((16, 32))) for r in insts)

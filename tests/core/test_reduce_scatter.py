@@ -1,0 +1,178 @@
+"""Tests for the device-level reduce-scatter path (Algorithm 1 line 17:
+"copy segment from one device to another, aggregating as necessary")."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Kernel, Matrix, Scheduler, Vector
+from repro.hardware import GTX_780, HOST
+from repro.patterns import (
+    NO_CHECKS,
+    BlockStriped,
+    InjectiveStriped,
+    ReductiveStatic,
+    Window1D,
+    StructuredInjective,
+)
+from repro.sim import SimNode
+
+
+def make_partial_sum_kernel():
+    """Each device accumulates its input stripe element-wise into a
+    duplicated (n,)-shaped reductive output (a segmented all-reduce)."""
+
+    def body(ctx):
+        inp, out = ctx.views
+        seg = ctx.work_rect.slices()
+        out.partial[seg] += inp.array[seg] * 1.0
+        out.partial[...] += 0  # whole-duplicate semantics
+
+    return Kernel("partial", func=body)
+
+
+def run_allreduce_consumer(num_gpus=4, n=64):
+    """Producer: reductive sum output. Consumer: striped elementwise."""
+    node = SimNode(GTX_780, num_gpus, functional=True)
+    sched = Scheduler(node)
+    src = Vector(n, np.float32, "src").bind(
+        np.arange(n, dtype=np.float32)
+    )
+    acc = Vector(n, np.float32, "acc").bind(np.zeros(n, np.float32))
+    out = Vector(n, np.float32, "out").bind(np.zeros(n, np.float32))
+
+    def produce(ctx):
+        # inp.array is this device's stripe; accumulate it in place.
+        inp, red = ctx.views
+        red.partial[ctx.work_rect.slices()] += inp.array
+
+    def consume(ctx):
+        a, o = ctx.views
+        o.write(a.array * 2.0)
+
+    kp = Kernel("produce", func=produce)
+    kc = Kernel("consume", func=consume)
+    grid = Grid((n,), block0=1)
+    p_args = (BlockStriped(src), ReductiveStatic(acc))
+    c_args = (BlockStriped(acc), InjectiveStriped(out))
+    sched.analyze_call(kp, *p_args, grid=grid)
+    sched.analyze_call(kc, *c_args, grid=grid)
+    sched.invoke(kp, *p_args, grid=grid)
+    sched.invoke(kc, *c_args, grid=grid)
+    sched.gather(out)
+    return node, out
+
+
+class TestReduceScatterPath:
+    @pytest.mark.parametrize("num_gpus", [2, 3, 4])
+    def test_functional_correctness(self, num_gpus):
+        _, out = run_allreduce_consumer(num_gpus)
+        # Each element written once by its owner; partials sum correctly.
+        assert np.allclose(out.host, 2.0 * np.arange(64))
+
+    def test_no_host_round_trip(self):
+        """Segmented disjoint consumers reduce P2P, not via the host."""
+        node, _ = run_allreduce_consumer(4)
+        labels = [r.label for r in node.trace.memcpys()]
+        assert any("reduce-scatter:acc" in l for l in labels)
+        assert not any("gather-partial:acc" in l for l in labels)
+        # Reduce kernels ran on the consumers.
+        assert len([r for r in node.trace.kernels() if "reduce:acc" in r.label]) == 4
+
+    def test_single_gpu_skips_exchange(self):
+        node, out = run_allreduce_consumer(1)
+        assert np.allclose(out.host, 2.0 * np.arange(64))
+        assert not any(
+            "reduce-scatter" in r.label for r in node.trace.memcpys()
+        )
+
+    def test_overlapping_consumers_fall_back_to_host(self):
+        """Full-replication consumers (e.g. Block1D) can't reduce-scatter:
+        the host aggregation path runs instead."""
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)
+        n = 32
+        src = Vector(n, np.float32, "src").bind(np.ones(n, np.float32))
+        acc = Vector(n, np.float32, "acc").bind(np.zeros(n, np.float32))
+        out = Vector(n, np.float32, "out").bind(np.zeros(n, np.float32))
+
+        from repro.patterns import Block1D
+
+        def produce(ctx):
+            inp, red = ctx.views
+            red.partial[ctx.work_rect.slices()] += inp.array
+
+        def consume(ctx):
+            a, o = ctx.views
+            o.write(a.array[o.rect.slices()] + 1.0)
+
+        kp, kc = Kernel("p", func=produce), Kernel("c", func=consume)
+        grid = Grid((n,), block0=1)
+        sched.analyze_call(kp, BlockStriped(src), ReductiveStatic(acc), grid=grid)
+        sched.analyze_call(kc, Block1D(acc), InjectiveStriped(out), grid=grid)
+        sched.invoke(kp, BlockStriped(src), ReductiveStatic(acc), grid=grid)
+        sched.invoke(kc, Block1D(acc), InjectiveStriped(out), grid=grid)
+        sched.gather(out)
+        assert np.allclose(out.host, 2.0)
+        labels = [r.label for r in node.trace.memcpys()]
+        assert any("gather-partial:acc" in l for l in labels)
+        assert not any("reduce-scatter:acc" in l for l in labels)
+
+    def test_gather_uses_host_aggregation(self):
+        """Gather of a reductive datum always combines on the host."""
+        node = SimNode(GTX_780, 4, functional=True)
+        sched = Scheduler(node)
+        n = 32
+        src = Vector(n, np.float32, "src").bind(np.ones(n, np.float32))
+        acc = Vector(n, np.float32, "acc").bind(np.zeros(n, np.float32))
+
+        def produce(ctx):
+            inp, red = ctx.views
+            red.partial[...] += inp.array
+
+        kp = Kernel("p", func=produce)
+        grid = Grid((n,), block0=1)
+        from repro.patterns import Block1D
+
+        args = (Block1D(src), ReductiveStatic(acc))
+        sched.analyze_call(kp, *args, grid=grid)
+        sched.invoke(kp, *args, grid=grid)
+        sched.gather(acc)
+        assert np.allclose(acc.host, 4.0)  # 4 devices' full partials summed
+        assert any(
+            "aggregate:acc" in r.label for r in node.trace.of_kind("host")
+        )
+
+    def test_max_reduction_falls_back_to_host(self):
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)
+        n = 16
+        src = Vector(n, np.float32, "src").bind(
+            np.arange(n, dtype=np.float32)
+        )
+        acc = Vector(n, np.float32, "acc").bind(np.zeros(n, np.float32))
+        out = Vector(n, np.float32, "out").bind(np.zeros(n, np.float32))
+
+        def produce(ctx):
+            inp, red = ctx.views
+            seg = ctx.work_rect.slices()
+            np.maximum(red.partial[seg], inp.array, out=red.partial[seg])
+
+        def consume(ctx):
+            a, o = ctx.views
+            o.write(a.array)
+
+        kp, kc = Kernel("p", func=produce), Kernel("c", func=consume)
+        grid = Grid((n,), block0=1)
+        sched.analyze_call(
+            kp, BlockStriped(src), ReductiveStatic(acc, op="max"), grid=grid
+        )
+        sched.analyze_call(kc, BlockStriped(acc), InjectiveStriped(out), grid=grid)
+        sched.invoke(
+            kp, BlockStriped(src), ReductiveStatic(acc, op="max"), grid=grid
+        )
+        sched.invoke(kc, BlockStriped(acc), InjectiveStriped(out), grid=grid)
+        sched.gather(out)
+        assert np.allclose(out.host, np.arange(n))
+        assert not any(
+            "reduce-scatter" in r.label for r in node.trace.memcpys()
+        )

@@ -1,0 +1,137 @@
+"""Unit tests for the Task construct and unmodified-routine wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Kernel, Matrix, Scheduler, Task, Vector
+from repro.core.task import CostContext
+from repro.core.unmodified import RoutineContext, make_routine
+from repro.errors import PatternMismatchError, SchedulingError
+from repro.hardware import GTX_780, calibration_for
+from repro.patterns import (
+    NO_CHECKS,
+    ReductiveStatic,
+    StructuredInjective,
+    Window1D,
+    Window2D,
+)
+from repro.sim import SimNode
+from repro.utils.rect import Rect
+
+
+class TestTaskConstruction:
+    def test_implied_grid_from_structured_output(self):
+        out = Matrix(32, 16, np.float32, "o")
+        t = Task(Kernel("k"), [StructuredInjective(out)])
+        assert t.grid.shape == (32, 16)
+
+    def test_implied_grid_respects_ilp(self):
+        out = Matrix(32, 16, np.float32, "o")
+        t = Task(Kernel("k"), [StructuredInjective(out, ilp=(2, 4))])
+        assert t.grid.shape == (16, 4)
+
+    def test_explicit_grid_wins(self):
+        out = Matrix(32, 16, np.float32, "o")
+        t = Task(Kernel("k"), [StructuredInjective(out)], grid=Grid((32, 16)))
+        assert t.grid.shape == (32, 16)
+
+    def test_inputs_outputs_split(self):
+        a = Matrix(8, 8, np.float32, "a")
+        b = Matrix(8, 8, np.float32, "b")
+        t = Task(
+            Kernel("k"),
+            [Window2D(a, 0, NO_CHECKS), StructuredInjective(b)],
+        )
+        assert len(t.inputs) == 1 and len(t.outputs) == 1
+
+    def test_container_validation_runs(self):
+        a = Matrix(8, 8, np.float32, "a")
+        b = Vector(9, np.float32, "b")
+        with pytest.raises(PatternMismatchError):
+            # 1-D window over a 2-D work space.
+            Task(
+                Kernel("k"),
+                [Window1D(b, 1), StructuredInjective(a)],
+            )
+
+    def test_task_names_unique(self):
+        out = Vector(4, np.float32, "o")
+        t1 = Task(Kernel("k"), [StructuredInjective(out)])
+        t2 = Task(Kernel("k"), [StructuredInjective(out)])
+        assert t1.name != t2.name
+
+    def test_constants_copied(self):
+        out = Vector(4, np.float32, "o")
+        c = {"alpha": 1.0}
+        t = Task(Kernel("k"), [StructuredInjective(out)], constants=c)
+        c["alpha"] = 2.0
+        assert t.constants["alpha"] == 1.0
+
+
+class TestKernelCostDefaults:
+    def test_default_cost_is_memory_bound_estimate(self):
+        out = Vector(1024, np.float32, "o")
+        k = Kernel("k")  # no cost model
+        grid = Grid((1024,))
+        ctx = CostContext(
+            grid.full_rect(),
+            grid,
+            (StructuredInjective(out),),
+            {},
+            GTX_780,
+            calibration_for(GTX_780),
+        )
+        t = k.duration(ctx)
+        assert t == pytest.approx(
+            8.0 * 1024 / (GTX_780.mem_bandwidth * 0.8)
+        )
+
+    def test_cost_context_work_items(self):
+        grid = Grid((16, 8))
+        ctx = CostContext(
+            Rect((0, 4), (0, 8)), grid, (), {}, GTX_780,
+            calibration_for(GTX_780),
+        )
+        assert ctx.work_items == 32
+
+
+class TestRoutineContext:
+    def test_segment_dims_and_constant(self):
+        rc = RoutineContext(
+            device=1,
+            num_devices=2,
+            parameters=(None,),
+            container_segments=(Rect((0, 4), (2, 8)),),
+            constants={"alpha": 3.5},
+            context=None,
+        )
+        assert rc.segment_dims(0) == (4, 6)
+        assert rc.constant("alpha") == 3.5
+        assert rc.constant("beta", 9) == 9
+
+    def test_make_routine_flags(self):
+        r = make_routine("r", lambda rc: None, context="ctx")
+        assert r.raw is True
+        assert r.context == "ctx"
+
+    def test_routine_sees_reductive_duplicate(self):
+        """Raw routines get the whole duplicated buffer for reductive
+        outputs (full extent segment)."""
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)
+        src = Vector(16, np.float32, "s").bind(np.ones(16, np.float32))
+        acc = Vector(4, np.float32, "acc").bind(np.zeros(4, np.float32))
+        seen = []
+
+        def body(rc):
+            seen.append(rc.segment_dims(1))
+            rc.parameters[1][...] += rc.parameters[0].sum() / 4.0
+
+        r = make_routine("partial", body)
+        args = (Window1D(src, 0, NO_CHECKS), ReductiveStatic(acc))
+        grid = Grid((16,), block0=1)
+        sched.analyze_call(r, *args, grid=grid)
+        sched.invoke_unmodified(r, *args, grid=grid)
+        sched.gather(acc)
+        assert all(dims == (4,) for dims in seen)
+        assert np.allclose(acc.host, 16.0 / 4.0)

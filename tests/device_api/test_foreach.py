@@ -1,0 +1,160 @@
+"""Tests for the scalar MAPS_FOREACH reference iterators."""
+
+import numpy as np
+import pytest
+
+from repro.core.datum import Matrix, Vector, from_array
+from repro.device_api import (
+    OutputIterator,
+    ReductiveIterator,
+    WindowAccessor,
+    aligned,
+    maps_foreach,
+    maps_foreach_reductive,
+)
+from repro.device_api.views import (
+    ReductiveStaticView,
+    StructuredInjectiveView,
+    WindowView,
+)
+from repro.errors import DeviceError
+from repro.hardware import GTX_780
+from repro.patterns import (
+    WRAP,
+    Boundary,
+    ReductiveStatic,
+    StructuredInjective,
+    Window2D,
+)
+from repro.sim import SimNode
+from repro.utils.rect import Rect
+
+
+def build_views(data, work_rect=None, radius=1, boundary=WRAP, bins=None):
+    datum = from_array(data, "in")
+    node = SimNode(GTX_780, 1, functional=True)
+    work = data.shape
+    wr = work_rect or Rect.from_shape(work)
+    win = Window2D(datum, radius, boundary)
+    req = win.required(work, wr)
+    buf = node.devices[0].memory.allocate(0, req.virtual, data.dtype)
+    for v, a in req.pieces:
+        buf.view(v)[...] = data[a.slices()]
+    win_view = WindowView(win, buf, work, wr)
+    if bins is None:
+        out = Matrix(*data.shape, np.int64, "out")
+        c = StructuredInjective(out)
+        obuf = node.devices[0].memory.allocate(
+            0, c.owned(work, wr), np.dtype(np.int64)
+        )
+        out_view = StructuredInjectiveView(c, obuf, work, wr)
+    else:
+        out = Vector(bins, np.int64, "hist")
+        c = ReductiveStatic(out)
+        obuf = node.devices[0].memory.allocate(
+            0, Rect.from_shape((bins,)), np.dtype(np.int64)
+        )
+        out_view = ReductiveStaticView(c, obuf, work, wr)
+    return win_view, out_view
+
+
+class TestMapsForeach:
+    def test_visits_every_output_once(self):
+        data = np.zeros((4, 5), np.int64)
+        _, out_view = build_views(data)
+        seen = []
+        for it in maps_foreach(out_view):
+            seen.append(it.index)
+            it.set(1)
+        assert len(seen) == 20
+        assert len(set(seen)) == 20
+        assert (out_view.array == 1).all()
+
+    def test_partial_segment_indices_are_global(self):
+        data = np.zeros((8, 4), np.int64)
+        wr = Rect((4, 8), (0, 4))
+        _, out_view = build_views(data, work_rect=wr)
+        indices = [it.index for it in maps_foreach(out_view)]
+        assert min(i[0] for i in indices) == 4
+        assert max(i[0] for i in indices) == 7
+
+    def test_get_set_roundtrip(self):
+        data = np.zeros((2, 2), np.int64)
+        _, out_view = build_views(data)
+        for k, it in enumerate(maps_foreach(out_view)):
+            it.set(k)
+            assert it.get() == k
+
+    def test_rejects_wrong_view(self):
+        data = np.zeros((4, 4), np.int64)
+        win_view, _ = build_views(data)
+        with pytest.raises(DeviceError):
+            list(maps_foreach(win_view))
+
+
+class TestAligned:
+    def test_neighbors_match_array(self):
+        data = np.arange(16, dtype=np.int64).reshape(4, 4)
+        win_view, out_view = build_views(data, boundary=WRAP)
+        for it in maps_foreach(out_view):
+            acc = aligned(win_view, it)
+            y, x = it.index
+            assert acc.value == data[y, x]
+            assert acc[0, 1] == data[y, (x + 1) % 4]
+            assert acc[-1, 0] == data[(y - 1) % 4, x]
+
+    def test_iteration_covers_window(self):
+        data = np.ones((4, 4), np.int64)
+        win_view, out_view = build_views(data)
+        it = next(iter(maps_foreach(out_view)))
+        acc = aligned(win_view, it)
+        assert sum(acc) == 9  # 3x3 of ones
+
+    def test_offset_bounds_checked(self):
+        data = np.ones((4, 4), np.int64)
+        win_view, out_view = build_views(data, radius=1)
+        it = next(iter(maps_foreach(out_view)))
+        acc = aligned(win_view, it)
+        with pytest.raises(DeviceError):
+            acc[2, 0]
+        with pytest.raises(DeviceError):
+            acc[0, 0, 0]
+
+    def test_alignment_outside_segment_rejected(self):
+        data = np.ones((8, 4), np.int64)
+        win_view, _ = build_views(data, work_rect=Rect((0, 4), (0, 4)))
+        fake = OutputIterator.__new__(OutputIterator)
+        with pytest.raises(DeviceError):
+            WindowAccessor(win_view, (6, 0))
+
+
+class TestReductiveForeach:
+    def test_counts_every_element(self):
+        data = np.array([[0, 1], [2, 3]], np.int64)
+        win_view, hist_view = build_views(
+            data, radius=0, boundary=Boundary.NO_CHECKS, bins=4
+        )
+        for it, acc in maps_foreach_reductive(hist_view, win_view):
+            it.add(int(acc.value))
+        assert (hist_view.partial == 1).all()
+
+    def test_weighted_add(self):
+        data = np.zeros((2, 2), np.int64)
+        _, hist_view = build_views(
+            data, radius=0, boundary=Boundary.NO_CHECKS, bins=2
+        )
+        it = ReductiveIterator(hist_view)
+        it.add(1, weight=5)
+        assert hist_view.partial[1] == 5
+
+    def test_add_requires_sum_container(self):
+        data = np.zeros((2, 2), np.int64)
+        node = SimNode(GTX_780, 1, functional=True)
+        out = Vector(2, np.int64, "h")
+        c = ReductiveStatic(out, op="max")
+        buf = node.devices[0].memory.allocate(
+            0, Rect.from_shape((2,)), np.dtype(np.int64)
+        )
+        view = ReductiveStaticView(c, buf, (2, 2), Rect.from_shape((2, 2)))
+        with pytest.raises(DeviceError):
+            ReductiveIterator(view).add(0)

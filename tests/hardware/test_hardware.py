@@ -1,0 +1,127 @@
+"""Tests for GPU specs (Table 3), calibration derivations, topology paths."""
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_INTERCONNECT,
+    GTX_780,
+    GTX_980,
+    HOST,
+    PAPER_GPUS,
+    TITAN_BLACK,
+    Architecture,
+    NodeTopology,
+    calibration_for,
+    gpu_by_name,
+)
+from repro.utils.units import GIB
+
+
+class TestSpecs:
+    def test_table3_values(self):
+        """SM x core counts and memory sizes straight from Table 3."""
+        assert (GTX_780.num_sms, GTX_780.cores_per_sm) == (12, 192)
+        assert (TITAN_BLACK.num_sms, TITAN_BLACK.cores_per_sm) == (15, 192)
+        assert (GTX_980.num_sms, GTX_980.cores_per_sm) == (16, 128)
+        assert GTX_780.global_memory_bytes == 3 * GIB
+        assert TITAN_BLACK.global_memory_bytes == 6 * GIB
+        assert GTX_980.global_memory_bytes == 4 * GIB
+
+    def test_architectures(self):
+        assert GTX_780.architecture is Architecture.KEPLER
+        assert TITAN_BLACK.architecture is Architecture.KEPLER
+        assert GTX_980.architecture is Architecture.MAXWELL
+
+    def test_peak_flops_reasonable(self):
+        # Known ballparks: ~4.1 / 5.6 / 5.0 TFLOPS.
+        assert 3.5e3 < GTX_780.peak_sp_gflops < 4.5e3
+        assert 5.0e3 < TITAN_BLACK.peak_sp_gflops < 6.0e3
+        assert 4.5e3 < GTX_980.peak_sp_gflops < 5.5e3
+
+    def test_lookup(self):
+        assert gpu_by_name("GTX 980") is GTX_980
+        with pytest.raises(KeyError):
+            gpu_by_name("GTX 1080")
+
+
+class TestCalibration:
+    def test_sgemm_matches_table4(self):
+        """Effective SGEMM rate must reproduce Table 4's native runtimes."""
+        flop = 2 * 8192**3
+        expected_ms = {"GTX 780": 365.21, "Titan Black": 338.65, "GTX 980": 245.31}
+        for spec in PAPER_GPUS:
+            t = flop / calibration_for(spec).sgemm_flops * 1e3
+            assert t == pytest.approx(expected_ms[spec.name], rel=0.02)
+
+    def test_naive_histogram_matches_section53(self):
+        """Global-atomic rates must reproduce 6.09 / 6.41 / 30.92 ms."""
+        pixels = 8192 * 8192
+        expected_ms = {"GTX 780": 6.09, "Titan Black": 6.41, "GTX 980": 30.92}
+        for spec in PAPER_GPUS:
+            t = pixels / calibration_for(spec).global_atomic_rate * 1e3
+            assert t == pytest.approx(expected_ms[spec.name], rel=0.02)
+
+    def test_gol_ratios(self):
+        """§5.2: naive beats no-ILP MAPS by 20-50%; ILP is ~2.42x naive."""
+        for spec in PAPER_GPUS:
+            c = calibration_for(spec)
+            ratio = c.gol_naive_rate / c.gol_maps_rate
+            assert 1.15 <= ratio <= 1.55
+            assert c.gol_ilp_rate / c.gol_naive_rate == pytest.approx(2.42, rel=0.01)
+
+    def test_histogram_orderings(self):
+        """§5.3: MAPS > CUB on GTX 780; CUB > MAPS on Titan Black and 980."""
+        c780 = calibration_for(GTX_780)
+        ctb = calibration_for(TITAN_BLACK)
+        c980 = calibration_for(GTX_980)
+        assert c780.maps_hist_rate > c780.cub_hist_rate
+        assert ctb.cub_hist_rate > ctb.maps_hist_rate
+        assert c980.cub_hist_rate > c980.maps_hist_rate
+        # "more so on the GTX 980"
+        assert (c980.cub_hist_rate / c980.maps_hist_rate) > (
+            ctb.cub_hist_rate / ctb.maps_hist_rate
+        )
+
+    def test_maxwell_global_atomics_regress(self):
+        assert calibration_for(GTX_980).global_atomic_rate < 0.5 * calibration_for(
+            GTX_780
+        ).global_atomic_rate
+
+
+class TestTopology:
+    def test_switch_assignment(self):
+        topo = NodeTopology(4)
+        assert topo.num_switches == 2
+        assert topo.switch_of(0) == topo.switch_of(1) == 0
+        assert topo.switch_of(2) == topo.switch_of(3) == 1
+        assert topo.same_switch(0, 1)
+        assert not topo.same_switch(1, 2)
+
+    def test_bad_device(self):
+        with pytest.raises(ValueError):
+            NodeTopology(4).switch_of(4)
+
+    def test_paths(self):
+        topo = NodeTopology(4)
+        assert topo.path(0, 0) == []
+        assert len(topo.path(0, 1)) == 1  # direct p2p
+        assert len(topo.path(0, 2)) == 3  # uplink + qpi + uplink
+        assert len(topo.path(HOST, 3)) == 1
+        assert len(topo.path(HOST, 3, pageable=True)) == 2
+
+    def test_transfer_time_monotone_in_bytes(self):
+        topo = NodeTopology(4)
+        p = topo.path(0, 1)
+        assert topo.transfer_time(1 << 20, p) < topo.transfer_time(1 << 24, p)
+        assert topo.transfer_time(0, p) == topo.calib.transfer_latency
+
+    def test_cross_switch_bottleneck(self):
+        topo = NodeTopology(4)
+        t_same = topo.transfer_time(1 << 28, topo.path(0, 1))
+        t_cross = topo.transfer_time(1 << 28, topo.path(0, 2))
+        assert t_cross > t_same
+
+    def test_single_gpu_node(self):
+        topo = NodeTopology(1)
+        assert topo.num_switches == 1
+        assert topo.path(HOST, 0)

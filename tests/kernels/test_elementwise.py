@@ -1,0 +1,130 @@
+"""Tests for the elementwise/reduction kernel builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Scheduler, Vector
+from repro.core.datum import Matrix, from_array
+from repro.hardware import GTX_780
+from repro.kernels.elementwise import (
+    make_map_kernel,
+    make_saxpy_kernel,
+    make_scale_kernel,
+    make_sqdiff_reduce_kernel,
+    make_sum_reduce_kernel,
+    map_containers,
+)
+from repro.patterns import NO_CHECKS, ReductiveStatic, StructuredInjective, WindowND
+from repro.sim import SimNode
+
+
+@pytest.fixture
+def setup():
+    node = SimNode(GTX_780, 4, functional=True)
+    return node, Scheduler(node)
+
+
+class TestMapKernels:
+    def test_scale(self, setup):
+        node, sched = setup
+        x = from_array(np.arange(64, dtype=np.float32), "x")
+        y = Vector(64, np.float32, "y").bind(np.zeros(64, np.float32))
+        k = make_scale_kernel()
+        args = map_containers([x], y)
+        sched.analyze_call(k, *args, constants={"alpha": 3.0})
+        sched.invoke(k, *args, constants={"alpha": 3.0})
+        sched.gather(y)
+        assert np.allclose(y.host, 3.0 * np.arange(64))
+
+    def test_binary_map(self, setup):
+        node, sched = setup
+        rng = np.random.default_rng(0)
+        ha, hb = rng.random(32).astype(np.float32), rng.random(32).astype(np.float32)
+        a, b = from_array(ha, "a"), from_array(hb, "b")
+        c = Vector(32, np.float32, "c").bind(np.zeros(32, np.float32))
+        k = make_map_kernel("hypot", lambda x, y: np.sqrt(x * x + y * y), 2)
+        args = map_containers([a, b], c)
+        sched.analyze_call(k, *args)
+        sched.invoke(k, *args)
+        sched.gather(c)
+        assert np.allclose(c.host, np.hypot(ha, hb), atol=1e-6)
+
+    def test_map_2d(self, setup):
+        node, sched = setup
+        h = np.arange(64, dtype=np.float32).reshape(8, 8)
+        x = from_array(h, "x")
+        y = Matrix(8, 8, np.float32, "y").bind(np.zeros((8, 8), np.float32))
+        k = make_map_kernel("neg", lambda v: -v)
+        args = map_containers([x], y)
+        sched.analyze_call(k, *args)
+        sched.invoke(k, *args)
+        sched.gather(y)
+        assert (y.host == -h).all()
+
+    def test_saxpy(self, setup):
+        node, sched = setup
+        rng = np.random.default_rng(0)
+        hx, hy = rng.random(128).astype(np.float32), rng.random(128).astype(np.float32)
+        x, y = from_array(hx.copy(), "x"), from_array(hy.copy(), "y")
+        k = make_saxpy_kernel()
+        args = (
+            WindowND(x, 0, NO_CHECKS),
+            WindowND(y, 0, NO_CHECKS),
+            StructuredInjective(y),
+        )
+        sched.analyze_call(k, *args, constants={"alpha": 2.5})
+        sched.invoke(k, *args, constants={"alpha": 2.5})
+        sched.gather(y)
+        assert np.allclose(y.host, 2.5 * hx + hy, atol=1e-5)
+
+
+class TestReductions:
+    def test_sum_reduce(self, setup):
+        """§4.5.3: device-wide reduction via the ReductiveStatic output."""
+        node, sched = setup
+        h = np.arange(100, dtype=np.float32)
+        x = from_array(h, "x")
+        out = Vector(1, np.float64, "sum").bind(np.zeros(1, np.float64))
+        k = make_sum_reduce_kernel()
+        args = (WindowND(x, 0, NO_CHECKS), ReductiveStatic(out))
+        grid = Grid((100,))
+        sched.analyze_call(k, *args, grid=grid)
+        sched.invoke(k, *args, grid=grid)
+        sched.gather(out)
+        assert out.host[0] == pytest.approx(h.sum())
+
+    def test_sqdiff_reduce(self, setup):
+        node, sched = setup
+        rng = np.random.default_rng(3)
+        ha = rng.random((16, 16)).astype(np.float32)
+        hb = rng.random((16, 16)).astype(np.float32)
+        a, b = from_array(ha, "a"), from_array(hb, "b")
+        out = Vector(1, np.float64, "err").bind(np.zeros(1, np.float64))
+        k = make_sqdiff_reduce_kernel()
+        args = (
+            WindowND(a, 0, NO_CHECKS),
+            WindowND(b, 0, NO_CHECKS),
+            ReductiveStatic(out),
+        )
+        grid = Grid((16, 16))
+        sched.analyze_call(k, *args, grid=grid)
+        sched.invoke(k, *args, grid=grid)
+        sched.gather(out)
+        assert out.host[0] == pytest.approx(((ha - hb) ** 2).sum(), rel=1e-5)
+
+    def test_reduce_across_all_devices(self, setup):
+        """The partial sums really come from all four devices."""
+        node, sched = setup
+        x = from_array(np.ones(64, dtype=np.float32), "x")
+        out = Vector(1, np.float64, "sum").bind(np.zeros(1, np.float64))
+        k = make_sum_reduce_kernel()
+        args = (WindowND(x, 0, NO_CHECKS), ReductiveStatic(out))
+        grid = Grid((64,), block0=1)
+        sched.analyze_call(k, *args, grid=grid)
+        sched.invoke(k, *args, grid=grid)
+        sched.gather(out)
+        assert out.host[0] == 64.0
+        partial_copies = [
+            r for r in node.trace.memcpys() if "gather-partial" in r.label
+        ]
+        assert len(partial_copies) == 4

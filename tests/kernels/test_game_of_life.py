@@ -1,0 +1,152 @@
+"""Tests for the Game of Life kernel variants (Figs. 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Matrix, Scheduler
+from repro.hardware import GTX_780, PAPER_GPUS, calibration_for
+from repro.kernels.game_of_life import (
+    ILP_COLS,
+    ILP_ROWS,
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.sim import SimNode
+
+
+def run(board, iters, num_gpus=2, variant="maps_ilp"):
+    node = SimNode(GTX_780, num_gpus, functional=True)
+    sched = Scheduler(node)
+    n = board.shape[0]
+    a = Matrix(n, n, np.int32, "A").bind(board.copy())
+    b = Matrix(n, n, np.int32, "B").bind(np.zeros_like(board))
+    k = make_gol_kernel(variant)
+    sched.analyze_call(k, *gol_containers(a, b, variant))
+    sched.analyze_call(k, *gol_containers(b, a, variant))
+    for i in range(iters):
+        src, dst = (a, b) if i % 2 == 0 else (b, a)
+        sched.invoke(k, *gol_containers(src, dst, variant))
+    out = a if iters % 2 == 0 else b
+    sched.gather(out)
+    return out.host, node
+
+
+class TestFunctional:
+    def test_blinker_oscillates(self):
+        board = np.zeros((16, 16), np.int32)
+        board[8, 7:10] = 1  # horizontal blinker
+        out, _ = run(board, 1)
+        expected = np.zeros_like(board)
+        expected[7:10, 8] = 1  # vertical
+        assert (out == expected).all()
+
+    def test_block_is_still(self):
+        board = np.zeros((16, 16), np.int32)
+        board[4:6, 4:6] = 1
+        out, _ = run(board, 3)
+        assert (out == board).all()
+
+    def test_glider_crosses_device_boundaries(self):
+        """A glider traverses partition boundaries over many ticks."""
+        n = 32
+        board = np.zeros((n, n), np.int32)
+        board[1, 2] = board[2, 3] = 1
+        board[3, 1:4] = 1
+        iters = 40  # glider moves 10 cells diagonally, crossing stripes
+        out, _ = run(board, iters, num_gpus=4)
+        ref = board.copy()
+        for _ in range(iters):
+            ref = gol_reference_step(ref)
+        assert (out == ref).all()
+        assert out.sum() == 5  # glider intact
+
+    @pytest.mark.parametrize("variant", ["naive", "maps", "maps_ilp"])
+    def test_all_variants_same_result(self, variant):
+        rng = np.random.default_rng(2)
+        board = (rng.random((32, 32)) < 0.4).astype(np.int32)
+        out, _ = run(board, 3, variant=variant)
+        ref = board.copy()
+        for _ in range(3):
+            ref = gol_reference_step(ref)
+        assert (out == ref).all()
+
+    @given(st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_reference(self, seed, gpus):
+        rng = np.random.default_rng(seed)
+        board = (rng.random((24, 24)) < 0.35).astype(np.int32)
+        out, _ = run(board, 2, num_gpus=gpus)
+        ref = gol_reference_step(gol_reference_step(board))
+        assert (out == ref).all()
+
+
+class TestIlpConfiguration:
+    def test_ilp_factors_match_paper(self):
+        """§5.2: 8 elements per thread — 4 columns, 2 rows."""
+        assert ILP_ROWS * ILP_COLS == 8
+        assert (ILP_ROWS, ILP_COLS) == (2, 4)
+
+    def test_ilp_grid_is_smaller(self):
+        a = Matrix(64, 64, np.int32, "A")
+        b = Matrix(64, 64, np.int32, "B")
+        _, si = gol_containers(a, b, "maps_ilp")
+        assert si.work_shape_from_datum() == (32, 16)
+        _, si_plain = gol_containers(a, b, "maps")
+        assert si_plain.work_shape_from_datum() == (64, 64)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_gol_kernel("turbo")
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("spec", PAPER_GPUS, ids=lambda s: s.name)
+    def test_fig7_ordering(self, spec):
+        """maps slower than naive; maps_ilp ~2.42x faster than naive."""
+        from repro.core.task import CostContext
+        from repro.core.grid import Grid
+        from repro.utils.rect import Rect
+
+        a = Matrix(512, 512, np.int32, "A")
+        b = Matrix(512, 512, np.int32, "B")
+
+        def duration(variant):
+            k = make_gol_kernel(variant)
+            containers = gol_containers(a, b, variant)
+            grid = Grid(containers[1].work_shape_from_datum())
+            ctx = CostContext(
+                work_rect=grid.full_rect(),
+                grid=grid,
+                containers=containers,
+                constants={},
+                spec=spec,
+                calib=calibration_for(spec),
+            )
+            return k.duration(ctx)
+
+        naive, maps, ilp = (
+            duration("naive"), duration("maps"), duration("maps_ilp")
+        )
+        assert maps > naive > ilp
+        assert naive / ilp == pytest.approx(2.42, rel=0.02)
+
+    def test_cost_scales_with_device_share(self):
+        """Half the rows -> half the kernel time."""
+        from repro.core.task import CostContext
+        from repro.core.grid import Grid
+        from repro.utils.rect import Rect
+
+        a = Matrix(512, 512, np.int32, "A")
+        b = Matrix(512, 512, np.int32, "B")
+        k = make_gol_kernel("maps")
+        containers = gol_containers(a, b, "maps")
+        grid = Grid((512, 512))
+        calib = calibration_for(GTX_780)
+        full = CostContext(grid.full_rect(), grid, containers, {}, GTX_780, calib)
+        half = CostContext(
+            Rect((0, 256), (0, 512)), grid, containers, {}, GTX_780, calib
+        )
+        assert k.duration(full) == pytest.approx(2 * k.duration(half))

@@ -1,0 +1,99 @@
+"""Tests for the histogram kernels (Fig. 4, §5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Grid, Matrix, Scheduler, Vector
+from repro.hardware import GTX_780, GTX_980
+from repro.kernels.histogram import (
+    histogram_containers,
+    make_histogram_kernel,
+    make_naive_histogram_routine,
+)
+from repro.libs.cub import make_cub_histogram_routine
+from repro.sim import SimNode
+
+
+def run(pixels, bins, num_gpus=2, impl="maps"):
+    node = SimNode(GTX_780, num_gpus, functional=True)
+    sched = Scheduler(node)
+    n = pixels.shape[0]
+    image = Matrix(*pixels.shape, np.int32, "img").bind(pixels.copy())
+    hist = Vector(bins, np.int64, "hist").bind(np.zeros(bins, np.int64))
+    if impl == "maps":
+        kernel, invoke = make_histogram_kernel("maps"), sched.invoke
+    elif impl == "naive":
+        kernel, invoke = make_naive_histogram_routine(), sched.invoke_unmodified
+    else:
+        kernel, invoke = make_cub_histogram_routine(), sched.invoke_unmodified
+    containers = histogram_containers(image, hist)
+    grid = Grid(pixels.shape)
+    sched.analyze_call(kernel, *containers, grid=grid)
+    invoke(kernel, *containers, grid=grid)
+    sched.gather(hist)
+    return hist.host, node
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("impl", ["maps", "naive", "cub"])
+    @pytest.mark.parametrize("num_gpus", [1, 3])
+    def test_matches_bincount(self, impl, num_gpus):
+        rng = np.random.default_rng(4)
+        pixels = rng.integers(0, 32, (48, 48)).astype(np.int32)
+        hist, _ = run(pixels, 32, num_gpus, impl)
+        assert (hist == np.bincount(pixels.reshape(-1), minlength=32)).all()
+
+    def test_empty_bins_stay_zero(self):
+        pixels = np.full((16, 16), 7, np.int32)
+        hist, _ = run(pixels, 16)
+        assert hist[7] == 256
+        assert hist.sum() == 256
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_total_count(self, seed):
+        rng = np.random.default_rng(seed)
+        pixels = rng.integers(0, 8, (24, 24)).astype(np.int32)
+        hist, _ = run(pixels, 8, num_gpus=4)
+        assert hist.sum() == pixels.size
+        assert (hist == np.bincount(pixels.reshape(-1), minlength=8)).all()
+
+    def test_image_distributed_not_replicated(self):
+        """The 1x1 window segments the image: each device holds ~1/g."""
+        rng = np.random.default_rng(1)
+        pixels = rng.integers(0, 8, (64, 64)).astype(np.int32)
+        _, node = run(pixels, 8, num_gpus=4)
+        per_device = 64 * 64 * 4 // 4  # quarter of the image, int32
+        for d in node.devices:
+            # image stripe + histogram duplicate (8 x int64)
+            assert d.memory.peak <= per_device + 8 * 8 + 64
+
+
+class TestCostSeparation:
+    def test_naive_much_slower_on_maxwell(self):
+        from repro.core.task import CostContext
+        from repro.core.grid import Grid as G
+        from repro.hardware import calibration_for
+
+        image = Matrix(1024, 1024, np.uint8, "img")
+        hist = Vector(256, np.int32, "hist")
+        containers = histogram_containers(image, hist)
+        grid = G((1024, 1024))
+
+        def t(kernel, spec):
+            ctx = CostContext(
+                grid.full_rect(), grid, containers, {}, spec,
+                calibration_for(spec),
+            )
+            return kernel.duration(ctx)
+
+        naive, maps = make_histogram_kernel("naive"), make_histogram_kernel("maps")
+        # On Kepler naive is ~3x slower than MAPS; on Maxwell ~19x.
+        assert 2 < t(naive, GTX_780) / t(maps, GTX_780) < 5
+        assert t(naive, GTX_980) / t(maps, GTX_980) > 15
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            make_histogram_kernel("warp")

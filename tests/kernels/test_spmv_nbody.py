@@ -1,0 +1,138 @@
+"""Tests for the Adjacency (SpMV) and Block 1D (N-body) pattern kernels."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import Grid, Scheduler, Vector
+from repro.core.datum import from_array
+from repro.hardware import GTX_780, HOST
+from repro.kernels import (
+    CsrDatums,
+    make_nbody_kernel,
+    make_spmv_kernel,
+    nbody_containers,
+    nbody_reference,
+    spmv_containers,
+    spmv_grid,
+)
+from repro.sim import SimNode
+
+
+def run_spmv(matrix, xv, num_gpus):
+    node = SimNode(GTX_780, num_gpus, functional=True)
+    sched = Scheduler(node)
+    csr = CsrDatums(matrix)
+    x = from_array(xv, "x")
+    y = Vector(matrix.shape[0], np.float32, "y").bind(
+        np.zeros(matrix.shape[0], np.float32)
+    )
+    k = make_spmv_kernel()
+    args = spmv_containers(csr, x, y)
+    sched.analyze_call(k, *args, grid=spmv_grid(csr))
+    sched.invoke(k, *args, grid=spmv_grid(csr))
+    sched.gather(y)
+    return y.host, node
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("num_gpus", [1, 2, 4])
+    def test_random_matrix(self, num_gpus):
+        rng = np.random.default_rng(3)
+        a = sp.random(
+            96, 64, density=0.1, format="csr", random_state=7
+        ).astype(np.float32)
+        xv = rng.random(64).astype(np.float32)
+        y, _ = run_spmv(a, xv, num_gpus)
+        assert np.allclose(y, a @ xv, atol=1e-4)
+
+    def test_empty_rows(self):
+        a = sp.lil_matrix((8, 8), dtype=np.float32)
+        a[0, 0] = 2.0
+        a = a.tocsr()
+        xv = np.ones(8, np.float32)
+        y, _ = run_spmv(a, xv, 2)
+        assert y[0] == 2.0
+        assert (y[1:] == 0).all()
+
+    def test_identity(self):
+        a = sp.identity(32, format="csr", dtype=np.float32)
+        xv = np.arange(32, dtype=np.float32)
+        y, _ = run_spmv(a, xv, 4)
+        assert (y == xv).all()
+
+    def test_vector_replicated_per_device(self):
+        """Adjacency replicates the dense operand on every device."""
+        a = sp.random(64, 64, density=0.1, format="csr", random_state=1).astype(np.float32)
+        xv = np.random.default_rng(0).random(64).astype(np.float32)
+        _, node = run_spmv(a, xv, 4)
+        x_copies = [
+            r for r in node.trace.memcpys() if "copy:x:" in r.label
+        ]
+        assert sum(r.nbytes for r in x_copies) == 4 * 64 * 4
+
+
+class TestNbody:
+    def _run(self, n, num_gpus, seed=0):
+        rng = np.random.default_rng(seed)
+        xs, ys, zs = (rng.random(n).astype(np.float32) for _ in range(3))
+        ms = rng.random(n).astype(np.float32) + 0.5
+        node = SimNode(GTX_780, num_gpus, functional=True)
+        sched = Scheduler(node)
+        datums = [
+            from_array(a, nm)
+            for a, nm in ((xs, "x"), (ys, "y"), (zs, "z"), (ms, "m"))
+        ]
+        outs = [
+            Vector(n, np.float32, nm).bind(np.zeros(n, np.float32))
+            for nm in ("ax", "ay", "az")
+        ]
+        k = make_nbody_kernel()
+        args = nbody_containers(*datums, *outs)
+        grid = Grid((n,), block0=1)
+        sched.analyze_call(k, *args, grid=grid)
+        sched.invoke(k, *args, grid=grid)
+        for d in outs:
+            sched.gather_async(d)
+        sched.wait_all()
+        return (xs, ys, zs, ms), outs, node
+
+    @pytest.mark.parametrize("num_gpus", [1, 3, 4])
+    def test_matches_reference(self, num_gpus):
+        (xs, ys, zs, ms), outs, _ = self._run(48, num_gpus)
+        ref = nbody_reference(xs, ys, zs, ms)
+        for out, r in zip(outs, ref):
+            assert np.allclose(out.host, r, rtol=1e-3, atol=1e-4)
+
+    def test_two_bodies_attract(self):
+        node = SimNode(GTX_780, 1, functional=True)
+        sched = Scheduler(node)
+        xs = np.array([0.0, 1.0], np.float32)
+        zeros = np.zeros(2, np.float32)
+        ms = np.ones(2, np.float32)
+        datums = [
+            from_array(a.copy(), nm)
+            for a, nm in ((xs, "x"), (zeros, "y"), (zeros, "z"), (ms, "m"))
+        ]
+        outs = [
+            Vector(2, np.float32, nm).bind(np.zeros(2, np.float32))
+            for nm in ("ax", "ay", "az")
+        ]
+        k = make_nbody_kernel()
+        args = nbody_containers(*datums, *outs)
+        grid = Grid((2,), block0=1)
+        sched.analyze_call(k, *args, grid=grid)
+        sched.invoke(k, *args, grid=grid)
+        sched.gather(outs[0])
+        ax = outs[0].host
+        assert ax[0] > 0 and ax[1] < 0  # pulled toward each other
+        assert ax[0] == pytest.approx(-ax[1], rel=1e-5)
+
+    def test_positions_fully_replicated(self):
+        """Block (1D): every device receives the entire body set."""
+        _, _, node = self._run(64, 4)
+        for name in ("x", "m"):
+            copies = [
+                r for r in node.trace.memcpys() if f"copy:{name}:" in r.label
+            ]
+            assert sum(r.nbytes for r in copies) == 4 * 64 * 4

@@ -1,0 +1,61 @@
+"""Tests for the CUBLAS-XT baseline model (§5.4, Fig. 9, Table 4)."""
+
+import pytest
+
+from repro.hardware import GTX_780, PAPER_GPUS
+from repro.libs.cublasxt import (
+    DEFAULT_TILE,
+    XT_PAGEABLE_BW,
+    XtGemm,
+    make_xt_node,
+    xt_gemm_time,
+)
+
+PAPER_XT_MS = {"GTX 780": 1393.26, "Titan Black": 1830.82, "GTX 980": 1017.64}
+
+
+class TestSingleGpu:
+    @pytest.mark.parametrize("spec", PAPER_GPUS, ids=lambda s: s.name)
+    def test_matches_table4(self, spec):
+        t = xt_gemm_time(spec, 8192, 1)
+        assert t * 1e3 == pytest.approx(PAPER_XT_MS[spec.name], rel=0.05)
+
+    def test_transfer_bound(self):
+        """XT's call time tracks the tile traffic, not the compute."""
+        t = xt_gemm_time(GTX_780, 8192, 1)
+        traffic = 8 * 8192**3 / DEFAULT_TILE
+        expected = traffic / XT_PAGEABLE_BW["GTX 780"]
+        assert t == pytest.approx(expected, rel=0.10)
+
+    def test_smaller_tiles_more_traffic(self):
+        assert xt_gemm_time(GTX_780, 4096, 1, tile=512) > xt_gemm_time(
+            GTX_780, 4096, 1, tile=1024
+        )
+
+
+class TestScaling:
+    def test_saturates_on_host_staging(self):
+        times = [xt_gemm_time(GTX_780, 4096, g) for g in (1, 2, 3, 4)]
+        speedups = [times[0] / t for t in times]
+        # Two staging channels cap the scaling around 2x.
+        assert speedups[-1] < 2.5
+        # And it is never better than the channel count allows.
+        assert all(s <= 2.1 for s in speedups)
+
+    def test_pageable_copies_dominate_trace(self):
+        node = make_xt_node(GTX_780, 2)
+        XtGemm(node).gemm(2048)
+        copies = node.trace.memcpys()
+        kernels = node.trace.kernels()
+        assert sum(r.duration for r in copies) > sum(
+            r.duration for r in kernels
+        )
+
+    def test_every_call_pays_host_round_trip(self):
+        """Chained calls re-copy operands (the host-based API defect)."""
+        node = make_xt_node(GTX_780, 1)
+        xt = XtGemm(node)
+        xt.gemm(2048)
+        first = node.trace.total_bytes_copied()
+        xt.gemm(2048)
+        assert node.trace.total_bytes_copied() == 2 * first

@@ -1,0 +1,222 @@
+"""Tests for Table 1's input memory access patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datum import Datum, Matrix, Vector
+from repro.core.grid import Grid
+from repro.errors import PatternMismatchError
+from repro.patterns import (
+    WRAP,
+    Adjacency,
+    Block1D,
+    Block2D,
+    Block2DTransposed,
+    Boundary,
+    IrregularInput,
+    Permutation,
+    TraversalBFS,
+    Window1D,
+    Window2D,
+    Window3D,
+)
+from repro.utils.rect import Rect
+
+
+def work_rect(b, e, shape):
+    return Rect((b, e), *[(0, s) for s in shape[1:]])
+
+
+class TestBlockPatterns:
+    def test_block1d_full_replication(self):
+        x = Vector(100)
+        req = Block1D(x).required((100,), Rect((25, 50)))
+        assert req.virtual == Rect.from_shape((100,))
+        assert req.in_bounds
+
+    def test_block1d_rejects_2d(self):
+        with pytest.raises(PatternMismatchError):
+            Block1D(Matrix(4, 4))
+
+    def test_block2d_row_stripe(self):
+        a = Matrix(64, 32)
+        req = Block2D(a).required((64, 16), work_rect(16, 32, (64, 16)))
+        assert req.virtual == Rect((16, 32), (0, 32))
+
+    def test_block2d_scaled_rows(self):
+        # Work rows are half the datum rows (ILP 2 in dim 0).
+        a = Matrix(64, 32)
+        req = Block2D(a).required((32, 16), work_rect(8, 16, (32, 16)))
+        assert req.virtual == Rect((16, 32), (0, 32))
+
+    def test_block2d_indivisible(self):
+        a = Matrix(65, 32)
+        with pytest.raises(PatternMismatchError):
+            Block2D(a).required((64, 16), work_rect(0, 32, (64, 16)))
+
+    def test_block2dt_full_when_partitioned_dim0(self):
+        b = Matrix(32, 64)
+        req = Block2DTransposed(b).required((16, 64), work_rect(0, 8, (16, 64)))
+        assert req.virtual == Rect.from_shape((32, 64))
+
+
+class TestWindowPatterns:
+    def test_interior_halo(self):
+        a = Matrix(64, 64)
+        w = Window2D(a, radius=1, boundary=Boundary.CLAMP)
+        req = w.required((64, 64), work_rect(16, 32, (64, 64)))
+        assert req.virtual == Rect((15, 33), (0, 64))
+        assert req.in_bounds
+
+    def test_clamp_at_edge_clips(self):
+        a = Matrix(64, 64)
+        w = Window2D(a, radius=2, boundary=Boundary.CLAMP)
+        req = w.required((64, 64), work_rect(0, 16, (64, 64)))
+        assert req.virtual == Rect((0, 18), (0, 64))
+
+    def test_wrap_at_edge_produces_modular_pieces(self):
+        a = Matrix(64, 64)
+        w = Window2D(a, radius=1, boundary=WRAP)
+        req = w.required((64, 64), work_rect(0, 16, (64, 64)))
+        assert req.virtual == Rect((-1, 17), (0, 64))
+        pieces = dict(req.pieces)
+        assert pieces[Rect((-1, 0), (0, 64))] == Rect((63, 64), (0, 64))
+        assert pieces[Rect((0, 17), (0, 64))] == Rect((0, 17), (0, 64))
+
+    def test_full_dim_needs_no_halo(self):
+        """Columns held whole resolve wrapped neighborhoods in-buffer."""
+        a = Matrix(64, 64)
+        w = Window2D(a, radius=1, boundary=WRAP)
+        req = w.required((64, 64), work_rect(16, 32, (64, 64)))
+        assert req.virtual[1].begin == 0 and req.virtual[1].end == 64
+
+    def test_single_device_full_grid(self):
+        a = Matrix(64, 64)
+        w = Window2D(a, radius=1, boundary=WRAP)
+        req = w.required((64, 64), Rect((0, 64), (0, 64)))
+        assert req.virtual == Rect.from_shape((64, 64))
+        assert req.in_bounds
+
+    def test_zero_radius_window(self):
+        """The histogram's 1x1 window (Fig. 4) has radius 0."""
+        img = Matrix(64, 64, dtype=np.uint8)
+        w = Window2D(img, radius=0, boundary=Boundary.NO_CHECKS)
+        req = w.required((64, 64), work_rect(32, 48, (64, 64)))
+        assert req.virtual == Rect((32, 48), (0, 64))
+
+    def test_ilp_scaled_window(self):
+        """With ILP, work extents are datum extents divided by ILP."""
+        img = Matrix(64, 64, dtype=np.uint8)
+        w = Window2D(img, radius=0, boundary=Boundary.NO_CHECKS)
+        # 8 elements per thread: 4 cols x 2 rows -> work (32, 16).
+        req = w.required((32, 16), work_rect(8, 16, (32, 16)))
+        assert req.virtual == Rect((16, 32), (0, 64))
+
+    def test_window3d(self):
+        vol = Datum((16, 16, 16))
+        w = Window3D(vol, radius=1)
+        req = w.required((16, 16, 16), Rect((4, 8), (0, 16), (0, 16)))
+        assert req.virtual == Rect((3, 9), (0, 16), (0, 16))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(PatternMismatchError):
+            Window2D(Matrix(8, 8), radius=-1)
+
+    def test_radius_arity_mismatch(self):
+        with pytest.raises(PatternMismatchError):
+            Window2D(Matrix(8, 8), radius=(1, 1, 1))
+
+    def test_work_ndim_mismatch(self):
+        w = Window2D(Matrix(8, 8), radius=1)
+        with pytest.raises(PatternMismatchError):
+            w.required((8,), Rect((0, 8)))
+
+    def test_window1d(self):
+        x = Vector(100)
+        w = Window1D(x, radius=2, boundary=Boundary.CLAMP)
+        req = w.required((100,), Rect((50, 75)))
+        assert req.virtual == Rect((48, 77))
+
+    @given(
+        st.integers(1, 3),
+        st.integers(0, 63),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=100)
+    def test_wrap_pieces_cover_requirement(self, radius, b, size):
+        e = min(b + size, 64)
+        if e <= b:
+            return
+        a = Matrix(64, 64)
+        w = Window2D(a, radius=radius, boundary=WRAP)
+        req = w.required((64, 64), work_rect(b, e, (64, 64)))
+        assert sum(v.size for v, _ in req.pieces) == req.virtual.size
+        full = Rect.from_shape((64, 64))
+        for v, act in req.pieces:
+            assert full.contains(act)
+
+
+class TestFullReplicationFamily:
+    @pytest.mark.parametrize(
+        "cls", [Adjacency, TraversalBFS, Permutation, IrregularInput]
+    )
+    def test_full_replication(self, cls):
+        a = Matrix(32, 32)
+        req = cls(a).required((32, 32), work_rect(8, 16, (32, 32)))
+        assert req.virtual == Rect.from_shape((32, 32))
+
+
+class TestGridPartition:
+    def test_even_partition(self):
+        g = Grid((64, 64), block0=8)
+        parts = g.partition(4)
+        assert [p[0].begin for p in parts] == [0, 16, 32, 48]
+        assert [p[0].end for p in parts] == [16, 32, 48, 64]
+        assert all(p[1] == Rect.from_shape((64, 64))[1] for p in parts)
+
+    def test_uneven_partition_covers_all(self):
+        g = Grid((100, 8), block0=8)
+        parts = g.partition(3)
+        assert parts[0][0].begin == 0
+        assert parts[-1][0].end == 100
+        # Contiguous, disjoint coverage.
+        for a, b in zip(parts, parts[1:]):
+            assert a[0].end == b[0].begin
+
+    def test_more_devices_than_blocks(self):
+        g = Grid((8, 8), block0=8)
+        parts = g.partition(4)
+        non_empty = [p for p in parts if not p.empty]
+        assert len(non_empty) == 1
+
+    def test_block_granularity(self):
+        g = Grid((64, 4), block0=16)
+        parts = g.partition(4)
+        for p in parts:
+            assert p[0].begin % 16 == 0
+
+    def test_single_device(self):
+        g = Grid((33, 5))
+        (p,) = g.partition(1)
+        assert p == Rect((0, 33), (0, 5))
+
+    @given(st.integers(1, 8), st.integers(1, 200), st.integers(1, 16))
+    @settings(max_examples=150)
+    def test_partition_properties(self, ndev, rows, block0):
+        g = Grid((rows, 4), block0=block0)
+        parts = g.partition(ndev)
+        assert len(parts) == ndev
+        # Disjoint, ordered, covering.
+        total = sum(p[0].size for p in parts)
+        assert total == rows
+        prev_end = 0
+        for p in parts:
+            assert p[0].begin == prev_end
+            prev_end = p[0].end
+        assert prev_end == rows
+        # Balance: non-empty shares differ by at most one block.
+        sizes = [p[0].size for p in parts if not p.empty]
+        if len(sizes) > 1:
+            assert max(sizes) - min(sizes) <= 2 * block0

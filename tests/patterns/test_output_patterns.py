@@ -1,0 +1,123 @@
+"""Tests for §3.2's output memory access patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.datum import Matrix, Vector
+from repro.errors import PatternMismatchError
+from repro.patterns import (
+    Aggregation,
+    IrregularOutput,
+    ReductiveDynamic,
+    ReductiveStatic,
+    StructuredInjective,
+    UnstructuredInjective,
+    combine,
+)
+from repro.utils.rect import Rect
+
+
+def work_rect(b, e, shape):
+    return Rect((b, e), *[(0, s) for s in shape[1:]])
+
+
+class TestStructuredInjective:
+    def test_exact_disjoint_segments(self):
+        """§3.2: Structured Injective allocates exact per-device segments."""
+        out = Matrix(64, 32)
+        si = StructuredInjective(out)
+        r0 = si.owned((64, 32), work_rect(0, 16, (64, 32)))
+        r1 = si.owned((64, 32), work_rect(16, 32, (64, 32)))
+        assert r0 == Rect((0, 16), (0, 32))
+        assert r1 == Rect((16, 32), (0, 32))
+        assert not r0.overlaps(r1)
+        assert not si.duplicated
+        assert si.aggregation is Aggregation.NONE
+
+    def test_ilp_work_shape(self):
+        """ILP(2 rows, 4 cols) implies work = shape / ilp (Fig. 2b)."""
+        out = Matrix(64, 64)
+        si = StructuredInjective(out, ilp=(2, 4))
+        assert si.work_shape_from_datum() == (32, 16)
+        r = si.owned((32, 16), work_rect(8, 16, (32, 16)))
+        assert r == Rect((16, 32), (0, 64))
+
+    def test_ilp_must_divide(self):
+        with pytest.raises(PatternMismatchError):
+            StructuredInjective(Matrix(63, 64), ilp=(2, 1))
+
+    def test_ilp_arity(self):
+        with pytest.raises(PatternMismatchError):
+            StructuredInjective(Matrix(64, 64), ilp=(2, 2, 2))
+
+    def test_bad_ilp_value(self):
+        with pytest.raises(PatternMismatchError):
+            StructuredInjective(Matrix(64, 64), ilp=0)
+
+    def test_work_datum_mismatch(self):
+        si = StructuredInjective(Matrix(64, 64))
+        with pytest.raises(PatternMismatchError):
+            si.owned((60, 64), work_rect(0, 30, (60, 64)))
+
+
+class TestReductiveStatic:
+    def test_duplicated_full_extent(self):
+        hist = Vector(256, dtype=np.int64)
+        rs = ReductiveStatic(hist)
+        assert rs.duplicated
+        assert rs.aggregation is Aggregation.SUM
+        assert rs.owned((1024,), Rect((0, 256))) == Rect.from_shape((256,))
+
+    def test_max_op(self):
+        rs = ReductiveStatic(Vector(16), op="max")
+        assert rs.aggregation is Aggregation.MAX
+
+    def test_bad_op(self):
+        with pytest.raises(PatternMismatchError):
+            ReductiveStatic(Vector(16), op="median")
+
+    def test_no_implied_work_shape(self):
+        with pytest.raises(PatternMismatchError):
+            ReductiveStatic(Vector(16)).work_shape_from_datum()
+
+
+class TestOtherOutputs:
+    def test_unstructured_injective(self):
+        ui = UnstructuredInjective(Vector(128))
+        assert ui.duplicated
+        assert ui.aggregation is Aggregation.SUM
+
+    def test_reductive_dynamic(self):
+        rd = ReductiveDynamic(Vector(1000))
+        assert rd.duplicated
+        assert rd.aggregation is Aggregation.APPEND
+
+    def test_irregular(self):
+        assert IrregularOutput(Vector(1000)).aggregation is Aggregation.APPEND
+
+
+class TestCombine:
+    def test_sum(self):
+        parts = [np.array([1, 2, 3]), np.array([10, 20, 30])]
+        assert (combine(Aggregation.SUM, parts) == [11, 22, 33]).all()
+
+    def test_max(self):
+        parts = [np.array([1, 20, 3]), np.array([10, 2, 30])]
+        assert (combine(Aggregation.MAX, parts) == [10, 20, 30]).all()
+
+    def test_sum_single(self):
+        (out,) = [combine(Aggregation.SUM, [np.array([5])])]
+        assert out[0] == 5
+
+    def test_append_rejected(self):
+        with pytest.raises(ValueError):
+            combine(Aggregation.APPEND, [np.array([1])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine(Aggregation.SUM, [])
+
+    def test_does_not_mutate_inputs(self):
+        a = np.array([1.0, 2.0])
+        combine(Aggregation.SUM, [a, a])
+        assert (a == [1.0, 2.0]).all()

@@ -1,0 +1,157 @@
+"""Consistency matrix over the full pattern classification.
+
+One table-driven test per classification axis: every input pattern's
+requirement must cover what a correct kernel could read; every output
+pattern's segments must tile or duplicate the datum exactly as §3.2
+specifies. Guards against any future pattern drifting from the contract
+the scheduler relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datum import Matrix, Vector
+from repro.core.grid import Grid
+from repro.patterns import (
+    Adjacency,
+    Aggregation,
+    Block1D,
+    Block2D,
+    Block2DTransposed,
+    BlockColumnStriped,
+    BlockStriped,
+    InjectiveColumnStriped,
+    InjectiveStriped,
+    IrregularInput,
+    IrregularOutput,
+    Permutation,
+    ReductiveDynamic,
+    ReductiveStatic,
+    Replicated,
+    StructuredInjective,
+    TraversalBFS,
+    TraversalDFS,
+    UnstructuredInjective,
+    Window2D,
+)
+from repro.utils.rect import Rect
+
+MAT = Matrix(64, 32, np.float32, "m")
+VEC = Vector(64, np.float32, "v")
+
+INPUT_PATTERNS = [
+    (Block1D(VEC), (64,), True),
+    (Block2D(MAT), (64, 32), False),
+    (Block2DTransposed(MAT), (64, 32), True),
+    (BlockStriped(MAT), (64,), False),
+    (BlockColumnStriped(MAT), (32,), False),
+    (Window2D(MAT, 1), (64, 32), False),
+    (Adjacency(MAT), (64, 32), True),
+    (Replicated(MAT), (64, 32), True),
+    (TraversalBFS(MAT), (64, 32), True),
+    (TraversalDFS(MAT), (64, 32), True),
+    (Permutation(MAT), (64, 32), True),
+    (IrregularInput(MAT), (64, 32), True),
+]
+
+OUTPUT_PATTERNS = [
+    (StructuredInjective(MAT), (64, 32), False, Aggregation.NONE),
+    (InjectiveStriped(MAT), (64,), False, Aggregation.NONE),
+    (InjectiveColumnStriped(MAT), (32,), False, Aggregation.NONE),
+    (UnstructuredInjective(MAT), (64, 32), True, Aggregation.SUM),
+    (ReductiveStatic(VEC), (64,), True, Aggregation.SUM),
+    (ReductiveStatic(VEC, op="max"), (64,), True, Aggregation.MAX),
+    (ReductiveDynamic(VEC), (64,), True, Aggregation.APPEND),
+    (IrregularOutput(VEC), (64,), True, Aggregation.APPEND),
+]
+
+
+def work_rects(work_shape, num_devices=4):
+    return Grid(work_shape, block0=1).partition(num_devices)
+
+
+class TestInputMatrix:
+    @pytest.mark.parametrize(
+        "container,work,replicated",
+        INPUT_PATTERNS,
+        ids=lambda p: type(p).__name__ if not isinstance(p, (tuple, bool)) else None,
+    )
+    def test_requirements_in_bounds_and_cover_stripe(
+        self, container, work, replicated
+    ):
+        full = Rect.from_shape(container.datum.shape)
+        for wr in work_rects(work):
+            if wr.empty:
+                continue
+            req = container.required(work, wr)
+            # Every actual piece is inside the datum.
+            for _, actual in req.pieces:
+                assert full.contains(actual)
+            if replicated:
+                assert req.virtual == full
+            else:
+                # A non-replicated requirement is a proper subset for a
+                # proper work subset.
+                assert req.virtual.size < full.size or wr.size == np.prod(work)
+
+    @pytest.mark.parametrize(
+        "container,work,replicated", INPUT_PATTERNS,
+        ids=lambda p: type(p).__name__ if not isinstance(p, (tuple, bool)) else None,
+    )
+    def test_union_of_requirements_covers_datum(
+        self, container, work, replicated
+    ):
+        """Whatever the pattern, the devices together can read everything
+        a single-device run could."""
+        full = Rect.from_shape(container.datum.shape)
+        covered = []
+        for wr in work_rects(work):
+            if wr.empty:
+                continue
+            covered.extend(a for _, a in container.required(work, wr).pieces)
+        assert not full.subtract_all(covered)
+
+
+class TestOutputMatrix:
+    @pytest.mark.parametrize(
+        "container,work,dup,agg", OUTPUT_PATTERNS,
+        ids=lambda p: type(p).__name__ if hasattr(p, "datum") else None,
+    )
+    def test_flags_match_classification(self, container, work, dup, agg):
+        assert container.duplicated == dup
+        assert container.aggregation == agg
+
+    @pytest.mark.parametrize(
+        "container,work,dup,agg", OUTPUT_PATTERNS,
+        ids=lambda p: type(p).__name__ if hasattr(p, "datum") else None,
+    )
+    def test_owned_segments_tile_or_duplicate(self, container, work, dup, agg):
+        full = Rect.from_shape(container.datum.shape)
+        rects = [
+            container.owned(work, wr)
+            for wr in work_rects(work)
+            if not wr.empty
+        ]
+        if dup:
+            assert all(r == full for r in rects)
+        else:
+            # Disjoint and covering: the §3.2 Structured Injective
+            # memory-conservation property.
+            for i, a in enumerate(rects):
+                for b in rects[i + 1 :]:
+                    assert not a.overlaps(b)
+            assert not full.subtract_all(rects)
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20)
+    def test_structured_tiling_any_device_count(self, g):
+        si = StructuredInjective(MAT)
+        rects = [
+            si.owned((64, 32), wr)
+            for wr in Grid((64, 32), block0=1).partition(g)
+            if not wr.empty
+        ]
+        total = sum(r.size for r in rects)
+        assert total == 64 * 32

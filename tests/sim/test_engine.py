@@ -1,0 +1,222 @@
+"""Tests for the discrete-event engine: ordering, overlap, contention."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import GTX_780, HOST
+from repro.sim import SimNode
+
+
+def mib(n):
+    return n * (1 << 20)
+
+
+class TestStreamOrdering:
+    def test_in_order_within_stream(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        order = []
+        node.launch_kernel(s, 1e-3, payload=lambda: order.append("a"), label="a")
+        node.launch_kernel(s, 1e-3, payload=lambda: order.append("b"), label="b")
+        node.run()
+        assert order == ["a", "b"]
+        ks = node.trace.kernels()
+        assert ks[0].end <= ks[1].start
+
+    def test_kernels_on_different_devices_overlap(self):
+        node = SimNode(GTX_780, 2, functional=False)
+        s0, s1 = node.new_stream(0), node.new_stream(1)
+        node.launch_kernel(s0, 5e-3, label="k0")
+        node.launch_kernel(s1, 5e-3, label="k1")
+        t = node.run()
+        k0, k1 = node.trace.kernels()
+        assert node.trace.overlaps(k0, k1)
+        assert t < 9e-3  # much less than serialized 10ms
+
+    def test_kernels_same_device_serialize(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s0, s1 = node.new_stream(0), node.new_stream(0)
+        node.launch_kernel(s0, 5e-3, label="k0")
+        node.launch_kernel(s1, 5e-3, label="k1")
+        node.run()
+        k0, k1 = node.trace.kernels()
+        assert not node.trace.overlaps(k0, k1)
+
+
+class TestEvents:
+    def test_event_orders_across_streams(self):
+        node = SimNode(GTX_780, 2, functional=False)
+        s0, s1 = node.new_stream(0), node.new_stream(1)
+        order = []
+        node.launch_kernel(s0, 3e-3, payload=lambda: order.append("prod"))
+        ev = node.record_event(s0, "ready")
+        node.wait_event(s1, ev)
+        node.launch_kernel(s1, 1e-3, payload=lambda: order.append("cons"))
+        node.run()
+        assert order == ["prod", "cons"]
+        k0, k1 = node.trace.kernels()
+        assert k1.start >= k0.end
+
+    def test_deadlock_detected(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        from repro.sim.commands import Event
+
+        never = Event("never-recorded")
+        node.wait_event(s, never)
+        node.launch_kernel(s, 1e-3)
+        with pytest.raises(SimulationError, match="deadlock"):
+            node.run()
+
+
+class TestCopyEngines:
+    def test_bidirectional_copies_overlap(self):
+        """Two copy engines allow simultaneous two-way transfer (§2)."""
+        node = SimNode(GTX_780, 2, functional=False)
+        out_s = node.new_stream(0, role="copy-out")
+        in_s = node.new_stream(0, role="copy-in")
+        node.memcpy(out_s, src=0, dst=HOST, nbytes=mib(64), label="d2h")
+        node.memcpy(in_s, src=HOST, dst=0, nbytes=mib(64), label="h2d")
+        node.run()
+        a, b = node.trace.memcpys()
+        assert node.trace.overlaps(a, b)
+
+    def test_same_direction_copies_serialize(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s0 = node.new_stream(0, role="copy-in")
+        s1 = node.new_stream(0, role="copy-in")
+        node.memcpy(s0, src=HOST, dst=0, nbytes=mib(64))
+        node.memcpy(s1, src=HOST, dst=0, nbytes=mib(64))
+        node.run()
+        a, b = node.trace.memcpys()
+        assert not node.trace.overlaps(a, b)
+
+    def test_copy_overlaps_kernel(self):
+        """Copy engines are independent of the compute engine."""
+        node = SimNode(GTX_780, 1, functional=False)
+        ks = node.new_stream(0)
+        cs = node.new_stream(0, role="copy-in")
+        node.launch_kernel(ks, 10e-3, label="k")
+        node.memcpy(cs, src=HOST, dst=0, nbytes=mib(64), label="c")
+        node.run()
+        k = node.trace.kernels()[0]
+        c = node.trace.memcpys()[0]
+        assert node.trace.overlaps(k, c)
+
+
+class TestInterconnect:
+    def test_p2p_same_switch_faster_than_cross(self):
+        node = SimNode(GTX_780, 4, functional=False)
+        s01 = node.new_stream(0, role="copy-out")
+        node.memcpy(s01, src=0, dst=1, nbytes=mib(256), label="same")
+        node.run()
+        same = node.trace.memcpys()[-1].duration
+
+        node2 = SimNode(GTX_780, 4, functional=False)
+        s02 = node2.new_stream(0, role="copy-out")
+        node2.memcpy(s02, src=0, dst=2, nbytes=mib(256), label="cross")
+        node2.run()
+        cross = node2.trace.memcpys()[-1].duration
+        assert cross > same
+
+    def test_pageable_slower_than_pinned(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0, role="copy-in")
+        node.memcpy(s, src=HOST, dst=0, nbytes=mib(256), label="pinned")
+        node.memcpy(s, src=HOST, dst=0, nbytes=mib(256), pageable=True, label="pageable")
+        node.run()
+        pinned, pageable = node.trace.memcpys()
+        assert pageable.duration > 1.5 * pinned.duration
+
+    def test_shared_link_contention(self):
+        """Two same-switch H2D copies contend for the switch uplink."""
+        node = SimNode(GTX_780, 2, functional=False)
+        s0 = node.new_stream(0, role="copy-in")
+        s1 = node.new_stream(1, role="copy-in")
+        node.memcpy(s0, src=HOST, dst=0, nbytes=mib(128))
+        node.memcpy(s1, src=HOST, dst=1, nbytes=mib(128))
+        t_shared = node.run()
+
+        # Same copies to devices on different switches: independent uplinks.
+        node2 = SimNode(GTX_780, 4, functional=False)
+        s0 = node2.new_stream(0, role="copy-in")
+        s2 = node2.new_stream(2, role="copy-in")
+        node2.memcpy(s0, src=HOST, dst=0, nbytes=mib(128))
+        node2.memcpy(s2, src=HOST, dst=2, nbytes=mib(128))
+        t_split = node2.run()
+        assert t_shared > 1.7 * t_split
+
+    def test_transfer_latency_floor(self):
+        node = SimNode(GTX_780, 2, functional=False)
+        s = node.new_stream(0, role="copy-out")
+        node.memcpy(s, src=0, dst=1, nbytes=4)
+        node.run()
+        assert node.trace.memcpys()[0].duration >= node.interconnect.transfer_latency
+
+
+class TestHostClockAndOps:
+    def test_host_advance_delays_submission(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        node.host_advance(5e-3)
+        node.launch_kernel(s, 1e-3)
+        node.run()
+        assert node.trace.kernels()[0].start >= 5e-3
+
+    def test_host_ops_serialize_on_host_engine(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        h0, h1 = node.new_stream(HOST), node.new_stream(HOST)
+        node.host_op(h0, 2e-3, label="agg0")
+        node.host_op(h1, 2e-3, label="agg1")
+        node.run()
+        a, b = node.trace.of_kind("host")
+        assert not node.trace.overlaps(a, b)
+
+
+class TestFunctionalMode:
+    def test_payload_runs_and_memory_allocates(self):
+        import numpy as np
+        from repro.utils.rect import Rect
+
+        node = SimNode(GTX_780, 1, functional=True)
+        dev = node.devices[0]
+        buf = dev.memory.allocate(0, Rect.from_shape((4, 4)), np.float32)
+        assert buf.data is not None and buf.data.shape == (4, 4)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 1e-6, payload=lambda: buf.data.fill(3.0))
+        node.run()
+        assert (buf.data == 3.0).all()
+        assert dev.memory.used == 64
+
+    def test_oom(self):
+        import numpy as np
+        from repro.errors import AllocationError
+        from repro.utils.rect import Rect
+
+        node = SimNode(GTX_780, 1, functional=False)
+        dev = node.devices[0]
+        with pytest.raises(AllocationError):
+            dev.memory.allocate(0, Rect.from_shape((1 << 16, 1 << 16)), np.float64)
+
+    def test_free_returns_memory(self):
+        import numpy as np
+        from repro.utils.rect import Rect
+
+        node = SimNode(GTX_780, 1, functional=False)
+        dev = node.devices[0]
+        buf = dev.memory.allocate(0, Rect.from_shape((1024,)), np.float32)
+        assert dev.memory.used == 4096
+        dev.memory.free(buf)
+        assert dev.memory.used == 0
+        assert dev.memory.peak == 4096
+
+
+class TestIncrementalRuns:
+    def test_clock_is_monotonic_across_runs(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 1e-3)
+        t1 = node.run()
+        node.launch_kernel(s, 1e-3)
+        t2 = node.run()
+        assert t2 > t1

@@ -1,0 +1,66 @@
+"""Tests for the SimNode façade API."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import GTX_780, GTX_980, HOST
+from repro.sim import SimNode
+
+
+class TestConstruction:
+    def test_devices_created(self):
+        node = SimNode(GTX_980, 3, functional=False)
+        assert node.num_gpus == 3
+        assert all(d.spec is GTX_980 for d in node.devices)
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            SimNode(GTX_780, 0)
+
+    def test_kernel_requires_device_stream(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        h = node.new_stream(HOST)
+        with pytest.raises(ValueError):
+            node.launch_kernel(h, 1e-3)
+
+    def test_custom_switch_layout(self):
+        node = SimNode(GTX_780, 4, functional=False, gpus_per_switch=4)
+        assert node.topology.num_switches == 1
+        assert node.topology.same_switch(0, 3)
+
+
+class TestClockAndSync:
+    def test_time_includes_host_clock(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        node.host_advance(0.5)
+        assert node.time >= 0.5
+
+    def test_synchronize_alias(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 1e-3)
+        t = node.synchronize()
+        assert t >= 1e-3
+        assert node.time == t
+
+    def test_launch_includes_launch_latency(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 1e-3)
+        node.run()
+        k = node.trace.kernels()[0]
+        assert k.duration == pytest.approx(
+            1e-3 + node.interconnect.kernel_launch_latency
+        )
+
+
+class TestMemoryReport:
+    def test_report_tracks_all_devices(self):
+        from repro.utils.rect import Rect
+
+        node = SimNode(GTX_780, 2, functional=False)
+        node.devices[1].memory.allocate(1, Rect.from_shape((256,)), np.float32)
+        rep = node.memory_report()
+        assert rep[0]["used"] == 0
+        assert rep[1]["used"] == 1024
+        assert rep[1]["alloc_calls"] == 1

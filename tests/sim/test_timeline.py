@@ -1,0 +1,77 @@
+"""Tests for the ASCII timeline renderer."""
+
+import numpy as np
+
+from repro.core import Matrix, Scheduler
+from repro.hardware import GTX_780, HOST
+from repro.kernels.game_of_life import gol_containers, make_gol_kernel
+from repro.sim import SimNode
+from repro.sim.timeline import render_timeline, utilization
+from repro.sim.trace import Trace, TraceRecord
+
+
+def make_trace():
+    t = Trace()
+    t.add(TraceRecord("kernel", "klong", 0, 0.0, 10e-3))
+    t.add(TraceRecord("memcpy", "h2d", 0, 0.0, 4e-3, nbytes=64, src=HOST))
+    t.add(TraceRecord("memcpy", "d2h", HOST, 5e-3, 8e-3, nbytes=64, src=0))
+    t.add(TraceRecord("host", "agg", HOST, 8e-3, 9e-3))
+    return t
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert "empty" in render_timeline(Trace())
+
+    def test_lanes_present(self):
+        out = render_timeline(make_trace(), width=60)
+        assert "gpu0.compute" in out
+        assert "gpu0.copy-in" in out
+        assert "gpu0.copy-out" in out
+        assert "host" in out
+
+    def test_bars_scale_with_duration(self):
+        out = render_timeline(make_trace(), width=100)
+        compute_line = next(l for l in out.splitlines() if "compute" in l)
+        # The 10ms kernel spans ~the full width.
+        filled = sum(1 for c in compute_line if c != " ") - len("gpu0.compute")
+        assert filled > 80
+
+    def test_window_clips(self):
+        out = render_timeline(make_trace(), width=60, start=9.5e-3, end=10e-3)
+        assert "copy-in" not in out  # the 0-4ms copy is outside the window
+
+    def test_labels_embedded(self):
+        out = render_timeline(make_trace(), width=120)
+        assert "klong" in out
+
+    def test_render_real_run(self):
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)
+        a = Matrix(32, 32, np.int32, "A").bind(np.ones((32, 32), np.int32))
+        b = Matrix(32, 32, np.int32, "B").bind(np.zeros((32, 32), np.int32))
+        k = make_gol_kernel()
+        sched.analyze_call(k, *gol_containers(a, b))
+        sched.invoke(k, *gol_containers(a, b))
+        sched.gather(b)
+        out = render_timeline(node.trace, width=80)
+        assert "gpu0.compute" in out and "gpu1.compute" in out
+        assert "#" in out and "=" in out
+
+
+class TestUtilization:
+    def test_empty(self):
+        assert utilization(Trace()) == {}
+
+    def test_fractions(self):
+        u = utilization(make_trace())
+        assert u["gpu0.compute"] == 1.0  # busy the whole span
+        assert 0 < u["gpu0.copy-in"] < 0.5
+
+    def test_real_run_compute_dominates(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 10e-3)
+        node.run()
+        u = utilization(node.trace)
+        assert u["gpu0.compute"] == 1.0

@@ -1,0 +1,93 @@
+"""Tests for the execution trace and its query helpers."""
+
+from repro.hardware import GTX_780, HOST
+from repro.sim import SimNode
+from repro.sim.trace import Trace, TraceRecord
+
+
+def rec(kind="kernel", label="k", device=0, start=0.0, end=1.0, nbytes=0):
+    return TraceRecord(kind, label, device, start, end, nbytes)
+
+
+class TestTraceQueries:
+    def test_kind_filters(self):
+        t = Trace()
+        t.add(rec("kernel", "a"))
+        t.add(rec("memcpy", "b", nbytes=64))
+        t.add(rec("host", "c"))
+        assert len(t.kernels()) == 1
+        assert len(t.memcpys()) == 1
+        assert len(t.of_kind("host")) == 1
+        assert len(t) == 3
+
+    def test_matching(self):
+        t = Trace()
+        t.add(rec(label="copy:A:0->1"))
+        t.add(rec(label="copy:B:1->2"))
+        assert len(t.matching("copy:A")) == 1
+        assert len(t.matching("copy:")) == 2
+
+    def test_total_bytes(self):
+        t = Trace()
+        t.add(rec("memcpy", nbytes=100))
+        t.add(rec("memcpy", nbytes=28))
+        t.add(rec("kernel", nbytes=999))  # kernels don't count
+        assert t.total_bytes_copied() == 128
+
+    def test_makespan(self):
+        t = Trace()
+        assert t.makespan() == 0.0
+        t.add(rec(start=0.0, end=2.0))
+        t.add(rec(start=1.0, end=5.0))
+        assert t.makespan() == 5.0
+
+    def test_overlaps(self):
+        a = rec(start=0.0, end=2.0)
+        b = rec(start=1.0, end=3.0)
+        c = rec(start=2.0, end=4.0)
+        assert Trace.overlaps(a, b)
+        assert not Trace.overlaps(a, c)  # half-open touch
+
+    def test_any_overlap(self):
+        t = Trace()
+        a = [rec(start=0.0, end=1.0)]
+        b = [rec(start=5.0, end=6.0), rec(start=0.5, end=0.7)]
+        assert t.any_overlap(a, b)
+        assert not t.any_overlap(a, [rec(start=2.0, end=3.0)])
+
+    def test_duration(self):
+        assert rec(start=1.5, end=4.0).duration == 2.5
+
+    def test_clear(self):
+        t = Trace()
+        t.add(rec())
+        t.clear()
+        assert len(t) == 0
+
+    def test_iterates(self):
+        t = Trace()
+        t.add(rec(label="x"))
+        assert [r.label for r in t] == ["x"]
+
+
+class TestTraceFromSimulation:
+    def test_records_have_consistent_fields(self):
+        node = SimNode(GTX_780, 2, functional=False)
+        s = node.new_stream(0)
+        c = node.new_stream(0, role="copy-in")
+        node.launch_kernel(s, 1e-3, label="work")
+        node.memcpy(c, HOST, 0, 1 << 20, label="load")
+        node.run()
+        k = node.trace.kernels()[0]
+        assert k.label == "work" and k.device == 0 and k.end > k.start
+        m = node.trace.memcpys()[0]
+        assert m.src == HOST and m.device == 0 and m.nbytes == 1 << 20
+
+    def test_engine_utilization_accumulates(self):
+        node = SimNode(GTX_780, 1, functional=False)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 5e-3)
+        node.launch_kernel(s, 5e-3)
+        node.run()
+        busy = node.devices[0].compute.busy_time
+        assert busy >= 10e-3

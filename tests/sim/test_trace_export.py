@@ -1,0 +1,78 @@
+"""Tests for the chrome://tracing exporter."""
+
+import io
+import json
+
+import numpy as np
+
+from repro.core import Matrix, Scheduler
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import gol_containers, make_gol_kernel
+from repro.sim import SimNode
+from repro.sim.trace_export import to_chrome_trace, write_chrome_trace
+
+
+def run_small():
+    node = SimNode(GTX_780, 2, functional=True)
+    sched = Scheduler(node)
+    a = Matrix(32, 32, np.int32, "A").bind(np.ones((32, 32), np.int32))
+    b = Matrix(32, 32, np.int32, "B").bind(np.zeros((32, 32), np.int32))
+    k = make_gol_kernel()
+    sched.analyze_call(k, *gol_containers(a, b))
+    sched.invoke(k, *gol_containers(a, b))
+    sched.gather(b)
+    return node
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        node = run_small()
+        obj = to_chrome_trace(node.trace)
+        assert "traceEvents" in obj
+        events = obj["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(node.trace)
+        assert meta, "thread name metadata expected"
+        for e in complete:
+            assert e["dur"] > 0
+            assert e["ts"] >= 0
+            assert e["pid"] == 1
+
+    def test_thread_names_cover_lanes(self):
+        node = run_small()
+        obj = to_chrome_trace(node.trace)
+        names = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "gpu0.compute" in names
+        assert "gpu1.compute" in names
+
+    def test_copy_events_carry_bytes_and_src(self):
+        node = run_small()
+        obj = to_chrome_trace(node.trace)
+        copies = [
+            e
+            for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "memcpy"
+        ]
+        assert copies
+        for e in copies:
+            assert e["args"]["bytes"] > 0
+            assert "src" in e["args"]
+
+    def test_json_serializable_roundtrip(self):
+        node = run_small()
+        buf = io.StringIO()
+        write_chrome_trace(node.trace, buf)
+        parsed = json.loads(buf.getvalue())
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_write_to_path(self, tmp_path):
+        node = run_small()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(node.trace, str(path))
+        parsed = json.loads(path.read_text())
+        assert parsed["traceEvents"]

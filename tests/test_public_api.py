@@ -1,0 +1,62 @@
+"""The top-level package exposes a stable, documented public API."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_runs(self):
+        """The README's quickstart, verbatim in structure."""
+        from repro import GTX_780, Matrix, Scheduler, SimNode
+        from repro.kernels.game_of_life import (
+            gol_containers,
+            make_gol_kernel,
+        )
+
+        board = (
+            np.random.default_rng(0).random((64, 64)) < 0.35
+        ).astype(np.int32)
+        node = SimNode(GTX_780, num_gpus=4, functional=True)
+        sched = Scheduler(node)
+        a = Matrix(64, 64, np.int32, "A").bind(board)
+        b = Matrix(64, 64, np.int32, "B").bind(np.zeros_like(board))
+        kernel = make_gol_kernel("maps_ilp")
+        sched.analyze_call(kernel, *gol_containers(a, b))
+        sched.analyze_call(kernel, *gol_containers(b, a))
+        for i in range(8):
+            src, dst = (a, b) if i % 2 == 0 else (b, a)
+            sched.invoke(kernel, *gol_containers(src, dst))
+        sched.gather(a)
+        assert node.time > 0
+        assert a.host.shape == (64, 64)
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.PatternMismatchError, repro.MapsError)
+        assert issubclass(repro.AnalysisError, repro.MapsError)
+        assert issubclass(repro.AllocationError, repro.MapsError)
+        assert issubclass(repro.SchedulingError, repro.MapsError)
+        assert issubclass(repro.SimulationError, repro.MapsError)
+
+    def test_paper_gpus_tuple(self):
+        assert len(repro.PAPER_GPUS) == 3
+        assert repro.GTX_780 in repro.PAPER_GPUS
+
+    def test_subpackages_importable(self):
+        import repro.apps.lenet
+        import repro.apps.nmf
+        import repro.baselines
+        import repro.bench
+        import repro.device_api
+        import repro.kernels
+        import repro.libs
+        import repro.patterns
+        import repro.sim

@@ -1,0 +1,294 @@
+"""Tests for N-d rectangle algebra — the substrate of Algorithms 1–2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rect import (
+    Interval,
+    Rect,
+    bounding_box,
+    coalesce,
+    split_modular,
+)
+
+
+# -- strategies ----------------------------------------------------------------
+def intervals(lo=-20, hi=20):
+    return st.tuples(
+        st.integers(lo, hi), st.integers(0, 10)
+    ).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+
+def rects(ndim=2, lo=-20, hi=20):
+    return st.lists(intervals(lo, hi), min_size=ndim, max_size=ndim).map(
+        lambda ivs: Rect(*ivs)
+    )
+
+
+class TestInterval:
+    def test_size_and_empty(self):
+        assert Interval(2, 5).size == 3
+        assert not Interval(2, 5).empty
+        assert Interval(3, 3).empty
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 5).intersect(Interval(7, 9)).empty
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 8)) == Interval(0, 8)
+        assert Interval(3, 3).hull(Interval(5, 8)) == Interval(5, 8)
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert Interval(0, 10).contains(Interval(4, 4))  # empty
+        assert not Interval(0, 10).contains(Interval(5, 11))
+
+    def test_shift_expand_clamp(self):
+        assert Interval(2, 4).shift(3) == Interval(5, 7)
+        assert Interval(2, 4).expand(1) == Interval(1, 5)
+        assert Interval(2, 4).expand(1, 2) == Interval(1, 6)
+        assert Interval(-3, 15).clamp(0, 10) == Interval(0, 10)
+
+
+class TestRectBasics:
+    def test_from_shape(self):
+        r = Rect.from_shape((4, 6))
+        assert r.shape == (4, 6)
+        assert r.size == 24
+        assert r.begin == (0, 0)
+        assert r.end == (4, 6)
+
+    def test_empty(self):
+        assert Rect((0, 0), (1, 3)).empty
+        assert not Rect((0, 1), (1, 3)).empty
+        assert Rect.empty_like(3).empty
+        assert Rect.empty_like(3).ndim == 3
+
+    def test_equality_hash(self):
+        a, b = Rect((0, 2), (1, 3)), Rect((0, 2), (1, 3))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rect((0, 2), (1, 4))
+
+    def test_needs_dimension(self):
+        with pytest.raises(ValueError):
+            Rect()
+
+    def test_ndim_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect((0, 1)).intersect(Rect((0, 1), (0, 1)))
+
+    def test_slices(self):
+        r = Rect((2, 5), (1, 4))
+        a = np.arange(64).reshape(8, 8)
+        assert a[r.slices()].shape == (3, 3)
+        assert a[r.slices()][0, 0] == a[2, 1]
+        # Relative to a buffer origin
+        assert r.slices(origin=(2, 1)) == (slice(0, 3), slice(0, 3))
+
+    def test_points(self):
+        pts = list(Rect((0, 2), (1, 3)).points())
+        assert pts == [(0, 1), (0, 2), (1, 1), (1, 2)]
+
+    def test_contains_point(self):
+        r = Rect((0, 2), (1, 3))
+        assert r.contains_point((1, 2))
+        assert not r.contains_point((2, 1))
+
+
+class TestRectAlgebra:
+    def test_intersect(self):
+        a = Rect((0, 4), (0, 4))
+        b = Rect((2, 6), (3, 8))
+        assert a.intersect(b) == Rect((2, 4), (3, 4))
+
+    def test_hull(self):
+        a = Rect((0, 2), (0, 2))
+        b = Rect((4, 6), (1, 3))
+        assert a.hull(b) == Rect((0, 6), (0, 3))
+        assert a.hull(Rect.empty_like(2)) == a
+
+    def test_contains(self):
+        outer = Rect((0, 10), (0, 10))
+        assert outer.contains(Rect((2, 5), (3, 7)))
+        assert not outer.contains(Rect((2, 11), (3, 7)))
+        assert outer.contains(Rect.empty_like(2))
+
+    def test_expand_clip(self):
+        r = Rect((2, 6), (2, 6))
+        assert r.expand(1) == Rect((1, 7), (1, 7))
+        assert r.expand([1, 0]) == Rect((1, 7), (2, 6))
+        assert r.expand(1).clip(Rect.from_shape((6, 6))) == Rect((1, 6), (1, 6))
+
+    def test_subtract_disjoint(self):
+        a = Rect((0, 4), (0, 4))
+        assert a.subtract(Rect((10, 12), (0, 4))) == [a]
+
+    def test_subtract_total(self):
+        a = Rect((1, 3), (1, 3))
+        assert a.subtract(Rect((0, 4), (0, 4))) == []
+
+    def test_subtract_partial_pieces_cover(self):
+        a = Rect((0, 4), (0, 4))
+        b = Rect((1, 3), (1, 3))
+        pieces = a.subtract(b)
+        # Pieces are disjoint, don't overlap b, and together with b cover a.
+        total = sum(p.size for p in pieces)
+        assert total == a.size - b.size
+        for p in pieces:
+            assert not p.overlaps(b)
+            assert a.contains(p)
+        for i, p in enumerate(pieces):
+            for q in pieces[i + 1:]:
+                assert not p.overlaps(q)
+
+    def test_subtract_all(self):
+        a = Rect((0, 4), (0, 4))
+        holes = [Rect((0, 2), (0, 4)), Rect((2, 4), (0, 2))]
+        rest = a.subtract_all(holes)
+        assert sum(p.size for p in rest) == 4
+        assert all(Rect((2, 4), (2, 4)).contains(p) for p in rest)
+
+    @given(rects(), rects())
+    @settings(max_examples=200)
+    def test_subtract_property(self, a, b):
+        pieces = a.subtract(b)
+        inter = a.intersect(b)
+        assert sum(p.size for p in pieces) == a.size - inter.size
+        for p in pieces:
+            assert not p.empty
+            assert a.contains(p)
+            assert not p.overlaps(b)
+
+    @given(rects(), rects())
+    @settings(max_examples=200)
+    def test_intersect_commutes_and_bounds(self, a, b):
+        ab, ba = a.intersect(b), b.intersect(a)
+        assert ab.size == ba.size
+        assert ab.size <= min(a.size, b.size)
+        if not ab.empty:
+            assert a.contains(ab) and b.contains(ab)
+
+    @given(rects(), rects())
+    @settings(max_examples=200)
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.contains(a) and h.contains(b)
+
+    @given(rects(ndim=3), rects(ndim=3))
+    @settings(max_examples=100)
+    def test_3d_algebra(self, a, b):
+        assert a.intersect(b).size <= a.size
+        assert a.hull(b).contains(a.intersect(b)) or a.intersect(b).empty
+
+
+class TestBoundingBox:
+    def test_bounding_box(self):
+        rs = [Rect((0, 2), (0, 2)), Rect((5, 7), (1, 4)), Rect.empty_like(2)]
+        assert bounding_box(rs) == Rect((0, 7), (0, 4))
+
+    def test_all_empty(self):
+        assert bounding_box([Rect.empty_like(2)]) is None
+        assert bounding_box([]) is None
+
+
+class TestSplitModular:
+    def test_in_bounds_identity(self):
+        r = Rect((2, 5), (1, 4))
+        pieces = split_modular(r, (8, 8))
+        assert pieces == [(r, r)]
+
+    def test_negative_wrap(self):
+        # Rows [-1, 2) of an 8-row matrix: row -1 wraps to row 7.
+        pieces = dict(split_modular(Rect((-1, 2), (0, 4)), (8, 4)))
+        assert pieces[Rect((-1, 0), (0, 4))] == Rect((7, 8), (0, 4))
+        assert pieces[Rect((0, 2), (0, 4))] == Rect((0, 2), (0, 4))
+
+    def test_overflow_wrap(self):
+        pieces = dict(split_modular(Rect((6, 9), (0, 4)), (8, 4)))
+        assert pieces[Rect((6, 8), (0, 4))] == Rect((6, 8), (0, 4))
+        assert pieces[Rect((8, 9), (0, 4))] == Rect((0, 1), (0, 4))
+
+    def test_corner_wrap_2d(self):
+        pieces = split_modular(Rect((-1, 1), (-1, 1)), (8, 8))
+        assert len(pieces) == 4
+        virtuals = {v for v, _ in pieces}
+        assert Rect((-1, 0), (-1, 0)) in virtuals
+        actuals = dict(pieces)
+        assert actuals[Rect((-1, 0), (-1, 0))] == Rect((7, 8), (7, 8))
+
+    def test_beyond_one_period(self):
+        with pytest.raises(ValueError):
+            split_modular(Rect((-9, 2), (0, 4)), (8, 4))
+        with pytest.raises(ValueError):
+            split_modular(Rect((0, 17), (0, 4)), (8, 4))
+
+    def test_aliasing_halo_allowed(self):
+        """A 63-row stripe with radius-1 halo spans 65 virtual rows of a
+        64-row datum; the wrapped halo aliases the interior but the
+        decomposition stays exact."""
+        pieces = split_modular(Rect((-1, 64), (0, 4)), (64, 4))
+        assert sum(v.size for v, _ in pieces) == 65 * 4
+        actuals = [a for _, a in pieces]
+        assert Rect((63, 64), (0, 4)) in actuals  # wrapped halo
+        assert Rect((0, 64), (0, 4)) in actuals
+
+    @given(
+        st.integers(-3, 10),
+        st.integers(0, 8),
+        st.integers(-3, 10),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=200)
+    def test_property_pieces_partition(self, b0, s0, b1, s1):
+        shape = (9, 9)
+        r = Rect((b0, b0 + s0), (b1, b1 + s1))
+        pieces = split_modular(r, shape)
+        # Virtual pieces partition the original rect.
+        assert sum(v.size for v, _ in pieces) == r.size
+        full = Rect.from_shape(shape)
+        for v, a in pieces:
+            assert v.shape == a.shape
+            assert full.contains(a)
+            # Each actual coordinate is virtual mod shape.
+            assert all(
+                av.begin % s == ab.begin % s
+                for av, ab, s in zip(v.intervals, a.intervals, shape)
+            )
+
+
+class TestCoalesce:
+    def test_merge_adjacent_rows(self):
+        rs = [Rect((0, 2), (0, 4)), Rect((2, 5), (0, 4))]
+        assert coalesce(rs) == [Rect((0, 5), (0, 4))]
+
+    def test_merge_contained(self):
+        rs = [Rect((0, 5), (0, 4)), Rect((1, 2), (1, 2))]
+        assert coalesce(rs) == [Rect((0, 5), (0, 4))]
+
+    def test_no_merge_diagonal(self):
+        rs = [Rect((0, 2), (0, 2)), Rect((2, 4), (2, 4))]
+        assert len(coalesce(rs)) == 2
+
+    def test_drops_empty(self):
+        assert coalesce([Rect.empty_like(2), Rect((0, 1), (0, 1))]) == [
+            Rect((0, 1), (0, 1))
+        ]
+
+    @given(st.lists(rects(lo=0, hi=10), max_size=6))
+    @settings(max_examples=150)
+    def test_property_preserves_coverage(self, rs):
+        merged = coalesce(rs)
+        # Every point covered before is covered after, and vice versa.
+        probe = Rect((0, 21), (0, 21))
+        for pt in [(0, 0), (5, 5), (10, 3), (3, 10), (20, 20)]:
+            before = any((not r.empty) and r.contains_point(pt) for r in rs)
+            after = any(m.contains_point(pt) for m in merged)
+            assert before == after

@@ -1,0 +1,41 @@
+"""Unit tests for byte/time formatting helpers."""
+
+from repro.utils.units import GB, GIB, KB, KIB, MB, MIB, fmt_bytes, fmt_time
+
+
+class TestConstants:
+    def test_decimal_vs_binary(self):
+        assert KB == 1000 and KIB == 1024
+        assert MB == 1000**2 and MIB == 1024**2
+        assert GB == 1000**3 and GIB == 1024**3
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert fmt_bytes(1536) == "1.50 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(64 * MIB) == "64.00 MiB"
+
+    def test_gib(self):
+        assert fmt_bytes(3 * GIB) == "3.00 GiB"
+
+    def test_zero(self):
+        assert fmt_bytes(0) == "0 B"
+
+
+class TestFmtTime:
+    def test_seconds(self):
+        assert fmt_time(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.00325) == "3.250 ms"
+
+    def test_microseconds(self):
+        assert fmt_time(42e-6) == "42.00 us"
+
+    def test_nanoseconds(self):
+        assert fmt_time(5e-9) == "5.0 ns"
