@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from conftest import fmt_table, record_result
-from repro.core import Grid, Kernel, Matrix, Scheduler, Vector
+from repro.core import Matrix, Scheduler
 from repro.hardware import GTX_780
 from repro.kernels.game_of_life import gol_containers, make_gol_kernel
 from repro.sim import SimNode

@@ -14,7 +14,7 @@ import pytest
 
 from conftest import fmt_table, record_result
 from repro.bench.experiments import run_histogram
-from repro.hardware import GTX_780, GTX_980, PAPER_GPUS, TITAN_BLACK
+from repro.hardware import PAPER_GPUS
 
 GPU_COUNTS = (1, 2, 3, 4)
 IMPLS = ("naive", "cub", "maps")

@@ -12,7 +12,7 @@ import pytest
 
 from conftest import fmt_table, record_result
 from repro.bench.experiments import nmf_throughput
-from repro.hardware import GTX_980, PAPER_GPUS
+from repro.hardware import PAPER_GPUS
 
 GPU_COUNTS = (1, 2, 3, 4)
 

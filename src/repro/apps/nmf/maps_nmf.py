@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.nmf.algorithm import EPS
-from repro.core import Datum, Grid, Matrix, Scheduler, Vector
+from repro.core import Grid, Matrix, Scheduler, Vector
 from repro.core.task import CostContext, Kernel
 from repro.core.unmodified import RoutineContext, make_routine
 from repro.libs.cublas import gemm_time

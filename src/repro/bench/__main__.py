@@ -19,6 +19,11 @@ from repro.bench.experiments import (
     table4_single_gpu,
     xt_gemm_scaling,
 )
+from repro.bench.overhead import (
+    measure_overhead,
+    overhead_report,
+    write_overhead_json,
+)
 from repro.bench.reporting import fmt_table
 from repro.hardware import GTX_780, PAPER_GPUS
 
@@ -138,9 +143,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="measure host-path overhead (plan cache off vs on) and write "
+        "BENCH_overhead.json",
+    )
+    parser.add_argument(
+        "--overhead-json",
+        default="BENCH_overhead.json",
+        metavar="PATH",
+        help="output path for --overhead results (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+    if args.overhead:
+        results = measure_overhead()
+        print(overhead_report(results))
+        write_overhead_json(results, args.overhead_json)
+        print(f"wrote {args.overhead_json}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

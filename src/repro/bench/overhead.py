@@ -1,0 +1,212 @@
+"""Host-path overhead benchmark: plan cache on vs. off (§4.3).
+
+The paper amortizes host-side scheduling work across the repeated
+invocations of iterative workloads ("the segmentation phase is performed
+once ... subsequent invocations reuse the analysis"). This benchmark
+measures that amortization directly: it submits ``ITERS`` repeated
+invocations of each flagship workload (Game of Life, histogram, chained
+SGEMM — all at the paper's 8K scale) on a timing-only node and times the
+*host* wall-clock of the submission loop with the invocation plan cache
+enabled vs. disabled.
+
+Disabling the cache (``Scheduler(plan_cache=False)``) turns off every
+cross-invocation amortization — plan replay, copy-decision memoization
+and the location monitor's transition memoization — so the baseline is an
+honest "recompute everything per invocation" scheduler.
+
+Both modes must produce identical simulated timelines and identical
+command streams; the benchmark asserts this (``sim_time`` and
+``commands`` equality) rather than trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.reporting import fmt_table
+from repro.core import Grid, Matrix, Scheduler, Vector
+from repro.hardware.specs import GPUSpec, GTX_780
+from repro.kernels.game_of_life import gol_containers, make_gol_kernel
+from repro.kernels.histogram import histogram_containers, make_histogram_kernel
+from repro.libs.cublas import make_sgemm_routine, sgemm_containers
+from repro.sim.node import SimNode
+
+#: Paper scale (§5: "8K square") and invocation count per measurement.
+PAPER_SIZE = 8192
+ITERS = 100
+#: Wall-clock measurements repeat this many times; the minimum is reported
+#: (standard practice for host-overhead microbenchmarks — the minimum is
+#: the least noise-contaminated sample).
+REPEATS = 3
+NUM_GPUS = 4
+
+
+def _run_gol(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
+    node = SimNode(spec, NUM_GPUS, functional=False)
+    sched = Scheduler(node, plan_cache=plan_cache)
+    kernel = make_gol_kernel()
+    a = Matrix(size, size, np.uint8, "gol_a")
+    b = Matrix(size, size, np.uint8, "gol_b")
+    sched.analyze_call(kernel, *gol_containers(a, b))
+    sched.analyze_call(kernel, *gol_containers(b, a))
+    sched.invoke(kernel, *gol_containers(a, b))  # warm-up distribution
+    sched.wait_all()
+    cur, nxt = b, a
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        sched.invoke(kernel, *gol_containers(cur, nxt))
+        cur, nxt = nxt, cur
+    t1 = time.perf_counter()
+    sched.wait_all()
+    t2 = time.perf_counter()
+    return _result(node, sched, t1 - t0, t2 - t1)
+
+
+def _run_histogram(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
+    node = SimNode(spec, NUM_GPUS, functional=False)
+    sched = Scheduler(node, plan_cache=plan_cache)
+    kernel = make_histogram_kernel("maps")
+    image = Matrix(size, size, np.uint8, "image")
+    hist = Vector(256, np.int32, "hist")
+    containers = histogram_containers(image, hist)
+    grid = Grid((size, size))
+    sched.analyze_call(kernel, *containers, grid=grid)
+    sched.invoke(kernel, *containers, grid=grid)  # warm-up distribution
+    sched.wait_all()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        sched.invoke(kernel, *containers, grid=grid)
+    t1 = time.perf_counter()
+    sched.gather(hist)
+    sched.wait_all()
+    t2 = time.perf_counter()
+    return _result(node, sched, t1 - t0, t2 - t1)
+
+
+def _run_sgemm(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
+    node = SimNode(spec, NUM_GPUS, functional=False)
+    sched = Scheduler(node, plan_cache=plan_cache)
+    gemm = make_sgemm_routine()
+    bmat = Matrix(size, size, np.float32, "B")
+    x = Matrix(size, size, np.float32, "X")
+    y = Matrix(size, size, np.float32, "Y")
+    sched.analyze_call(gemm, *sgemm_containers(x, bmat, y))
+    sched.analyze_call(gemm, *sgemm_containers(y, bmat, x))
+    sched.invoke_unmodified(gemm, *sgemm_containers(x, bmat, y))  # warm-up
+    sched.wait_all()
+    cur, nxt = y, x
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        sched.invoke_unmodified(gemm, *sgemm_containers(cur, bmat, nxt))
+        cur, nxt = nxt, cur
+    t1 = time.perf_counter()
+    sched.wait_all()
+    t2 = time.perf_counter()
+    return _result(node, sched, t1 - t0, t2 - t1)
+
+
+def _result(node: SimNode, sched: Scheduler, submit: float, drain: float) -> dict:
+    return {
+        "submit_s": submit,
+        "drain_s": drain,
+        "sim_time": node.time,
+        "commands": node.engine.commands_executed,
+        "plan_cache": sched.plans.stats,
+        "transitions": {
+            "hits": sched.monitor.transition_hits,
+            "misses": sched.monitor.transition_misses,
+        },
+    }
+
+
+WORKLOADS: dict[str, Callable[[bool, GPUSpec, int, int], dict]] = {
+    "game_of_life": _run_gol,
+    "histogram": _run_histogram,
+    "sgemm_chain": _run_sgemm,
+}
+
+
+def _best_of(fn, plan_cache, spec, size, iters, repeats):
+    """Repeat a workload run, keeping the lowest submit wall-clock."""
+    best = None
+    for _ in range(repeats):
+        r = fn(plan_cache, spec, size, iters)
+        if best is None or r["submit_s"] < best["submit_s"]:
+            best = r
+    return best
+
+
+def measure_overhead(
+    spec: GPUSpec = GTX_780,
+    size: int = PAPER_SIZE,
+    iters: int = ITERS,
+    repeats: int = REPEATS,
+) -> dict:
+    """Run every workload cached and uncached; return the result tree.
+
+    Raises :class:`AssertionError` if a cached run's simulated time or
+    command count diverges from its uncached baseline — plan replay must
+    be a pure wall-clock optimization.
+    """
+    results: dict = {
+        "spec": spec.name,
+        "num_gpus": NUM_GPUS,
+        "size": size,
+        "iters": iters,
+        "repeats": repeats,
+        "workloads": {},
+    }
+    for name, fn in WORKLOADS.items():
+        uncached = _best_of(fn, False, spec, size, iters, repeats)
+        cached = _best_of(fn, True, spec, size, iters, repeats)
+        assert cached["sim_time"] == uncached["sim_time"], (
+            f"{name}: plan cache changed simulated time "
+            f"({cached['sim_time']} != {uncached['sim_time']})"
+        )
+        assert cached["commands"] == uncached["commands"], (
+            f"{name}: plan cache changed the command count "
+            f"({cached['commands']} != {uncached['commands']})"
+        )
+        results["workloads"][name] = {
+            "uncached": uncached,
+            "cached": cached,
+            "submit_speedup": uncached["submit_s"] / cached["submit_s"],
+            "total_speedup": (uncached["submit_s"] + uncached["drain_s"])
+            / (cached["submit_s"] + cached["drain_s"]),
+        }
+    return results
+
+
+def overhead_report(results: dict) -> str:
+    """The result tree as an aligned plain-text table."""
+    rows = []
+    for name, r in results["workloads"].items():
+        rows.append(
+            [
+                name,
+                f"{r['uncached']['submit_s'] * 1e3:.1f} ms",
+                f"{r['cached']['submit_s'] * 1e3:.1f} ms",
+                f"{r['submit_speedup']:.2f}x",
+                f"{r['total_speedup']:.2f}x",
+                str(r["cached"]["commands"]),
+            ]
+        )
+    title = (
+        f"Host-path overhead: {results['iters']} invocations, "
+        f"{results['size']}^2, {results['num_gpus']}x {results['spec']} "
+        "(plan cache off vs on)"
+    )
+    return fmt_table(
+        title,
+        ["workload", "uncached", "cached", "speedup", "total", "commands"],
+        rows,
+    )
+
+
+def write_overhead_json(results: dict, path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(json.dumps(results, indent=2) + "\n")

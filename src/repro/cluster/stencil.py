@@ -25,7 +25,6 @@ synchronizes them (a bulk-synchronous step), with message timing from
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
 
 import numpy as np
 
@@ -34,7 +33,7 @@ from repro.core import Kernel, Matrix, Scheduler
 from repro.core.datum import Datum
 from repro.errors import SchedulingError
 from repro.hardware.specs import GPUSpec
-from repro.patterns import ZERO, Boundary, StructuredInjective, Window2D
+from repro.patterns import ZERO, StructuredInjective, Window2D
 from repro.sim.node import SimNode
 from repro.utils.rect import Rect
 
@@ -131,7 +130,6 @@ class ClusterStencil:
     def _fill_ghosts_from_board(self, backing, board, i) -> None:
         r, s = self.radius, self.slab_rows
         lo = i * s
-        up = (lo - r) % self.rows if self.wrap else lo - r
         if self.wrap or lo - r >= 0:
             idx = (np.arange(lo - r, lo) % self.rows) if self.wrap else np.arange(lo - r, lo)
             backing[:r] = board[idx]

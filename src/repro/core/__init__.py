@@ -5,6 +5,7 @@ from repro.core.datum import Datum, Matrix, Vector, from_array
 from repro.core.grid import Grid
 from repro.core.location_monitor import CopyOp, LocationMonitor
 from repro.core.memory_analyzer import MemoryAnalyzer
+from repro.core.plan import PlanCache, TaskPlan, task_signature
 from repro.core.scheduler import Scheduler
 from repro.core.task import CostContext, Kernel, Task, TaskHandle
 
@@ -21,5 +22,8 @@ __all__ = [
     "MemoryAnalyzer",
     "LocationMonitor",
     "CopyOp",
+    "PlanCache",
+    "TaskPlan",
+    "task_signature",
     "Scheduler",
 ]

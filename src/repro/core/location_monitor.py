@@ -27,7 +27,7 @@ from repro.errors import SchedulingError
 from repro.hardware.topology import HOST
 from repro.patterns.base import Aggregation
 from repro.sim.commands import Event
-from repro.utils.rect import Rect, coalesce
+from repro.utils.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.datum import Datum
@@ -42,15 +42,19 @@ class CopyOp:
     actual: Rect  # region in actual datum coordinates
     #: Event of the source instance's producer; the copy waits on it.
     wait: Optional[Event]
+    #: Index of the source instance within ``up_to_date[src]`` at planning
+    #: time — provenance that lets an invocation plan replay the same copy
+    #: decision against an identical residency state (see ``fingerprint``).
+    src_index: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class _Instance:
     rect: Rect
     event: Optional[Event]  # producer completion; None = always ready
 
 
-@dataclass
+@dataclass(slots=True)
 class _DatumState:
     #: location -> up-to-date instances (actual coordinates).
     up_to_date: dict[int, list[_Instance]] = field(default_factory=dict)
@@ -59,14 +63,54 @@ class _DatumState:
     agg_sources: dict[int, Optional[Event]] = field(default_factory=dict)
     #: location -> events of in-flight readers of instances there.
     pending_reads: dict[int, list[Event]] = field(default_factory=dict)
+    #: Canonical geometry state id (see ``LocationMonitor._sid``); -1 means
+    #: not yet assigned — recomputed lazily after a non-memoized mutation.
+    sid: int = -1
+
+
+#: Event-source markers in memoized transition templates. Inherited events
+#: are always resolved *positionally* — a template stores "the event of the
+#: pre-state instance at (loc, idx)", never an event value: state ids key on
+#: geometry only, so the same transition may replay on a different datum
+#: whose analogous instances carry different events.
+_SRC_OP = "op"  # the mutating operation's own event
+_AMBIGUOUS = "ambiguous"  # event object shared by several pre instances
+
+#: Bounds on the memoization tables: a workload whose residency geometry
+#: never revisits a state stops memoizing instead of growing unboundedly.
+_GEOM_LIMIT = 65536
+_TRANS_LIMIT = 16384
 
 
 class LocationMonitor:
-    """Per-datum instance tracking and Algorithm 2."""
+    """Per-datum instance tracking and Algorithm 2.
+
+    Iterative workloads drive the monitor through a *periodic* sequence of
+    residency states (a Game-of-Life tick leaves each board's instance
+    geometry exactly where the previous tick on that board left it), so the
+    monitor doubles as an incrementally-memoized automaton: every distinct
+    instance geometry gets a small canonical state id, and the hot
+    mutations (:meth:`mark_copied`, :meth:`mark_written`) memoize their
+    transitions ``(state id, op) -> (new state id, instance template)``.
+    In steady state a mutation is one dictionary lookup plus rebuilding a
+    handful of instances from the template — the rectangle subtraction
+    algebra runs only the first time each transition is seen. Setting
+    :attr:`amortize` to False disables all cross-invocation memoization
+    (the uncached-baseline mode of ``repro.bench --overhead``).
+    """
 
     def __init__(self) -> None:
         self._state: dict[int, _DatumState] = {}
         self._datums: dict[int, "Datum"] = {}
+        #: Cross-invocation memoization switch (see class docstring).
+        self.amortize = True
+        #: geometry fingerprint -> canonical state id.
+        self._geom_ids: dict[tuple, int] = {}
+        #: (state id, kind, loc, rect) -> (post state id, template).
+        self._transitions: dict[tuple, tuple[int, tuple]] = {}
+        #: Memoized-transition replays vs. slow-path mutations (diagnostics).
+        self.transition_hits = 0
+        self.transition_misses = 0
 
     # -- state access ------------------------------------------------------
     def _st(self, datum: "Datum") -> _DatumState:
@@ -145,23 +189,23 @@ class LocationMonitor:
         locations = self._locations(st, target, prefer)
         # Lines 5-8: whole piece available at a single location.
         for loc in locations:
-            for inst in st.up_to_date.get(loc, []):
+            for idx, inst in enumerate(st.up_to_date.get(loc, [])):
                 if inst.rect.contains(piece):
-                    return [CopyOp(loc, target, piece, inst.event)]
+                    return [CopyOp(loc, target, piece, inst.event, idx)]
         # Lines 9-14: assemble from intersections across locations.
         ops: list[CopyOp] = []
         remaining = [piece]
         for loc in locations:
             if not remaining:
                 break
-            for inst in st.up_to_date.get(loc, []):
+            for idx, inst in enumerate(st.up_to_date.get(loc, [])):
                 next_remaining: list[Rect] = []
                 for r in remaining:
                     inter = r.intersect(inst.rect)
                     if inter.empty:
                         next_remaining.append(r)
                     else:
-                        ops.append(CopyOp(loc, target, inter, inst.event))
+                        ops.append(CopyOp(loc, target, inter, inst.event, idx))
                         next_remaining.extend(r.subtract(inter))
                 remaining = next_remaining
                 if not remaining:
@@ -173,14 +217,165 @@ class LocationMonitor:
             )
         return ops
 
+    # -- steady-state replay support -------------------------------------------
+    def _sid(self, st: _DatumState) -> int:
+        """Canonical id of the state's instance geometry (lazy).
+
+        The fingerprint captures everything :meth:`compute_copies` decides
+        on *except* producer events: which locations hold instances, their
+        order, and every instance's rect. Two states with the same id yield
+        the same copy decisions — same sources, same instance indices, same
+        rects. Returns -1 (uncacheable) once the id table is full.
+        """
+        s = st.sid
+        if s < 0:
+            fp = tuple(
+                (loc, tuple(i.rect for i in insts))
+                for loc, insts in st.up_to_date.items()
+            )
+            ids = self._geom_ids
+            s = ids.get(fp, -1)
+            if s < 0 and len(ids) < _GEOM_LIMIT:
+                s = len(ids)
+                ids[fp] = s
+            st.sid = s
+        return s
+
+    def fingerprint(self, datum: "Datum") -> Optional[int]:
+        """Memoization key for the datum's residency geometry, or ``None``
+        when the state is uncacheable (pending aggregation, or the id table
+        overflowed). Plans key copy decisions on this and rebuild the ops
+        via :meth:`replay_copies`, re-reading only the (current) events."""
+        st = self._st(datum)
+        if st.agg_mode is not Aggregation.NONE:
+            return None
+        s = self._sid(st)
+        return s if s >= 0 else None
+
+    def replay_copies(
+        self,
+        datum: "Datum",
+        target: int,
+        decisions: Iterable[tuple[int, int, Rect]],
+    ) -> list[CopyOp]:
+        """Rebuild copy ops from memoized ``(src, src_index, rect)``
+        decisions, fetching each source instance's *current* producer event.
+        Only valid when the datum's :meth:`fingerprint` equals the one the
+        decisions were recorded under."""
+        up_to_date = self._st(datum).up_to_date
+        return [
+            CopyOp(src, target, rect, up_to_date[src][idx].event, idx)
+            for src, idx, rect in decisions
+        ]
+
+    # -- transition memoization ---------------------------------------------
+    def _apply(
+        self,
+        template: tuple,
+        pre: dict[int, list[_Instance]],
+        op_event: Optional[Event],
+    ) -> dict[int, list[_Instance]]:
+        """Rebuild ``up_to_date`` from a memoized post-state template,
+        resolving each instance's event from the pre-state (by position) or
+        the mutating op's event.
+
+        Templates encode reuse: a location whose instance list the
+        transition left untouched stores ``None`` and inherits the pre list
+        wholesale; an instance that survived unchanged stores ``(None,
+        (loc, idx))`` and the pre object itself is carried over (instances
+        are never mutated in place, so sharing is safe — the pre dict is
+        discarded on return)."""
+        new: dict[int, list[_Instance]] = {}
+        for loc, entries in template:
+            if entries is None:
+                new[loc] = pre[loc]
+                continue
+            lst = []
+            for rect, src in entries:
+                if src is _SRC_OP:
+                    lst.append(_Instance(rect, op_event))
+                elif rect is None:
+                    lst.append(pre[src[0]][src[1]])
+                else:
+                    lst.append(_Instance(rect, pre[src[0]][src[1]].event))
+            new[loc] = lst
+        return new
+
+    def _record(
+        self,
+        key: tuple,
+        pre: dict[int, tuple[_Instance, ...]],
+        st: _DatumState,
+        op_event: Optional[Event],
+    ) -> None:
+        """Memoize the transition just performed: canonicalize the post
+        state and capture it as a template of (rect, event source) pairs."""
+        st.sid = -1
+        post = self._sid(st)
+        if post < 0 or len(self._transitions) >= _TRANS_LIMIT:
+            return
+        instmap: dict[int, tuple[int, int]] = {}
+        premap: dict[int, object] = {}
+        for loc, insts in pre.items():
+            for idx, inst in enumerate(insts):
+                instmap[id(inst)] = (loc, idx)
+                k = id(inst.event)
+                # Provenance must be unambiguous: if two pre instances
+                # share one event object, a surviving piece cannot be
+                # attributed to a position, and a later same-geometry
+                # state may hold different events at those positions.
+                premap[k] = _AMBIGUOUS if k in premap else (loc, idx)
+        template = []
+        for loc, insts in st.up_to_date.items():
+            pre_insts = pre.get(loc, ())
+            if len(insts) == len(pre_insts) and all(
+                a is b for a, b in zip(insts, pre_insts)
+            ):
+                template.append((loc, None))  # location untouched
+                continue
+            entries = []
+            for inst in insts:
+                # Survivor? Reuse the pre object at its position (checked
+                # before the op-event test so a pre instance whose event
+                # happens to equal ``op_event`` — e.g. both None — is not
+                # misattributed to the op).
+                src: object = instmap.get(id(inst))
+                if src is not None:
+                    entries.append((None, src))
+                    continue
+                ev = inst.event
+                if ev is op_event:
+                    entries.append((inst.rect, _SRC_OP))
+                    continue
+                src = premap.get(id(ev))
+                if src is None or src is _AMBIGUOUS:
+                    return  # unknown provenance; don't memoize
+                entries.append((inst.rect, src))
+            template.append((loc, tuple(entries)))
+        self._transitions[key] = (post, tuple(template))
+
     # -- state transitions ---------------------------------------------------
     def mark_copied(
         self, datum: "Datum", target: int, actual: Rect, event: Optional[Event]
     ) -> None:
         """A copy landed ``actual`` at ``target`` (it is now up to date)."""
         st = self._st(datum)
-        insts = st.up_to_date.setdefault(target, [])
-        self._insert(insts, actual, event)
+        if self.amortize and st.sid >= 0:
+            key = (st.sid, 0, target, actual)
+            hit = self._transitions.get(key)
+            if hit is not None:
+                self.transition_hits += 1
+                post, template = hit
+                st.up_to_date = self._apply(template, st.up_to_date, event)
+                st.sid = post
+                return
+            self.transition_misses += 1
+            pre = {loc: tuple(i) for loc, i in st.up_to_date.items()}
+            self._insert(st.up_to_date.setdefault(target, []), actual, event)
+            self._record(key, pre, st, event)
+            return
+        st.sid = -1
+        self._insert(st.up_to_date.setdefault(target, []), actual, event)
 
     def mark_read(self, datum: "Datum", loc: int, event: Event) -> None:
         """Register an in-flight reader of the instance at ``loc``."""
@@ -198,14 +393,43 @@ class LocationMonitor:
         st = self._st(datum)
         st.agg_mode = Aggregation.NONE
         st.agg_sources.clear()
+        if self.amortize and st.sid >= 0:
+            key = (st.sid, 1, device, rect)
+            hit = self._transitions.get(key)
+            if hit is not None:
+                self.transition_hits += 1
+                post, template = hit
+                st.up_to_date = self._apply(template, st.up_to_date, event)
+                st.sid = post
+                return
+            self.transition_misses += 1
+            pre = {loc: tuple(i) for loc, i in st.up_to_date.items()}
+            self._mark_written_slow(st, device, rect, event)
+            self._record(key, pre, st, event)
+            return
+        st.sid = -1
+        self._mark_written_slow(st, device, rect, event)
+
+    def _mark_written_slow(
+        self, st: _DatumState, device: int, rect: Rect, event: Optional[Event]
+    ) -> None:
         for loc, insts in st.up_to_date.items():
-            if loc == device:
+            if loc == device or not insts:
                 continue
-            updated: list[_Instance] = []
-            for inst in insts:
-                for part in inst.rect.subtract(rect):
-                    updated.append(_Instance(part, inst.event))
-            st.up_to_date[loc] = updated
+            # Copy-on-write: most instances don't overlap the written rect,
+            # so the list is only rebuilt from the first affected entry on.
+            updated: list[_Instance] | None = None
+            for k, inst in enumerate(insts):
+                ir = inst.rect
+                if ir.overlaps(rect) or ir.empty:
+                    if updated is None:
+                        updated = insts[:k]
+                    for part in ir.subtract(rect):
+                        updated.append(_Instance(part, inst.event))
+                elif updated is not None:
+                    updated.append(inst)
+            if updated is not None:
+                st.up_to_date[loc] = updated
         self._insert(st.up_to_date.setdefault(device, []), rect, event)
 
     def mark_partial(
@@ -219,6 +443,7 @@ class LocationMonitor:
         if mode is Aggregation.NONE:
             raise SchedulingError("mark_partial requires an aggregation mode")
         st = self._st(datum)
+        st.sid = -1
         st.up_to_date = {}
         st.agg_mode = mode
         st.agg_sources = dict(sources)
@@ -226,6 +451,7 @@ class LocationMonitor:
     def mark_aggregated(self, datum: "Datum", event: Optional[Event]) -> None:
         """Host aggregation completed: host holds the authoritative datum."""
         st = self._st(datum)
+        st.sid = -1
         st.agg_mode = Aggregation.NONE
         st.agg_sources.clear()
         st.up_to_date = {
@@ -235,6 +461,7 @@ class LocationMonitor:
     def mark_host_dirty(self, datum: "Datum") -> None:
         """The user modified the bound host buffer: invalidate devices."""
         st = self._st(datum)
+        st.sid = -1
         st.agg_mode = Aggregation.NONE
         st.agg_sources.clear()
         st.up_to_date = {
@@ -245,17 +472,18 @@ class LocationMonitor:
     @staticmethod
     def _insert(insts: list[_Instance], rect: Rect, event: Optional[Event]) -> None:
         """Insert an instance, removing parts it supersedes."""
-        out: list[_Instance] = []
-        for inst in insts:
-            if rect.contains(inst.rect):
-                continue
-            if inst.rect.overlaps(rect):
-                for part in inst.rect.subtract(rect):
-                    out.append(_Instance(part, inst.event))
-            else:
-                out.append(inst)
-        out.append(_Instance(rect, event))
-        insts[:] = out
+        if insts:
+            out: list[_Instance] = []
+            for inst in insts:
+                if rect.contains(inst.rect):
+                    continue
+                if inst.rect.overlaps(rect):
+                    for part in inst.rect.subtract(rect):
+                        out.append(_Instance(part, inst.event))
+                else:
+                    out.append(inst)
+            insts[:] = out
+        insts.append(_Instance(rect, event))
 
     def host_covered(self, datum: "Datum") -> bool:
         """Whether the host instance covers the full datum (for tests)."""

@@ -1,0 +1,262 @@
+"""Invocation plans: cached host-side scheduling state (§4.3 amortization).
+
+The paper's flagship workloads are iterative — every Game-of-Life tick, NMF
+multiplicative update and LeNet batch re-submits a task with the *same*
+kernel, containers, grid and device count. The geometry the scheduler
+derives for such a task (grid partition, per-device ``required``/``owned``
+rects, peer-preference order) is a pure function of that signature, so it
+is computed once and replayed on every subsequent ``Invoke``. Only the
+residency-dependent part — the Segment Location Monitor's copy planning —
+runs per invocation.
+
+A :class:`TaskPlan` is keyed by :func:`task_signature`: kernel identity,
+per-container pattern type + parameters + datum identity/shape/dtype, the
+grid, and the active device count. Changing any of these (a different
+datum, a reshaped grid, another node size) yields a different key, so stale
+plans are never replayed; the cache holds strong references to the kernel
+and datums so the ``id()``-based components of the key cannot be recycled.
+
+Plan caching changes *wall-clock* host cost only. Simulated time is
+unaffected: the scheduler charges the same modelled host overhead per
+invocation whether a plan was replayed or freshly built, and the replayed
+command sequence is identical to the one the slow path emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, Mapping
+
+from repro.patterns.base import Requirement
+from repro.utils.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.task import Task
+    from repro.patterns.base import Container
+
+
+class Uncacheable(Exception):
+    """A task signature component is unhashable; the plan cannot be keyed."""
+
+
+def _freeze(value: Any) -> Hashable:
+    """A hashable stand-in for a pattern parameter or constant."""
+    try:
+        hash(value)
+    except TypeError:
+        raise Uncacheable(f"unhashable signature component {value!r}") from None
+    return value
+
+
+def container_signature(c: "Container") -> tuple:
+    """Stable signature of one container: pattern type + parameters +
+    datum identity, shape and dtype.
+
+    Pattern parameters are taken from the instance dict (``radius``,
+    ``boundary``, ``ilp``, ``op``, ...), so new pattern classes participate
+    without registration; an unhashable parameter raises
+    :class:`Uncacheable` and the invocation bypasses the cache.
+    """
+    params = tuple(
+        (k, _freeze(v)) for k, v in sorted(vars(c).items()) if k != "datum"
+    )
+    return (
+        type(c).__qualname__,
+        id(c.datum),
+        c.datum.shape,
+        c.datum.dtype.str,
+        params,
+    )
+
+
+def task_signature(task: "Task", num_devices: int) -> tuple:
+    """The plan-cache key for one task submission (see module docstring)."""
+    return (
+        id(task.kernel),
+        task.grid.shape,
+        task.grid.block0,
+        num_devices,
+        tuple(container_signature(c) for c in task.containers),
+    )
+
+
+def freeze_constants(constants: Mapping[str, Any]) -> tuple | None:
+    """Hashable form of a task's constants, or ``None`` if any value is
+    unhashable (per-device durations are then recomputed each invocation,
+    since cost models may inspect constants)."""
+    try:
+        return tuple(sorted((k, _freeze(v)) for k, v in constants.items()))
+    except Uncacheable:
+        return None
+
+
+@dataclass(frozen=True)
+class DevicePlan:
+    """One active device's precomputed share of a task."""
+
+    device: int
+    work_rect: Rect
+    #: Input requirements, aligned with ``task.inputs``.
+    input_reqs: tuple[Requirement, ...]
+    #: Owned output rects, aligned with ``task.outputs``.
+    output_rects: tuple[Rect, ...]
+    #: Preferred peer copy sources (same-switch devices first).
+    peers: tuple[int, ...]
+
+
+@dataclass
+class TaskPlan:
+    """Everything signature-determined about scheduling one task.
+
+    The plan pins the objects its signature refers to by identity
+    (``kernel``, ``datums``) so Python cannot recycle their ids while the
+    plan is cached.
+    """
+
+    signature: tuple
+    kernel: Any
+    datums: tuple
+    grid_shape: tuple[int, ...]
+    partition: list[Rect]
+    active: tuple[int, ...]
+    device_plans: dict[int, DevicePlan]
+    #: Per-input consumer rects {device: virtual rect} for the device-level
+    #: reduce-scatter path (aligned with ``task.inputs``).
+    consumer_rects: tuple[dict[int, Rect], ...]
+    #: Modelled host-side scheduling overhead charged per invocation
+    #: (identical on build and replay — see module docstring).
+    host_overhead: float = 0.0
+    #: frozen-constants key -> {device: kernel duration}.
+    durations: dict[tuple, dict[int, float]] = field(default_factory=dict)
+    #: Memoized location-monitor copy decisions for steady-state replay:
+    #: ``(input_index, device, residency fingerprint) ->
+    #: tuple[(src, src_index, rect), ...]``. Iterative workloads cycle
+    #: through a handful of residency states, so after a warm-up lap every
+    #: copy plan is rebuilt from here — the rect algebra of Algorithm 2 is
+    #: skipped, only the (per-iteration) producer events are re-read. A
+    #: state never seen before falls back to ``compute_copies``, so this is
+    #: still "copy computation against current residency", just memoized.
+    #: Bounded by ``COPY_MEMO_LIMIT``; exists only while the plan itself is
+    #: cached, so the uncached baseline (fresh plan per invocation) cannot
+    #: carry decisions across invocations.
+    copy_memo: dict[tuple, tuple] = field(default_factory=dict)
+    #: Whether to memoize copy decisions: set by the scheduler only when
+    #: the plan was actually stored in a cache. A one-shot plan (cache
+    #: disabled, or unhashable signature) cannot be replayed, so computing
+    #: fingerprints for it would be pure overhead.
+    memoize: bool = False
+    replays: int = 0
+
+
+#: Upper bound on memoized copy decisions per plan. Steady-state iterative
+#: workloads need a few entries per (input, device); a workload whose
+#: residency never revisits a state stops memoizing here instead of growing
+#: the dict unboundedly.
+COPY_MEMO_LIMIT = 512
+
+
+def build_plan(task: "Task", num_devices: int, analyzer=None,
+               peers_of=None) -> TaskPlan:
+    """Compute a task's invocation plan (the slow path, run once per
+    signature).
+
+    Pure geometry: partitions the grid and evaluates every container's
+    ``required``/``owned`` rects per active device. When ``analyzer`` is
+    given, each rect is validated against the analyzed allocation boxes
+    (``check_within``) so replays can skip re-validation. No commands are
+    enqueued and no monitor state is touched.
+    """
+    try:
+        signature = task_signature(task, num_devices)
+    except Uncacheable:
+        signature = ()  # plan still usable once; callers won't store it
+    partition = task.grid.partition(num_devices)
+    active = tuple(d for d, w in enumerate(partition) if not w.empty)
+    device_plans: dict[int, DevicePlan] = {}
+    inputs = task.inputs
+    outputs = task.outputs
+    work_shape = task.grid.shape
+    for d in active:
+        w = partition[d]
+        reqs = tuple(c.required(work_shape, w) for c in inputs)
+        owned = tuple(c.owned(work_shape, w) for c in outputs)
+        if analyzer is not None:
+            for c, req in zip(inputs, reqs):
+                analyzer.check_within(c.datum, d, req.virtual)
+            for c, rect in zip(outputs, owned):
+                analyzer.check_within(c.datum, d, rect)
+        device_plans[d] = DevicePlan(
+            device=d,
+            work_rect=w,
+            input_reqs=reqs,
+            output_rects=owned,
+            peers=tuple(peers_of(d)) if peers_of is not None else (),
+        )
+    consumer_rects = tuple(
+        {d: device_plans[d].input_reqs[i].virtual for d in active}
+        for i in range(len(inputs))
+    )
+    return TaskPlan(
+        signature=signature,
+        kernel=task.kernel,
+        datums=tuple(c.datum for c in task.containers),
+        grid_shape=work_shape,
+        partition=partition,
+        active=active,
+        device_plans=device_plans,
+        consumer_rects=consumer_rects,
+    )
+
+
+class PlanCache:
+    """Signature-keyed store of :class:`TaskPlan` objects.
+
+    ``enabled=False`` turns the scheduler into the uncached baseline: every
+    invocation rebuilds its plan from scratch (and nothing is stored), which
+    is what ``python -m repro.bench --overhead`` measures against.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._plans: dict[tuple, TaskPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def lookup(self, task: "Task", num_devices: int) -> TaskPlan | None:
+        """The cached plan for ``task``'s signature, or None."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        try:
+            key = task_signature(task, num_devices)
+        except Uncacheable:
+            self.bypasses += 1
+            return None
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        plan.replays += 1
+        return plan
+
+    def store(self, plan: TaskPlan) -> None:
+        if self.enabled and plan.signature:
+            self._plans[plan.signature] = plan
+            plan.memoize = True
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "plans": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+        }

@@ -15,7 +15,6 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 from repro.errors import SchedulingError
 from repro.core.grid import Grid
 from repro.patterns.base import Container, InputContainer, OutputContainer
-from repro.patterns.output_patterns import StructuredInjective
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.device_api.context import KernelContext
@@ -102,6 +101,10 @@ class Task:
         self.kernel = kernel
         self.containers = tuple(containers)
         self.constants = dict(constants or {})
+        #: Input/output views of ``containers`` (fixed at construction; the
+        #: scheduler indexes into these on every invocation).
+        self.inputs = [c for c in self.containers if isinstance(c, InputContainer)]
+        self.outputs = [c for c in self.containers if isinstance(c, OutputContainer)]
         if not self.outputs:
             raise SchedulingError(
                 f"task {kernel.name!r} has no output container"
@@ -127,14 +130,6 @@ class Task:
     def _validate(self) -> None:
         for c in self.containers:
             c.validate(self.grid.shape)
-
-    @property
-    def inputs(self) -> list[InputContainer]:
-        return [c for c in self.containers if isinstance(c, InputContainer)]
-
-    @property
-    def outputs(self) -> list[OutputContainer]:
-        return [c for c in self.containers if isinstance(c, OutputContainer)]
 
     @property
     def name(self) -> str:

@@ -10,7 +10,7 @@ implicit here: each view is already restricted to the device's share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.core.grid import Grid
 from repro.utils.rect import Rect

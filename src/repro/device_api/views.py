@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import DeviceError, PatternMismatchError
-from repro.patterns.base import InputContainer, OutputContainer
+from repro.patterns.base import InputContainer
 from repro.patterns.boundary import Boundary
 from repro.patterns.input_patterns import (
     Block2D,

@@ -19,7 +19,7 @@ vendor datasheets. ``peak_sp_gflops`` is the standard
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.units import GIB
 

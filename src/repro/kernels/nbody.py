@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.datum import Datum
-from repro.core.grid import Grid
 from repro.core.task import CostContext, Kernel
 from repro.patterns import Block1D, BlockStriped, StructuredInjective
 

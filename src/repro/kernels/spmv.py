@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.datum import Datum, Vector, from_array
+from repro.core.datum import Datum, from_array
 from repro.core.grid import Grid
 from repro.core.task import CostContext, Kernel
 from repro.patterns import (

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from repro.hardware.calibration import (
     DEFAULT_INTERCONNECT,
@@ -98,7 +97,6 @@ class XtGemm:
         b = self.tile
         ntiles = -(-n // b)
         g = node.num_gpus
-        spec = node.spec
         calib = node.devices[0].calib
         tile_flops = 2.0 * b * b * b
         tile_time = tile_flops / (
@@ -110,7 +108,6 @@ class XtGemm:
             for j in range(ntiles):
                 dev = c_index % g
                 c_index += 1
-                events = []
                 for k in range(ntiles):
                     node.memcpy(
                         self._h2d[dev], HOST, dev, tile_bytes,

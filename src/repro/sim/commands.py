@@ -9,16 +9,12 @@ numpy computation — executed when the simulator dispatches the command.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 Payload = Optional[Callable[[], None]]
 
-_ids = itertools.count()
-
-
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Event:
     """A CUDA-style event: recorded on a stream, waitable from others."""
 
@@ -31,7 +27,7 @@ class Event:
         return self.recorded_at is not None
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Command:
     """Base class for all queued commands."""
 
@@ -40,17 +36,16 @@ class Command:
     #: Host submission time — the command may not start before this (models
     #: the host thread that enqueued it).
     earliest_start: float = 0.0
-    seq: int = field(default_factory=lambda: next(_ids))
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class KernelLaunch(Command):
     """A kernel execution on a device's compute engine."""
 
     duration: float = 0.0
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Memcpy(Command):
     """A DMA transfer between host and/or device memories.
 
@@ -67,17 +62,17 @@ class Memcpy(Command):
     extra_latency: float = 0.0
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class EventRecord(Command):
     event: Event | None = None
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class EventWait(Command):
     event: Event | None = None
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class HostOp(Command):
     """Host-side work (e.g. host-level aggregation after a gather)."""
 

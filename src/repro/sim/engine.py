@@ -13,10 +13,19 @@ arbitration to first order. Functional payloads run at dispatch, which is a
 valid topological order of the dependency graph — so a *missing*
 synchronization in the framework shows up as wrong numerical results, just
 like a real data race.
+
+Earliest-ready-first selection runs on a lazy min-heap of stream heads
+keyed ``(ready_time, stream.id)`` instead of a full rescan per dispatch.
+A stream's head readiness can only change through its own dispatches
+(which re-insert it) or through an event it waits on being recorded —
+blocked streams are parked per event and re-inserted when the matching
+``EventRecord`` executes — so heap entries are never stale and each
+dispatch costs O(log streams) instead of O(streams × heads).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable
 
 from repro.errors import SimulationError
@@ -79,56 +88,93 @@ class Engine:
         return engines, path
 
     # -- main loop -------------------------------------------------------------
-    def run(self, streams: list[Stream]) -> float:
-        """Execute all queued commands; returns the final simulated time."""
-        while True:
-            best: tuple[float, int, Stream] | None = None
-            blocked = 0
-            for s in streams:
-                if not s.commands:
-                    continue
-                head = s.commands[0]
-                if isinstance(head, EventWait):
-                    if head.event is None or not head.event.recorded:
-                        blocked += 1
-                        continue
-                    ready = max(
-                        s.cursor, head.earliest_start, head.event.recorded_at
-                    )
-                else:
-                    ready = max(s.cursor, head.earliest_start)
-                key = (ready, s.id, s)
-                if best is None or key[:2] < best[:2]:
-                    best = key
-            if best is None:
-                if blocked:
-                    pend = [s for s in streams if s.commands]
-                    raise SimulationError(
-                        f"deadlock: {blocked} streams blocked on unrecorded "
-                        f"events; pending streams: {pend}"
-                    )
-                break
-            ready, _, stream = best
-            self._dispatch(stream, ready)
+    def run(
+        self,
+        streams: list[Stream],
+        until: Iterable[object] | None = None,
+    ) -> float:
+        """Execute queued commands earliest-ready-first; returns the final
+        simulated time.
+
+        With ``until`` (an iterable of :class:`Event`), execution stops as
+        soon as every listed event has been recorded — later independent
+        commands stay queued for a subsequent ``run``. Without it, all
+        queues are drained.
+        """
+        until_events = None
+        if until is not None:
+            until_events = [e for e in until if not e.recorded]
+
+        # heap of (ready_time, stream.id, stream); a stream is either in
+        # the heap, parked in `waiting` on its head's event, or drained.
+        heap: list[tuple[float, int, Stream]] = []
+        waiting: dict[int, list[Stream]] = {}
+        blocked = 0
+
+        def push(s: Stream) -> None:
+            nonlocal blocked
+            if not s.commands:
+                return
+            head = s.commands[0]
+            if type(head) is EventWait:
+                ev = head.event
+                if ev is None or ev.recorded_at is None:
+                    # Parked until the event records (an event that never
+                    # records keeps the stream parked → deadlock report).
+                    waiting.setdefault(id(ev), []).append(s)
+                    blocked += 1
+                    return
+                ready = max(s.cursor, head.earliest_start, ev.recorded_at)
+            else:
+                ready = max(s.cursor, head.earliest_start)
+            heapq.heappush(heap, (ready, s.id, s))
+
+        for s in streams:
+            push(s)
+
+        stopped_early = False
+        while heap:
+            ready, _, stream = heapq.heappop(heap)
+            cmd = self._dispatch(stream, ready)
+            if type(cmd) is EventRecord:
+                # Wake streams whose head waits on the recorded event.
+                woken = waiting.pop(id(cmd.event), None)
+                if woken:
+                    blocked -= len(woken)
+                    for w in woken:
+                        push(w)
+                if until_events is not None:
+                    until_events = [e for e in until_events if not e.recorded]
+                    if not until_events:
+                        stopped_early = True
+                        break
+            push(stream)
+
+        if blocked and not stopped_early:
+            pend = [s for s in streams if s.commands]
+            raise SimulationError(
+                f"deadlock: {blocked} streams blocked on unrecorded "
+                f"events; pending streams: {pend}"
+            )
         self.now = max([self.now] + [s.cursor for s in streams])
         return self.now
 
     # -- dispatch ---------------------------------------------------------------
-    def _dispatch(self, stream: Stream, ready: float) -> None:
+    def _dispatch(self, stream: Stream, ready: float) -> Command:
         cmd = stream.commands.popleft()
         self.commands_executed += 1
 
         if isinstance(cmd, EventWait):
             # Zero-duration; just moves the stream cursor forward.
             stream.cursor = ready
-            return
+            return cmd
 
         if isinstance(cmd, EventRecord):
             if cmd.event is None:
                 raise SimulationError("EventRecord without an event")
             cmd.event.recorded_at = ready
             stream.cursor = ready
-            return
+            return cmd
 
         if isinstance(cmd, KernelLaunch):
             dev = self.devices[stream.device]
@@ -136,7 +182,7 @@ class Engine:
             end = start + cmd.duration
             dev.compute.occupy(start, end)
             self._finish(stream, cmd, "kernel", stream.device, start, end)
-            return
+            return cmd
 
         if isinstance(cmd, Memcpy):
             engines, path = self._memcpy_resources(cmd)
@@ -157,14 +203,14 @@ class Engine:
                 stream, cmd, "memcpy", cmd.dst, start, end,
                 nbytes=cmd.nbytes, src=cmd.src,
             )
-            return
+            return cmd
 
         if isinstance(cmd, HostOp):
             start = max(ready, self.host_engine.busy_until)
             end = start + cmd.duration
             self.host_engine.occupy(start, end)
             self._finish(stream, cmd, "host", HOST, start, end)
-            return
+            return cmd
 
         raise SimulationError(f"unknown command type {type(cmd).__name__}")
 

@@ -14,8 +14,8 @@ Two execution modes (see DESIGN.md §4):
 
 from __future__ import annotations
 
-from typing import Callable
 
+from repro.errors import SimulationError
 from repro.hardware.calibration import (
     DEFAULT_INTERCONNECT,
     InterconnectCalibration,
@@ -172,6 +172,22 @@ class SimNode:
         t = self.engine.run(self.streams)
         self.host_time = max(self.host_time, t)
         return self.time
+
+    def run_until(self, events: list[Event]) -> float:
+        """Execute queued commands only until every event in ``events`` has
+        been recorded (cudaEventSynchronize semantics); commands of later,
+        independent work stay queued. Returns the recording time of the
+        last event, to which the host clock advances."""
+        self.engine.run(self.streams, until=events)
+        pending = [e for e in events if not e.recorded]
+        if pending:  # pragma: no cover - queues drained without recording
+            raise SimulationError(
+                f"run_until: {len(pending)} events were never recorded "
+                f"(first: {pending[0].label!r})"
+            )
+        t = max(e.recorded_at for e in events)
+        self.host_time = max(self.host_time, t)
+        return t
 
     def synchronize(self) -> float:
         """Alias for :meth:`run` (cudaDeviceSynchronize analogue)."""

@@ -27,6 +27,8 @@ class Stream:
         cursor: Simulated completion time of the last executed command.
     """
 
+    __slots__ = ("id", "device", "role", "label", "commands", "cursor")
+
     def __init__(self, device: int = HOST, role: str = "compute", label: str = ""):
         self.id = next(_stream_ids)
         self.device = device

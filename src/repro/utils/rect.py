@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """A half-open 1-D interval ``[begin, end)``."""
 
@@ -93,9 +93,16 @@ class Rect:
     dimension; all empty rects of the same dimensionality compare unequal in
     coordinates but behave identically under intersection/union logic via
     :attr:`empty`.
+
+    Rects are hot objects — the scheduler evaluates thousands per
+    invocation — so the derived values the functional payloads recompute
+    most (:attr:`size` and the origin-free :meth:`slices` tuple) are cached
+    lazily. Caching is safe because the coordinate tuple is immutable;
+    equality and hashing (needed so invocation plans can key on rects) only
+    consult the coordinates.
     """
 
-    __slots__ = ("_ivals",)
+    __slots__ = ("_ivals", "_size", "_slices", "_hash")
 
     def __init__(self, *intervals: Interval | tuple[int, int] | Sequence[int]):
         ivals = []
@@ -108,8 +115,26 @@ class Rect:
         if not ivals:
             raise ValueError("Rect needs at least one dimension")
         object.__setattr__(self, "_ivals", tuple(ivals))
+        object.__setattr__(self, "_size", None)
+        object.__setattr__(self, "_slices", None)
+        object.__setattr__(self, "_hash", None)
 
     # -- constructors -----------------------------------------------------
+    @staticmethod
+    def _new(ivals: tuple[Interval, ...]) -> "Rect":
+        """Internal fast constructor from a validated interval tuple.
+
+        The hot algebra (``intersect``/``subtract``, thousands of calls per
+        scheduled invocation) builds results through this path, skipping the
+        per-argument coercion of ``__init__``.
+        """
+        r = Rect.__new__(Rect)
+        r._ivals = ivals
+        r._size = None
+        r._slices = None
+        r._hash = None
+        return r
+
     @staticmethod
     def from_shape(shape: Sequence[int]) -> "Rect":
         """The full extent ``[0, s)`` in every dimension."""
@@ -143,15 +168,20 @@ class Rect:
 
     @property
     def size(self) -> int:
-        """Number of elements covered (product of extents)."""
-        n = 1
-        for iv in self._ivals:
-            n *= iv.size
+        """Number of elements covered (product of extents; cached)."""
+        n = self._size
+        if n is None:
+            n = 1
+            for iv in self._ivals:
+                n *= iv.end - iv.begin
+            object.__setattr__(self, "_size", n)
         return n
 
     @property
     def empty(self) -> bool:
-        return any(iv.empty for iv in self._ivals)
+        # Intervals are non-negative in extent, so "some dimension empty"
+        # is exactly "the (cached) element count is zero".
+        return self.size == 0
 
     def __getitem__(self, dim: int) -> Interval:
         return self._ivals[dim]
@@ -162,7 +192,11 @@ class Rect:
         return self._ivals == other._ivals
 
     def __hash__(self) -> int:
-        return hash(self._ivals)
+        h = self._hash
+        if h is None:
+            h = hash(self._ivals)
+            self._hash = h
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Rect(" + " x ".join(repr(iv) for iv in self._ivals) + ")"
@@ -176,8 +210,25 @@ class Rect:
 
     def intersect(self, other: "Rect") -> "Rect":
         """Rectangular intersection (Algorithm 2, line 10)."""
-        self._check_ndim(other)
-        return Rect(*[a.intersect(b) for a, b in zip(self._ivals, other._ivals)])
+        a = self._ivals
+        b = other._ivals
+        if len(a) != len(b):
+            self._check_ndim(other)
+        out = []
+        for x, y in zip(a, b):
+            bb = x.begin if x.begin >= y.begin else y.begin
+            ee = x.end if x.end <= y.end else y.end
+            if ee < bb:
+                ee = bb
+            # Reuse an operand's interval when it equals the result —
+            # the common cases (containment / identity) allocate nothing.
+            if bb == x.begin and ee == x.end:
+                out.append(x)
+            elif bb == y.begin and ee == y.end:
+                out.append(y)
+            else:
+                out.append(Interval(bb, ee))
+        return Rect._new(tuple(out))
 
     def hull(self, other: "Rect") -> "Rect":
         """N-d bounding box of both rects (Memory Analyzer, §4.2)."""
@@ -189,12 +240,18 @@ class Rect:
         return Rect(*[a.hull(b) for a, b in zip(self._ivals, other._ivals)])
 
     def contains(self, other: "Rect") -> bool:
-        self._check_ndim(other)
+        a = self._ivals
+        b = other._ivals
+        if len(a) != len(b):
+            self._check_ndim(other)
         if other.empty:
             return True
         if self.empty:
             return False
-        return all(a.contains(b) for a, b in zip(self._ivals, other._ivals))
+        for x, y in zip(a, b):
+            if y.begin < x.begin or x.end < y.end:
+                return False
+        return True
 
     def contains_point(self, point: Sequence[int]) -> bool:
         return all(
@@ -202,7 +259,17 @@ class Rect:
         )
 
     def overlaps(self, other: "Rect") -> bool:
-        return not self.intersect(other).empty
+        a = self._ivals
+        b = other._ivals
+        if len(a) != len(b):
+            self._check_ndim(other)
+        for x, y in zip(a, b):
+            # Empty overlap in this dimension (covers empty operands too).
+            lo = x.begin if x.begin >= y.begin else y.begin
+            hi = x.end if x.end <= y.end else y.end
+            if hi <= lo:
+                return False
+        return True
 
     def shift(self, offsets: Sequence[int]) -> "Rect":
         if len(offsets) != self.ndim:
@@ -239,24 +306,39 @@ class Rect:
         The decomposition splits along each dimension in turn (guillotine
         cuts), producing at most ``2*ndim`` pieces.
         """
-        inter = self.intersect(other)
-        if inter.empty:
-            return [] if self.empty else [self]
-        if inter == self:
+        a = self._ivals
+        b = other._ivals
+        if len(a) != len(b):
+            self._check_ndim(other)
+        # Inline intersection; bail out (the common cases) without
+        # allocating any intermediate Rect.
+        inter: list[Interval] = []
+        identical = True
+        for x, y in zip(a, b):
+            bb = x.begin if x.begin >= y.begin else y.begin
+            ee = x.end if x.end <= y.end else y.end
+            if ee <= bb:
+                return [] if self.empty else [self]
+            if bb != x.begin or ee != x.end:
+                identical = False
+                inter.append(Interval(bb, ee))
+            else:
+                inter.append(x)
+        if identical:
             return []
         pieces: list[Rect] = []
-        remaining = list(self._ivals)
-        for d in range(self.ndim):
+        remaining = list(a)
+        for d in range(len(a)):
             iv = remaining[d]
-            cut = inter._ivals[d]
+            cut = inter[d]
             if iv.begin < cut.begin:
                 lo = list(remaining)
                 lo[d] = Interval(iv.begin, cut.begin)
-                pieces.append(Rect(*lo))
+                pieces.append(Rect._new(tuple(lo)))
             if cut.end < iv.end:
                 hi = list(remaining)
                 hi[d] = Interval(cut.end, iv.end)
-                pieces.append(Rect(*hi))
+                pieces.append(Rect._new(tuple(hi)))
             remaining[d] = cut
         return pieces
 
@@ -274,9 +356,17 @@ class Rect:
 
     # -- numpy interop ------------------------------------------------------
     def slices(self, origin: Sequence[int] | None = None) -> tuple[slice, ...]:
-        """Numpy slicing tuple, optionally relative to a buffer origin."""
+        """Numpy slicing tuple, optionally relative to a buffer origin.
+
+        The origin-free form (the common case in functional payloads) is
+        computed once per rect and cached.
+        """
         if origin is None:
-            origin = (0,) * self.ndim
+            s = self._slices
+            if s is None:
+                s = tuple(slice(iv.begin, iv.end) for iv in self._ivals)
+                object.__setattr__(self, "_slices", s)
+            return s
         return tuple(
             slice(iv.begin - o, iv.end - o)
             for iv, o in zip(self._ivals, origin)

@@ -13,7 +13,7 @@ from repro.apps.lenet import (
     synthetic_mnist,
 )
 from repro.apps.lenet.network import FC1, FLAT, PARAM_NAMES, softmax
-from repro.hardware import GTX_780, HOST
+from repro.hardware import GTX_780
 from repro.sim import SimNode
 
 

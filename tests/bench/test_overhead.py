@@ -1,0 +1,42 @@
+"""Smoke tests of the host-path overhead benchmark at reduced scale."""
+
+import json
+
+from repro.bench.overhead import (
+    WORKLOADS,
+    measure_overhead,
+    overhead_report,
+    write_overhead_json,
+)
+
+
+def small_results():
+    # Tiny problem, few iterations: exercises the full cached/uncached
+    # comparison (including the sim-time and command-count equality
+    # asserts inside measure_overhead) without paper-scale cost.
+    return measure_overhead(size=128, iters=5, repeats=1)
+
+
+class TestMeasureOverhead:
+    def test_all_workloads_measured_and_consistent(self):
+        results = small_results()
+        assert set(results["workloads"]) == set(WORKLOADS)
+        for r in results["workloads"].values():
+            assert r["uncached"]["submit_s"] > 0
+            assert r["cached"]["submit_s"] > 0
+            assert r["submit_speedup"] > 0
+            # measure_overhead itself asserts these are equal; re-check
+            # the recorded values for the JSON consumer's benefit.
+            assert r["cached"]["sim_time"] == r["uncached"]["sim_time"]
+            assert r["cached"]["commands"] == r["uncached"]["commands"]
+            assert r["cached"]["plan_cache"]["hits"] > 0
+            assert r["uncached"]["plan_cache"]["hits"] == 0
+
+    def test_report_and_json(self, tmp_path):
+        results = small_results()
+        text = overhead_report(results)
+        for name in WORKLOADS:
+            assert name in text
+        out = tmp_path / "BENCH_overhead.json"
+        write_overhead_json(results, out)
+        assert json.loads(out.read_text())["workloads"].keys() == set(WORKLOADS)

@@ -4,7 +4,7 @@ phase may be automated")."""
 import numpy as np
 import pytest
 
-from repro.core import Kernel, Matrix, Scheduler
+from repro.core import Matrix, Scheduler
 from repro.errors import AnalysisError
 from repro.hardware import GTX_780
 from repro.kernels.game_of_life import (

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import Grid, Kernel, Matrix, Scheduler, Vector
+from repro.core import Grid, Kernel, Scheduler, Vector
 from repro.errors import SchedulingError
-from repro.hardware import GTX_780, HOST
+from repro.hardware import GTX_780
 from repro.patterns import (
     NO_CHECKS,
     BlockStriped,

@@ -1,0 +1,250 @@
+"""Plan-cache correctness: replayed invocations must be indistinguishable
+from freshly-scheduled ones (§4.3 amortization is wall-clock only).
+
+The cached scheduler may reuse partition geometry, copy decisions and
+memoized location-monitor transitions — but the command stream it emits,
+the simulated timeline and the functional results must be bit-identical
+to the uncached baseline.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Kernel, Matrix, Scheduler, Vector
+from repro.core.location_monitor import LocationMonitor
+from repro.core.plan import task_signature
+from repro.core.task import Task
+from repro.hardware import GTX_780, HOST
+from repro.kernels.game_of_life import gol_containers, make_gol_kernel
+from repro.kernels.histogram import histogram_containers, make_histogram_kernel
+from repro.patterns import StructuredInjective, Window2D
+from repro.sim import SimNode
+from repro.sim.commands import Event
+from repro.utils.rect import Rect
+
+
+def run_gol(plan_cache, num_gpus=4, iters=6, n=48, seed=1):
+    node = SimNode(GTX_780, num_gpus, functional=True)
+    sched = Scheduler(node, plan_cache=plan_cache)
+    rng = np.random.default_rng(seed)
+    board = (rng.random((n, n)) < 0.35).astype(np.uint8)
+    a = Matrix(n, n, np.uint8, "A").bind(board.copy())
+    b = Matrix(n, n, np.uint8, "B").bind(np.zeros((n, n), np.uint8))
+    k = make_gol_kernel()
+    sched.analyze_call(k, *gol_containers(a, b))
+    sched.analyze_call(k, *gol_containers(b, a))
+    cur, nxt = a, b
+    for _ in range(iters):
+        sched.invoke(k, *gol_containers(cur, nxt))
+        cur, nxt = nxt, cur
+    out = a if iters % 2 == 0 else b
+    sched.gather(out)
+    return out.host.copy(), node, sched
+
+
+def run_histogram(plan_cache, num_gpus=4, iters=5, n=64, seed=2):
+    node = SimNode(GTX_780, num_gpus, functional=True)
+    sched = Scheduler(node, plan_cache=plan_cache)
+    rng = np.random.default_rng(seed)
+    img = rng.integers(0, 256, size=(n, n), dtype=np.uint8)
+    image = Matrix(n, n, np.uint8, "image").bind(img.copy())
+    hist = Vector(256, np.int32, "hist").bind(np.zeros(256, np.int32))
+    k = make_histogram_kernel("maps")
+    containers = histogram_containers(image, hist)
+    grid = Grid((n, n))
+    sched.analyze_call(k, *containers, grid=grid)
+    for _ in range(iters):
+        sched.invoke(k, *containers, grid=grid)
+    sched.gather(hist)
+    return hist.host.copy(), node, sched
+
+
+def normalized_trace(node):
+    """Trace records with global task ids masked out of labels (two
+    separate runs allocate different ``Task.id`` values by construction)."""
+    return [
+        (r.kind, re.sub(r"#\d+", "#N", r.label), r.device, r.start, r.end,
+         r.nbytes, r.src)
+        for r in node.trace
+    ]
+
+
+class TestCachedEqualsUncached:
+    """The acceptance invariant: identical arrays, times and traces."""
+
+    def test_gol_bit_identical(self):
+        out_on, node_on, _ = run_gol(plan_cache=True)
+        out_off, node_off, _ = run_gol(plan_cache=False)
+        assert (out_on == out_off).all()
+        assert node_on.time == node_off.time
+        assert normalized_trace(node_on) == normalized_trace(node_off)
+
+    def test_histogram_bit_identical(self):
+        out_on, node_on, _ = run_histogram(plan_cache=True)
+        out_off, node_off, _ = run_histogram(plan_cache=False)
+        assert (out_on == out_off).all()
+        assert node_on.time == node_off.time
+        assert normalized_trace(node_on) == normalized_trace(node_off)
+
+    @pytest.mark.parametrize("num_gpus", [1, 2, 3])
+    def test_gol_identical_across_gpu_counts(self, num_gpus):
+        out_on, node_on, _ = run_gol(plan_cache=True, num_gpus=num_gpus)
+        out_off, node_off, _ = run_gol(plan_cache=False, num_gpus=num_gpus)
+        assert (out_on == out_off).all()
+        assert node_on.time == node_off.time
+
+
+class TestCacheBehavior:
+    def test_steady_state_hits(self):
+        """The alternating GoL submission has two signatures: two misses,
+        every later invocation replays a cached plan."""
+        _, _, sched = run_gol(plan_cache=True, iters=6)
+        stats = sched.plans.stats
+        assert stats["plans"] == 2
+        assert stats["misses"] == 2
+        assert stats["hits"] == 4
+
+    def test_disabled_cache_stores_nothing(self):
+        _, _, sched = run_gol(plan_cache=False, iters=6)
+        stats = sched.plans.stats
+        assert stats["plans"] == 0
+        assert stats["hits"] == 0
+        assert stats["misses"] == 6
+        # The uncached baseline must not amortize monitor transitions
+        # across invocations either.
+        assert sched.monitor.transition_hits == 0
+
+    def test_monitor_transitions_replayed_when_cached(self):
+        _, _, sched = run_gol(plan_cache=True, iters=6)
+        assert sched.monitor.transition_hits > 0
+
+
+class TestInvalidation:
+    """Changing any signature component must yield a different plan."""
+
+    def _task(self, n=32, block0=None, name="A"):
+        a = Matrix(n, n, np.int32, f"{name}_in")
+        b = Matrix(n, n, np.int32, f"{name}_out")
+        k = self.kernel
+        grid = Grid((n, n), block0=block0) if block0 else None
+        return Task(k, [Window2D(a, 1), StructuredInjective(b)], grid=grid)
+
+    def setup_method(self):
+        self.kernel = Kernel("k", func=lambda ctx: None)
+
+    def test_signature_differs_by_shape(self):
+        assert task_signature(self._task(n=32), 4) != task_signature(
+            self._task(n=64), 4
+        )
+
+    def test_signature_differs_by_device_count(self):
+        t = self._task()
+        assert task_signature(t, 2) != task_signature(t, 4)
+
+    def test_signature_differs_by_datum(self):
+        assert task_signature(self._task(name="A"), 4) != task_signature(
+            self._task(name="B"), 4
+        )
+
+    def test_signature_stable_for_same_task(self):
+        t = self._task()
+        assert task_signature(t, 4) == task_signature(t, 4)
+
+    def test_new_shape_gets_new_plan(self):
+        """Submitting a reshaped workload mid-stream must not replay the
+        old plan (and must still be correct)."""
+        node = SimNode(GTX_780, 4, functional=True)
+        sched = Scheduler(node)
+        k = make_gol_kernel()
+        rng = np.random.default_rng(7)
+        pairs = []
+        for n in (32, 48):
+            board = (rng.random((n, n)) < 0.35).astype(np.uint8)
+            a = Matrix(n, n, np.uint8, f"A{n}").bind(board.copy())
+            b = Matrix(n, n, np.uint8, f"B{n}").bind(np.zeros((n, n), np.uint8))
+            sched.analyze_call(k, *gol_containers(a, b))
+            pairs.append((a, b))
+        for a, b in pairs:
+            sched.invoke(k, *gol_containers(a, b))
+            sched.invoke(k, *gol_containers(a, b))  # second submit: a hit
+        assert sched.plans.stats["plans"] == 2
+        assert sched.plans.stats["misses"] == 2
+        assert sched.plans.stats["hits"] == 2
+        for a, b in pairs:
+            sched.gather(b)
+            ref_in = a.host
+            n = ref_in.shape[0]
+            assert b.host.shape == (n, n)
+
+
+class TestWaitHandle:
+    def test_wait_runs_only_until_handle(self):
+        """``wait(handle)`` drains the simulation just far enough to record
+        the handle's completion events; later-submitted work stays queued."""
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)
+        k = make_gol_kernel()
+        n = 32
+        rng = np.random.default_rng(5)
+        mats = []
+        for name in ("P", "Q"):
+            src = Matrix(n, n, np.uint8, f"{name}s").bind(
+                (rng.random((n, n)) < 0.35).astype(np.uint8)
+            )
+            dst = Matrix(n, n, np.uint8, f"{name}d").bind(
+                np.zeros((n, n), np.uint8)
+            )
+            sched.analyze_call(k, *gol_containers(src, dst))
+            mats.append((src, dst))
+        h1 = sched.invoke(k, *gol_containers(*mats[0]))
+        h2 = sched.invoke(k, *gol_containers(*mats[1]))
+        t = sched.wait(h1)
+        assert all(ev.recorded for ev in h1.events)
+        assert not all(ev.recorded for ev in h2.events)
+        # The partial drain cannot run past the node clock (host submission
+        # time may already exceed the simulated completion of h1).
+        assert t <= node.time
+        sched.wait_all()
+        assert all(ev.recorded for ev in h2.events)
+
+
+class TestTransitionMemoization:
+    def test_replay_resolves_events_positionally(self):
+        """Regression: state ids key on geometry only, so a transition
+        recorded on a fresh datum (host event None) may replay on an
+        aggregated datum whose host instance carries the aggregation
+        event. The replayed template must preserve that event — baking
+        event *values* into templates loses the aggregation dependency."""
+        mon = LocationMonitor()
+        a = Matrix(8, 8, np.int32, "fresh")
+        b = Matrix(8, 8, np.int32, "aggregated")
+        rect = Rect((0, 4), (0, 8))
+        # Record the transition on the fresh datum.
+        assert mon.fingerprint(a) is not None
+        mon.mark_copied(a, 0, rect, Event("copy_a"))
+        assert mon.transition_misses == 1
+        # Same geometry, different provenance: host instance has an event.
+        agg_ev = Event("aggregate")
+        mon.mark_aggregated(b, agg_ev)
+        assert mon.fingerprint(b) is not None
+        copy_ev = Event("copy_b")
+        mon.mark_copied(b, 0, rect, copy_ev)
+        assert mon.transition_hits == 1  # replayed, not recomputed
+        host_events = [i.event for i in mon._st(b).up_to_date[HOST]]
+        assert host_events == [agg_ev]
+        dev_events = [i.event for i in mon._st(b).up_to_date[0]]
+        assert copy_ev in dev_events
+
+    def test_amortize_off_never_memoizes(self):
+        mon = LocationMonitor()
+        mon.amortize = False
+        a = Matrix(8, 8, np.int32, "a")
+        rect = Rect((0, 4), (0, 8))
+        mon.fingerprint(a)
+        mon.mark_copied(a, 0, rect, Event("e"))
+        mon.mark_copied(a, 1, rect, Event("e2"))
+        assert mon.transition_hits == 0
+        assert mon.transition_misses == 0
+        assert not mon._transitions

@@ -375,7 +375,6 @@ class TestChainedTasksAcrossDevices:
         sched.analyze_call(k, Window1D(a, 0, NO_CHECKS), StructuredInjective(b))
         sched.analyze_call(k, Window1D(b, 0, NO_CHECKS), StructuredInjective(c))
         sched.invoke(k, Window1D(a, 0, NO_CHECKS), StructuredInjective(b))
-        copies_before = len(node.trace.memcpys())
         sched.invoke(k, Window1D(b, 0, NO_CHECKS), StructuredInjective(c))
         sched.gather(c)
         # Second task reads b where it was produced: no extra input copies,

@@ -9,7 +9,6 @@ missing invalidation or race surfaces as a wrong cell.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

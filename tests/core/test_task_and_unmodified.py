@@ -6,7 +6,7 @@ import pytest
 from repro.core import Grid, Kernel, Matrix, Scheduler, Task, Vector
 from repro.core.task import CostContext
 from repro.core.unmodified import RoutineContext, make_routine
-from repro.errors import PatternMismatchError, SchedulingError
+from repro.errors import PatternMismatchError
 from repro.hardware import GTX_780, calibration_for
 from repro.patterns import (
     NO_CHECKS,

@@ -123,7 +123,6 @@ class TestAligned:
     def test_alignment_outside_segment_rejected(self):
         data = np.ones((8, 4), np.int64)
         win_view, _ = build_views(data, work_rect=Rect((0, 4), (0, 4)))
-        fake = OutputIterator.__new__(OutputIterator)
         with pytest.raises(DeviceError):
             WindowAccessor(win_view, (6, 0))
 
@@ -148,7 +147,6 @@ class TestReductiveForeach:
         assert hist_view.partial[1] == 5
 
     def test_add_requires_sum_container(self):
-        data = np.zeros((2, 2), np.int64)
         node = SimNode(GTX_780, 1, functional=True)
         out = Vector(2, np.int64, "h")
         c = ReductiveStatic(out, op="max")

@@ -19,7 +19,6 @@ from repro.sim import SimNode
 def run(pixels, bins, num_gpus=2, impl="maps"):
     node = SimNode(GTX_780, num_gpus, functional=True)
     sched = Scheduler(node)
-    n = pixels.shape[0]
     image = Matrix(*pixels.shape, np.int32, "img").bind(pixels.copy())
     hist = Vector(bins, np.int64, "hist").bind(np.zeros(bins, np.int64))
     if impl == "maps":

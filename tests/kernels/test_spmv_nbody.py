@@ -6,7 +6,7 @@ import scipy.sparse as sp
 
 from repro.core import Grid, Scheduler, Vector
 from repro.core.datum import from_array
-from repro.hardware import GTX_780, HOST
+from repro.hardware import GTX_780
 from repro.kernels import (
     CsrDatums,
     make_nbody_kernel,

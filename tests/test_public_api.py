@@ -1,7 +1,6 @@
 """The top-level package exposes a stable, documented public API."""
 
 import numpy as np
-import pytest
 
 import repro
 

@@ -287,8 +287,51 @@ class TestCoalesce:
     def test_property_preserves_coverage(self, rs):
         merged = coalesce(rs)
         # Every point covered before is covered after, and vice versa.
-        probe = Rect((0, 21), (0, 21))
         for pt in [(0, 0), (5, 5), (10, 3), (3, 10), (20, 20)]:
             before = any((not r.empty) and r.contains_point(pt) for r in rs)
             after = any(m.contains_point(pt) for m in merged)
             assert before == after
+
+
+class TestHotPathCaching:
+    """The scheduler's hot loops rely on per-rect memoized derived values."""
+
+    def test_hash_is_cached_and_consistent_with_eq(self):
+        r1 = Rect((0, 4), (2, 8))
+        r2 = Rect((0, 4), (2, 8))
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        # The second hash call must return the memoized value.
+        assert r1._hash is not None
+        assert hash(r1) == r1._hash
+
+    def test_unequal_rects(self):
+        assert Rect((0, 4), (2, 8)) != Rect((0, 4), (2, 9))
+        assert Rect((0, 4), (2, 8)) != "not a rect"
+
+    def test_rects_usable_as_dict_keys(self):
+        d = {Rect((0, 4), (2, 8)): "a"}
+        assert d[Rect((0, 4), (2, 8))] == "a"
+
+    def test_slices_cached_and_correct(self):
+        r = Rect((1, 3), (2, 5))
+        s = r.slices()
+        assert s == (slice(1, 3), slice(2, 5))
+        assert r.slices() is s  # memoized
+        # The origin-relative form is computed fresh and shifted.
+        assert r.slices(origin=(1, 2)) == (slice(0, 2), slice(0, 3))
+
+    def test_size_cached(self):
+        r = Rect((1, 3), (2, 5))
+        assert r.size == 6
+        assert r.size == 6  # second read hits the memoized value
+
+    def test_derived_rects_have_fresh_caches(self):
+        a = Rect((0, 10), (0, 10))
+        b = Rect((5, 15), (0, 10))
+        inter = a.intersect(b)
+        assert inter == Rect((5, 10), (0, 10))
+        assert inter.size == 50
+        assert inter.slices() == (slice(5, 10), slice(0, 10))
+        parts = a.subtract(b)
+        assert sum(p.size for p in parts) == 50
