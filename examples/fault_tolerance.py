@@ -1,0 +1,82 @@
+"""Fault tolerance: losing a GPU mid-run without losing the answer.
+
+A quad-GPU Game of Life runs with a per-iteration host checkpoint (one
+``gather`` per tick). A :class:`~repro.sim.faults.FaultPlan` kills device
+2 permanently about 40% into the run. The scheduler catches the engine's
+:class:`~repro.errors.DeviceFault`, retires the device, purges location-
+monitor state the failure made untrue, re-segments incomplete work across
+the three survivors and continues — the final board is bit-identical to
+the fault-free run.
+
+Run: ``python examples/fault_tolerance.py``
+"""
+
+import numpy as np
+
+from repro.core import Matrix, Scheduler
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import (
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.sim import DeviceFailure, FaultPlan, SimNode
+from repro.utils.units import fmt_time
+
+SIZE, ITERATIONS = 128, 12
+
+
+def run(faults: FaultPlan | None):
+    """One checkpointed Game of Life run; returns (board, time, devices)."""
+    rng = np.random.default_rng(42)
+    host_a = (rng.random((SIZE, SIZE)) < 0.35).astype(np.int32)
+    host_b = np.zeros((SIZE, SIZE), np.int32)
+
+    node = SimNode(GTX_780, num_gpus=4, functional=True, faults=faults)
+    sched = Scheduler(node)
+    a = Matrix(SIZE, SIZE, np.int32, "A").bind(host_a)
+    b = Matrix(SIZE, SIZE, np.int32, "B").bind(host_b)
+    kernel = make_gol_kernel("maps_ilp")
+    sched.analyze_call(kernel, *gol_containers(a, b))
+    sched.analyze_call(kernel, *gol_containers(b, a))
+
+    for i in range(ITERATIONS):
+        src, dst = (a, b) if i % 2 == 0 else (b, a)
+        sched.invoke(kernel, *gol_containers(src, dst))
+        # The checkpoint that makes permanent failures recoverable: each
+        # tick's board reaches the host before the next tick depends on it.
+        sched.gather(dst)
+
+    out = a if ITERATIONS % 2 == 0 else b
+    return out.host.copy(), sched.wait_all(), sched.alive_devices
+
+
+def main() -> None:
+    clean, t_clean, _ = run(None)
+
+    plan = FaultPlan(device_failures=[DeviceFailure(2, t_clean * 0.4)])
+    faulted, t_faulted, alive = run(plan)
+
+    assert alive == (0, 1, 3), "device 2 should have been retired"
+    assert np.array_equal(clean, faulted), "recovery changed the result!"
+    reference = (
+        np.random.default_rng(42).random((SIZE, SIZE)) < 0.35
+    ).astype(np.int32)
+    for _ in range(ITERATIONS):
+        reference = gol_reference_step(reference)
+    assert (faulted == reference).all(), "simulation diverged!"
+
+    print(f"Game of Life, {SIZE}x{SIZE}, {ITERATIONS} ticks, checkpointed")
+    print(f"  fault-free:  {fmt_time(t_clean)} on 4 GPUs")
+    print(
+        f"  device 2 dies at {fmt_time(t_clean * 0.4)}: "
+        f"{fmt_time(t_faulted)} on survivors {alive}"
+    )
+    # At this toy size the ratio can dip below 1: three devices exchange
+    # fewer halos than four, which can outweigh the lost compute.
+    print(f"  time ratio vs fault-free: {t_faulted / t_clean:.2f}x")
+    print("  final board bit-identical to the fault-free run")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,10 +48,14 @@ from repro.core.unmodified import RoutineContext, make_routine
 from repro.errors import (
     AllocationError,
     AnalysisError,
+    DeadlockError,
+    DeviceFault,
     MapsError,
     PatternMismatchError,
     SchedulingError,
     SimulationError,
+    TransientTransferError,
+    UnrecoverableError,
 )
 from repro.hardware import (
     GTX_780,
@@ -62,7 +66,14 @@ from repro.hardware import (
     Architecture,
     GPUSpec,
 )
-from repro.sim import SimNode
+from repro.sim import (
+    AllocFailure,
+    DeviceFailure,
+    FaultPlan,
+    SimNode,
+    Straggler,
+    TransferFault,
+)
 
 __version__ = "1.0.0"
 
@@ -94,4 +105,13 @@ __all__ = [
     "AllocationError",
     "SchedulingError",
     "SimulationError",
+    "DeadlockError",
+    "DeviceFault",
+    "TransientTransferError",
+    "UnrecoverableError",
+    "FaultPlan",
+    "DeviceFailure",
+    "TransferFault",
+    "AllocFailure",
+    "Straggler",
 ]

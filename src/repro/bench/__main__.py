@@ -19,6 +19,11 @@ from repro.bench.experiments import (
     table4_single_gpu,
     xt_gemm_scaling,
 )
+from repro.bench.faults import (
+    faults_report,
+    measure_faults,
+    write_faults_json,
+)
 from repro.bench.overhead import (
     measure_overhead,
     overhead_report,
@@ -155,6 +160,18 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="output path for --overhead results (default: %(default)s)",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="measure fault-injection recovery overhead (permanent / "
+        "transient / straggler scenarios) and write BENCH_faults.json",
+    )
+    parser.add_argument(
+        "--faults-json",
+        default="BENCH_faults.json",
+        metavar="PATH",
+        help="output path for --faults results (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(sorted(EXPERIMENTS)))
@@ -164,6 +181,12 @@ def main(argv: list[str] | None = None) -> int:
         print(overhead_report(results))
         write_overhead_json(results, args.overhead_json)
         print(f"wrote {args.overhead_json}")
+        return 0
+    if args.faults:
+        results = measure_faults()
+        print(faults_report(results))
+        write_faults_json(results, args.faults_json)
+        print(f"wrote {args.faults_json}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -18,14 +18,19 @@ from repro.sim.memory import DeviceBuffer
 from repro.utils.rect import Rect
 
 
-def locate_virtual(
+def locate_virtual_all(
     buffer: DeviceBuffer, actual: Rect, datum_shape: Sequence[int]
-) -> Rect:
-    """The virtual rect inside ``buffer`` holding actual region ``actual``.
+) -> list[Rect]:
+    """All virtual rects inside ``buffer`` holding actual region
+    ``actual``, identity position first.
 
-    Searches the candidate wrap offsets (-N, 0, +N per dimension); exactly
-    one candidate must fall inside the buffer's extent — stencil radii are
-    far smaller than datum extents, so halos never alias interiors.
+    With two or more devices each buffer covers less than a full wrapped
+    dimension, so exactly one candidate exists. A *single-device* wrap
+    buffer (reachable when fault recovery degrades the node to one
+    survivor) spans the datum plus halos, so a region near a wrapped edge
+    aliases: it lives at its identity position *and* as a halo image.
+    Writers must update every alias; readers use the identity position,
+    which kernel writes keep current.
     """
     candidates = []
     offsets_per_dim = [(-s, 0, s) for s in datum_shape]
@@ -33,13 +38,22 @@ def locate_virtual(
         cand = actual.shift(offs)
         if buffer.rect.contains(cand):
             candidates.append(cand)
-    if len(candidates) != 1:
+    if not candidates:
         raise DeviceError(
-            f"actual region {actual} maps to {len(candidates)} virtual "
-            f"positions in buffer extent {buffer.rect} (datum shape "
-            f"{tuple(datum_shape)}); expected exactly one"
+            f"actual region {actual} maps to no virtual position in "
+            f"buffer extent {buffer.rect} (datum shape "
+            f"{tuple(datum_shape)})"
         )
-    return candidates[0]
+    candidates.sort(key=lambda r: r != actual)
+    return candidates
+
+
+def locate_virtual(
+    buffer: DeviceBuffer, actual: Rect, datum_shape: Sequence[int]
+) -> Rect:
+    """The canonical virtual rect inside ``buffer`` holding actual region
+    ``actual`` (the identity position when the region aliases)."""
+    return locate_virtual_all(buffer, actual, datum_shape)[0]
 
 
 def holds_actual(

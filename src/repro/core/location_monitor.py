@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, UnrecoverableError
 from repro.hardware.topology import HOST
 from repro.patterns.base import Aggregation
 from repro.sim.commands import Event
@@ -66,6 +66,15 @@ class _DatumState:
     #: Canonical geometry state id (see ``LocationMonitor._sid``); -1 means
     #: not yet assigned — recomputed lazily after a non-memoized mutation.
     sid: int = -1
+    #: Fault recovery (DESIGN.md §8): a partial result needed for this
+    #: datum's aggregation died with its device — the datum is unreadable
+    #: until a writer supersedes the lost partials.
+    agg_lost: bool = False
+    #: Snapshot ``(mode, sources, host event)`` taken by
+    #: :meth:`mark_aggregated`, so a recovery pass can restore the
+    #: pending-aggregation state if the aggregation itself was cancelled
+    #: (its host event never recorded).
+    agg_shadow: tuple | None = None
 
 
 #: Event-source markers in memoized transition templates. Inherited events
@@ -132,6 +141,12 @@ class LocationMonitor:
 
     def aggregation(self, datum: "Datum") -> tuple[Aggregation, dict[int, Optional[Event]]]:
         st = self._st(datum)
+        if st.agg_lost:
+            raise UnrecoverableError(
+                f"datum {datum.name!r}: partial results needed for "
+                "aggregation were lost with a failed device; no valid "
+                "replica exists — restart from an application checkpoint"
+            )
         return st.agg_mode, dict(st.agg_sources)
 
     # -- Algorithm 2 -----------------------------------------------------------
@@ -216,6 +231,90 @@ class LocationMonitor:
                 "available at any location (read of never-written data?)"
             )
         return ops
+
+    # -- fault recovery (DESIGN.md §8) -----------------------------------------
+    def replicas(
+        self,
+        datum: "Datum",
+        actual: Rect,
+        exclude: Iterable[int] = (),
+    ) -> list[tuple[int, Optional[Event]]]:
+        """Locations holding a single up-to-date instance that covers
+        ``actual``, with the instance's producer event — devices first
+        (ascending), host last, ``exclude`` omitted. Used to pick an
+        alternate source when a transfer faults transiently."""
+        st = self._st(datum)
+        excluded = set(exclude)
+        found: list[tuple[int, Optional[Event]]] = []
+        host: list[tuple[int, Optional[Event]]] = []
+        for loc in sorted(st.up_to_date, key=lambda l: (l == HOST, l)):
+            if loc in excluded:
+                continue
+            for inst in st.up_to_date[loc]:
+                if inst.rect.contains(actual):
+                    (host if loc == HOST else found).append((loc, inst.event))
+                    break
+        return found + host
+
+    def invalidate_for_recovery(self, dead: Iterable[int]) -> None:
+        """Purge state a fault made untrue: instances on ``dead`` devices
+        (their memory is gone) and instances whose producer event never
+        recorded (the producing command was aborted before it ran — the
+        monitor is updated optimistically at submit time).
+
+        Submit-time *subtractions* (regions a cancelled writer stole from
+        other locations) are deliberately not rolled back: resubmitting the
+        cancelled tasks rewrites exactly those regions, so being
+        conservative here costs at most some extra copies, never
+        correctness. Cancelled aggregations are restored from their shadow
+        snapshot; partials that died with a device set :attr:`agg_lost`.
+        """
+        dead = set(dead)
+        for st in self._state.values():
+            # A cancelled aggregation (host event never recorded) reverts
+            # the datum to partials-pending; a completed one is final.
+            if st.agg_mode is Aggregation.NONE and st.agg_shadow is not None:
+                mode, sources, ev = st.agg_shadow
+                if ev is not None and not ev.recorded:
+                    st.agg_mode = mode
+                    st.agg_sources = dict(sources)
+                st.agg_shadow = None
+            for loc in list(st.up_to_date):
+                if loc in dead:
+                    del st.up_to_date[loc]
+                    continue
+                kept = [
+                    i for i in st.up_to_date[loc]
+                    if i.event is None or i.event.recorded
+                ]
+                if kept:
+                    st.up_to_date[loc] = kept
+                else:
+                    del st.up_to_date[loc]
+            # Readers that never ran impose no WAR constraint (waiting on
+            # their events would deadlock); completed ones still do.
+            for loc in list(st.pending_reads):
+                if loc in dead:
+                    del st.pending_reads[loc]
+                    continue
+                evs = [e for e in st.pending_reads[loc] if e.recorded]
+                if evs:
+                    st.pending_reads[loc] = evs
+                else:
+                    del st.pending_reads[loc]
+            if st.agg_mode is not Aggregation.NONE:
+                lost = [
+                    d for d, ev in st.agg_sources.items()
+                    if d in dead or (ev is not None and not ev.recorded)
+                ]
+                for d in lost:
+                    del st.agg_sources[d]
+                if lost:
+                    # Unrecorded partials are rewritten when their task is
+                    # resubmitted (mark_partial resets the flag); partials
+                    # that died with their device are gone for good.
+                    st.agg_lost = True
+            st.sid = -1
 
     # -- steady-state replay support -------------------------------------------
     def _sid(self, st: _DatumState) -> int:
@@ -393,6 +492,8 @@ class LocationMonitor:
         st = self._st(datum)
         st.agg_mode = Aggregation.NONE
         st.agg_sources.clear()
+        st.agg_lost = False
+        st.agg_shadow = None
         if self.amortize and st.sid >= 0:
             key = (st.sid, 1, device, rect)
             hit = self._transitions.get(key)
@@ -447,11 +548,17 @@ class LocationMonitor:
         st.up_to_date = {}
         st.agg_mode = mode
         st.agg_sources = dict(sources)
+        st.agg_lost = False
+        st.agg_shadow = None
 
     def mark_aggregated(self, datum: "Datum", event: Optional[Event]) -> None:
-        """Host aggregation completed: host holds the authoritative datum."""
+        """Host aggregation completed: host holds the authoritative datum.
+
+        The pre-aggregation state is snapshotted so a fault-recovery pass
+        can revert to partials-pending if the aggregation never ran."""
         st = self._st(datum)
         st.sid = -1
+        st.agg_shadow = (st.agg_mode, dict(st.agg_sources), event)
         st.agg_mode = Aggregation.NONE
         st.agg_sources.clear()
         st.up_to_date = {
@@ -464,6 +571,8 @@ class LocationMonitor:
         st.sid = -1
         st.agg_mode = Aggregation.NONE
         st.agg_sources.clear()
+        st.agg_lost = False
+        st.agg_shadow = None
         st.up_to_date = {
             HOST: [_Instance(Rect.from_shape(datum.shape), None)]
         }

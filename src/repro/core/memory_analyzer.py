@@ -42,15 +42,21 @@ class MemoryAnalyzer:
         self._buffers: dict[tuple[int, int], DeviceBuffer] = {}
 
     # -- analysis -------------------------------------------------------------
-    def analyze(self, task: Task) -> None:
+    def analyze(
+        self, task: Task, devices: tuple[int, ...] | None = None
+    ) -> None:
         """Fold one task's per-device requirements into the boxes.
 
-        Must be called (via ``Scheduler.AnalyzeCall``) before any dependent
-        invocation; invoking an unanalyzed task raises
+        ``devices`` is the alive device set the task is segmented across
+        (default: all of the node's devices). Must be called (via
+        ``Scheduler.AnalyzeCall``) before any dependent invocation;
+        invoking an unanalyzed task raises
         :class:`~repro.errors.AnalysisError`.
         """
-        partition = task.grid.partition(self.node.num_gpus)
-        for device, work_rect in enumerate(partition):
+        if devices is None:
+            devices = tuple(range(self.node.num_gpus))
+        partition = task.grid.partition(len(devices))
+        for device, work_rect in zip(devices, partition):
             if work_rect.empty:
                 continue
             for c in task.containers:
@@ -113,13 +119,17 @@ class MemoryAnalyzer:
                 f"{device}, but only {box} was analyzed/allocated"
             )
 
-    def ensure(self, task: Task) -> None:
+    def ensure(
+        self, task: Task, devices: tuple[int, ...] | None = None
+    ) -> None:
         """Analyze a task at invocation time, growing any live allocation
         whose bounding box expanded (the §8 "automated memory analysis"
-        mode). Growth reallocates and preserves existing contents; it
-        trades Fig. 3's allocate-once guarantee for convenience.
+        mode, also used after fault recovery re-segments work across the
+        surviving devices). Growth reallocates and preserves existing
+        contents; it trades Fig. 3's allocate-once guarantee for
+        convenience.
         """
-        self.analyze(task)
+        self.analyze(task, devices)
         for key, buf in list(self._buffers.items()):
             box = self._boxes.get(key)
             if box is None or buf.rect.contains(box):
@@ -131,6 +141,22 @@ class MemoryAnalyzer:
                 grown.view(buf.rect)[...] = buf.data
             memory.free(buf)
             self._buffers[key] = grown
+
+    def drop_device(self, device: int) -> None:
+        """Forget all boxes and buffers on a permanently-failed device.
+
+        The buffers are freed for accounting hygiene only — the device's
+        contents are gone either way. Re-analysis over the surviving set
+        (``ensure``) then rebuilds the survivors' boxes, which typically
+        grow to absorb the dead device's share.
+        """
+        for key in [k for k in self._boxes if k[1] == device]:
+            del self._boxes[key]
+        for key, buf in [
+            (k, b) for k, b in self._buffers.items() if k[1] == device
+        ]:
+            self.node.devices[device].memory.free(buf)
+            del self._buffers[key]
 
     def release(self, datum: "Datum") -> None:
         """Free all device buffers of a datum (not part of the paper API;

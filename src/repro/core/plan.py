@@ -69,13 +69,23 @@ def container_signature(c: "Container") -> tuple:
     )
 
 
-def task_signature(task: "Task", num_devices: int) -> tuple:
+def _device_tuple(devices: "int | tuple[int, ...]") -> tuple[int, ...]:
+    """Normalize a device-set argument: an int ``n`` means the first ``n``
+    devices (the pre-fault convention); a tuple is the explicit alive set.
+    Fault recovery shrinks the alive set to an arbitrary subset, so plans
+    are keyed by the exact device ids they were built for."""
+    if isinstance(devices, int):
+        return tuple(range(devices))
+    return tuple(devices)
+
+
+def task_signature(task: "Task", devices: "int | tuple[int, ...]") -> tuple:
     """The plan-cache key for one task submission (see module docstring)."""
     return (
         id(task.kernel),
         task.grid.shape,
         task.grid.block0,
-        num_devices,
+        _device_tuple(devices),
         tuple(container_signature(c) for c in task.containers),
     )
 
@@ -155,29 +165,35 @@ class TaskPlan:
 COPY_MEMO_LIMIT = 512
 
 
-def build_plan(task: "Task", num_devices: int, analyzer=None,
+def build_plan(task: "Task", devices: "int | tuple[int, ...]", analyzer=None,
                peers_of=None) -> TaskPlan:
     """Compute a task's invocation plan (the slow path, run once per
     signature).
 
-    Pure geometry: partitions the grid and evaluates every container's
-    ``required``/``owned`` rects per active device. When ``analyzer`` is
-    given, each rect is validated against the analyzed allocation boxes
-    (``check_within``) so replays can skip re-validation. No commands are
-    enqueued and no monitor state is touched.
+    ``devices`` is the alive device set the work is segmented across (an
+    int means the first N devices). Pure geometry: partitions the grid and
+    evaluates every container's ``required``/``owned`` rects per active
+    device. When ``analyzer`` is given, each rect is validated against the
+    analyzed allocation boxes (``check_within``) so replays can skip
+    re-validation. No commands are enqueued and no monitor state is
+    touched.
     """
+    devices = _device_tuple(devices)
     try:
-        signature = task_signature(task, num_devices)
+        signature = task_signature(task, devices)
     except Uncacheable:
         signature = ()  # plan still usable once; callers won't store it
-    partition = task.grid.partition(num_devices)
-    active = tuple(d for d, w in enumerate(partition) if not w.empty)
+    partition = task.grid.partition(len(devices))
+    active = tuple(
+        d for d, w in zip(devices, partition) if not w.empty
+    )
+    work_rects = dict(zip(devices, partition))
     device_plans: dict[int, DevicePlan] = {}
     inputs = task.inputs
     outputs = task.outputs
     work_shape = task.grid.shape
     for d in active:
-        w = partition[d]
+        w = work_rects[d]
         reqs = tuple(c.required(work_shape, w) for c in inputs)
         owned = tuple(c.owned(work_shape, w) for c in outputs)
         if analyzer is not None:
@@ -226,13 +242,15 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
-    def lookup(self, task: "Task", num_devices: int) -> TaskPlan | None:
+    def lookup(
+        self, task: "Task", devices: "int | tuple[int, ...]"
+    ) -> TaskPlan | None:
         """The cached plan for ``task``'s signature, or None."""
         if not self.enabled:
             self.misses += 1
             return None
         try:
-            key = task_signature(task, num_devices)
+            key = task_signature(task, devices)
         except Uncacheable:
             self.bypasses += 1
             return None
@@ -251,6 +269,18 @@ class PlanCache:
 
     def clear(self) -> None:
         self._plans.clear()
+
+    def invalidate_device(self, device: int) -> int:
+        """Drop every plan that segments work onto ``device`` (fault
+        recovery: the device set changed, so those plans can never be
+        replayed safely). Returns the number of plans dropped."""
+        doomed = [
+            key for key, plan in self._plans.items()
+            if device in plan.active
+        ]
+        for key in doomed:
+            del self._plans[key]
+        return len(doomed)
 
     @property
     def stats(self) -> dict[str, int]:

@@ -13,14 +13,30 @@ submitted task it:
 One compute stream plus two copy streams (one per copy engine direction)
 are created per device — the simulation counterpart of the paper's
 one-invoker-thread-per-device design with concurrent copy/compute queues.
+
+Fault recovery (DESIGN.md §8): when the node carries a
+:class:`~repro.sim.faults.FaultPlan`, the ``wait``/``wait_all`` loops catch
+the engine's typed faults. A :class:`~repro.errors.TransientTransferError`
+is retried — from an alternate valid replica found via the Segment
+Location Monitor when one exists — after a capped exponential backoff in
+simulated time. A permanent :class:`~repro.errors.DeviceFault` (or an
+injected allocation failure) retires the device: all queued commands are
+aborted, the monitor is purged of state the fault made untrue, plans
+segmented over the dead device are invalidated, and every incomplete task
+and gather is resubmitted — in original submission order — across the
+surviving devices. Recovery succeeds iff every incomplete task's inputs
+still have a valid replica somewhere (host or surviving device); otherwise
+:class:`~repro.errors.UnrecoverableError` tells the application to restart
+from its own checkpoint.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 
-from repro.core.buffers import locate_virtual
+from repro.core.buffers import locate_virtual, locate_virtual_all
 from repro.core.datum import Datum
 from repro.core.grid import Grid
 from repro.core.location_monitor import CopyOp, LocationMonitor
@@ -35,15 +51,49 @@ from repro.core.plan import (
 from repro.core.task import CostContext, Kernel, Task, TaskHandle
 from repro.device_api.context import KernelContext
 from repro.device_api.views import make_view
-from repro.errors import SchedulingError
+from repro.errors import (
+    AllocationError,
+    DeviceFault,
+    SchedulingError,
+    TransientTransferError,
+    UnrecoverableError,
+)
 from repro.hardware.topology import HOST
 from repro.patterns.base import Aggregation, InputContainer, OutputContainer
 from repro.patterns.output_patterns import combine
-from repro.sim.commands import Event
+from repro.sim.commands import Event, EventWait
 from repro.utils.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.node import SimNode
+
+
+@dataclass
+class _TransferContext:
+    """Provenance attached to a segment-copy Memcpy (``cmd.origin``) so a
+    transient fault on it can be retried from an alternate replica.
+    Aggregation/reduce-scatter transfers carry no context and are retried
+    over the same route."""
+
+    datum: Optional[Datum]
+    op: Optional[CopyOp]
+    done_event: Optional[Event]
+    attempt: int = 0
+
+
+@dataclass
+class _GatherRecord:
+    """A gather the application requested, tracked until its transfers
+    complete so an aborting fault cannot silently leave the host buffer
+    stale — recovery re-issues any gather with unrecorded events."""
+
+    datum: Datum
+    region: Optional[Rect]  # None = whole datum (may aggregate)
+    events: list = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(e is None or e.recorded for e in self.events)
 
 
 class Scheduler:
@@ -99,6 +149,20 @@ class Scheduler:
         ]
         self._host_stream = node.new_stream(HOST, "host", "host.aggregate")
         self.handles: list[TaskHandle] = []
+        #: Devices currently taking work; shrinks as faults retire devices.
+        self._alive: tuple[int, ...] = tuple(range(g))
+        #: Tasks registered via analyze_call — re-analyzed for the
+        #: surviving device set when recovery re-segments work.
+        self._analyzed: list[Task] = []
+        #: Submission log (TaskHandles and _GatherRecords in order) driving
+        #: ordered resubmission after a permanent failure; pruned of
+        #: completed entries after each successful wait.
+        self._log: list = []
+
+    @property
+    def alive_devices(self) -> tuple[int, ...]:
+        """Devices currently scheduled onto (shrinks under faults)."""
+        return self._alive
 
     # -- public API (paper Table 2) -------------------------------------------
     def analyze_call(
@@ -112,7 +176,8 @@ class Scheduler:
         per-device allocations (§4.2). Accepts the same parameters as
         :meth:`invoke`."""
         task = Task(kernel, containers, grid, constants)
-        self.analyzer.analyze(task)
+        self.analyzer.analyze(task, self._alive)
+        self._analyzed.append(task)
         self.node.host_advance(self.node.interconnect.scheduler_container_overhead)
         return task
 
@@ -148,13 +213,8 @@ class Scheduler:
     def gather_async(self, datum: Datum) -> None:
         """Queue the transfers (and aggregation) bringing ``datum`` back
         into its bound host buffer."""
-        if self.monitor.needs_aggregation(datum):
-            self._aggregate(datum)
-            return
-        full = Rect.from_shape(datum.shape)
-        ops = self.monitor.compute_copies(datum, [full], HOST)
-        for op in ops:
-            self._enqueue_copy(datum, op)
+        events = self._gather_events(datum, None)
+        self._log.append(_GatherRecord(datum, None, events))
 
     def gather(self, datum: Datum) -> float:
         """Gather ``datum`` to the host and wait (synchronous)."""
@@ -165,24 +225,64 @@ class Scheduler:
         """Queue the transfers bringing only ``region`` of ``datum`` up to
         date on the host (used e.g. for inter-node halo exchange in the
         cluster extension). Reductive datums must be gathered whole."""
+        self._check_region(datum, region)
+        events = self._gather_events(datum, region)
+        self._log.append(_GatherRecord(datum, region, events))
+
+    def _gather_events(
+        self, datum: Datum, region: Optional[Rect]
+    ) -> list[Event]:
+        """Queue the copies of one gather; returns their completion events
+        (the re-issuable core of gather_async/gather_region)."""
         if self.monitor.needs_aggregation(datum):
-            raise SchedulingError(
-                f"datum {datum.name!r} has pending partial results; "
-                "gather it whole"
-            )
-        for op in self.monitor.compute_copies(datum, [region], HOST):
-            self._enqueue_copy(datum, op)
+            if region is not None:
+                raise SchedulingError(
+                    f"datum {datum.name!r} has pending partial results; "
+                    "gather it whole"
+                )
+            ev = self._aggregate(datum)
+            return [ev] if ev is not None else []
+        target = region if region is not None else Rect.from_shape(datum.shape)
+        ops = self.monitor.compute_copies(datum, [target], HOST)
+        return [self._enqueue_copy(datum, op) for op in ops]
 
     def mark_host_region_dirty(self, datum: Datum, region: Rect) -> None:
         """The application overwrote ``region`` of the bound host buffer
         (e.g. received remote halo rows): device-resident copies of that
         region are stale; the rest stays valid."""
+        self._check_region(datum, region)
         self.monitor.mark_written(datum, HOST, region, None)
+
+    def _check_region(self, datum: Datum, region: Rect) -> None:
+        """Reject regions that don't fit the datum: silently accepting an
+        out-of-bounds rect would corrupt the location monitor (it tracks
+        regions that cannot exist) and index past host buffers."""
+        full = Rect.from_shape(datum.shape)
+        if region.ndim != full.ndim:
+            raise SchedulingError(
+                f"region {region} has {region.ndim} dims but datum "
+                f"{datum.name!r} has shape {datum.shape}"
+            )
+        if not (region.empty or full.contains(region)):
+            raise SchedulingError(
+                f"region {region} is out of bounds for datum "
+                f"{datum.name!r} with shape {datum.shape}"
+            )
 
     def wait_all(self) -> float:
         """Run the simulation until every queued command has executed;
-        returns the simulated time."""
-        return self.node.run()
+        returns the simulated time. Injected faults are recovered from
+        here (see module docstring)."""
+        while True:
+            try:
+                t = self.node.run()
+            except TransientTransferError as f:
+                self._retry_transfer(f)
+            except DeviceFault as f:
+                self._recover(f.device, f.time)
+            else:
+                self._prune_log()
+                return t
 
     def wait(self, handle: TaskHandle) -> float:
         """Wait for a specific task; returns the simulated time at which
@@ -195,11 +295,20 @@ class Scheduler:
         ``wait_all``. The host clock advances to the task's completion
         time, as the calling host thread blocks until then.
         """
-        if handle.task is None:  # pragma: no cover - defensive
+        if handle is None or not isinstance(handle, TaskHandle) \
+                or handle.task is None:
             raise SchedulingError("invalid task handle")
-        if not handle.events:  # idle-task guard; active is never empty
-            return self.node.time
-        return self.node.run_until(handle.events)
+        while True:
+            if not handle.events:  # idle-task guard; active is never empty
+                return self.node.time
+            try:
+                # Recovery may have replaced the handle's events, so they
+                # are re-read on every lap.
+                return self.node.run_until(handle.events)
+            except TransientTransferError as f:
+                self._retry_transfer(f)
+            except DeviceFault as f:
+                self._recover(f.device, f.time)
 
     def mark_host_dirty(self, datum: Datum) -> None:
         """Tell the framework the bound host buffer was modified by the
@@ -210,24 +319,40 @@ class Scheduler:
     def _schedule(self, task: Task) -> TaskHandle:
         """Plan lookup/build, then replay (the cached fast path and the
         uncached baseline share the replay, so both emit identical command
-        sequences)."""
-        plan = self.plans.lookup(task, self.node.num_gpus)
+        sequences). An *injected* allocation failure retires the device —
+        a device that cannot allocate cannot take new work — and the task
+        is rescheduled over the survivors; genuine capacity overflows
+        propagate (shrinking the device set only enlarges per-device
+        shares, so retirement could never help)."""
+        while True:
+            try:
+                plan = self._lookup_or_build(task)
+                return self._replay(task, plan)
+            except AllocationError as e:
+                if not e.injected:
+                    raise
+                self._recover(e.device, self.node.time)
+
+    def _lookup_or_build(self, task: Task) -> TaskPlan:
+        plan = self.plans.lookup(task, self._alive)
         if plan is None:
             # Slow path: runs once per task signature (or every time with
             # the cache disabled). The implicit analysis must precede plan
             # construction, which validates rects against analyzed boxes.
             if self.auto_analyze:
-                self.analyzer.ensure(task)
+                self.analyzer.ensure(task, self._alive)
             plan = build_plan(
-                task, self.node.num_gpus,
+                task, self._alive,
                 analyzer=self.analyzer, peers_of=self._peers,
             )
             if not plan.active:
                 raise SchedulingError(f"task {task.name} has an empty grid")
             self.plans.store(plan)
-        return self._replay(task, plan)
+        return plan
 
-    def _replay(self, task: Task, plan: TaskPlan) -> TaskHandle:
+    def _replay(
+        self, task: Task, plan: TaskPlan, handle: TaskHandle | None = None
+    ) -> TaskHandle:
         node = self.node
         ic = node.interconnect
         monitor = self.monitor
@@ -299,8 +424,16 @@ class Scheduler:
                 if c.duplicated:
                     self._enqueue_clear(task, c, d, waits)
 
-        # Lines 14-21: queue kernels, record completion events.
-        handle = TaskHandle(task, submitted_at=node.host_time)
+        # Lines 14-21: queue kernels, record completion events. On a
+        # recovery resubmission the caller passes the original handle: its
+        # events are replaced in place so application-held references stay
+        # waitable.
+        if handle is None:
+            handle = TaskHandle(task, submitted_at=node.host_time)
+            self.handles.append(handle)
+            self._log.append(handle)
+        else:
+            handle.events.clear()
         durations = self._durations(task, plan)
         num_active = len(active)
         for d in active:
@@ -331,7 +464,6 @@ class Scheduler:
                         c.datum, d, dplans[d].output_rects[i], dev_events[d]
                     )
 
-        self.handles.append(handle)
         return handle
 
     def _durations(self, task: Task, plan: TaskPlan) -> dict[int, float]:
@@ -365,14 +497,14 @@ class Scheduler:
 
     # -- helpers -------------------------------------------------------------------
     def _peers(self, device: int) -> list[int]:
-        """Preferred copy sources: same-switch peers first (memoized; the
-        topology is fixed for the node's lifetime)."""
+        """Preferred copy sources: same-switch *alive* peers first
+        (memoized; the cache is flushed when a fault retires a device)."""
         peers = self._peer_cache.get(device)
         if peers is None:
             topo = self.node.topology
             peers = [
                 o
-                for o in range(self.node.num_gpus)
+                for o in self._alive
                 if o != device and topo.same_switch(o, device)
             ]
             self._peer_cache[device] = peers
@@ -390,7 +522,7 @@ class Scheduler:
         nbytes = op.actual.size * datum.dtype.itemsize
         payload = self._copy_payload(datum, op) if node.functional else None
         label = f"copy:{datum.name}:{op.src}->{op.dst}"
-        node.memcpy(
+        cmd = node.memcpy(
             stream,
             src=op.src,
             dst=op.dst,
@@ -399,6 +531,7 @@ class Scheduler:
             label=label,
         )
         ev = node.record_event(stream, label)
+        cmd.origin = _TransferContext(datum, op, ev)
         self.monitor.mark_copied(datum, op.dst, op.actual, ev)
         self.monitor.mark_read(datum, op.src, ev)
         return ev
@@ -416,9 +549,12 @@ class Scheduler:
             if op.dst == HOST:
                 datum.host[op.actual.slices()] = src_arr
             else:
+                # A single-device wrap buffer may hold the region both at
+                # its identity position and as a halo image: write every
+                # alias so the buffer never disagrees with itself.
                 dbuf = analyzer.buffer(datum, op.dst)
-                virt = locate_virtual(dbuf, op.actual, datum.shape)
-                dbuf.view(virt)[...] = src_arr
+                for virt in locate_virtual_all(dbuf, op.actual, datum.shape):
+                    dbuf.view(virt)[...] = src_arr
 
         return payload
 
@@ -611,11 +747,12 @@ class Scheduler:
             self.monitor.mark_written(datum, d, rect, ev)
 
     # -- host-level aggregation (§3.2 post-processing) -----------------------------
-    def _aggregate(self, datum: Datum) -> None:
-        """Combine per-device duplicated partials into the host buffer."""
+    def _aggregate(self, datum: Datum) -> Optional[Event]:
+        """Combine per-device duplicated partials into the host buffer;
+        returns the host aggregation's completion event."""
         mode, sources = self.monitor.aggregation(datum)
         if mode is Aggregation.NONE:
-            return
+            return None
         node = self.node
         ic = node.interconnect
         stages: dict[int, Any] = {}
@@ -671,6 +808,212 @@ class Scheduler:
         )
         hev = node.record_event(self._host_stream, f"aggregate:{datum.name}")
         self.monitor.mark_aggregated(datum, hev)
+        return hev
+
+    # -- fault recovery (DESIGN.md §8) ---------------------------------------------
+    def _retry_transfer(self, fault: TransientTransferError) -> None:
+        """Re-queue a transiently-faulted memcpy after a capped exponential
+        backoff in simulated time.
+
+        A segment copy (it carries a :class:`_TransferContext`) is retried
+        from an alternate valid replica when the location monitor knows one
+        whose producer has already run — peer devices first, host last;
+        otherwise over the original route, which is always safe because the
+        original source dependency was already satisfied. The replacement
+        is pushed to the *front* of the faulted stream, so the already
+        queued completion EventRecord still publishes the copy's
+        completion to its waiters.
+        """
+        plan = self.node.faults
+        cmd, stream = fault.command, fault.stream
+        ctx = cmd.origin
+        if ctx is None:
+            ctx = cmd.origin = _TransferContext(None, None, None)
+        ctx.attempt += 1
+        if plan is None or ctx.attempt > plan.max_retries:
+            raise UnrecoverableError(
+                f"transfer {cmd.label!r} still failing after "
+                f"{ctx.attempt - 1} retries"
+            ) from fault
+        not_before = fault.time + plan.backoff(ctx.attempt)
+        op = ctx.op
+        alt = None
+        if op is not None:
+            # Only replicas whose producer already ran are eligible: a
+            # yet-unrecorded producer may itself (transitively) wait on
+            # this copy's completion event, and waiting on it would
+            # deadlock. The original route needs no such care — its source
+            # dependency was satisfied before the first attempt.
+            for loc, ev in self.monitor.replicas(
+                ctx.datum, op.actual, exclude=(op.src,)
+            ):
+                if (ev is None or ev.recorded) and \
+                        loc not in self.node.engine.dead:
+                    alt = (loc, ev)
+                    break
+        if alt is None:
+            cmd.earliest_start = max(cmd.earliest_start, not_before)
+            stream.commands.appendleft(cmd)
+            return
+        src, src_ev = alt
+        new_op = CopyOp(src, op.dst, op.actual, src_ev)
+        ctx.op = new_op
+        payload = (
+            self._copy_payload(ctx.datum, new_op)
+            if self.node.functional else None
+        )
+        replacement = type(cmd)(
+            label=f"retry:{cmd.label}",
+            payload=payload,
+            earliest_start=max(cmd.earliest_start, not_before),
+            src=src,
+            dst=op.dst,
+            nbytes=cmd.nbytes,
+            pageable=cmd.pageable,
+            extra_latency=cmd.extra_latency,
+            origin=ctx,
+        )
+        stream.commands.appendleft(replacement)
+        if src_ev is not None:
+            # Already recorded (eligibility filter), but waiting pins the
+            # retry's start time after the replica's producer.
+            stream.commands.appendleft(
+                EventWait(
+                    label=f"wait:{src_ev.label}",
+                    earliest_start=cmd.earliest_start,
+                    event=src_ev,
+                )
+            )
+            if ctx.done_event is not None:
+                self.monitor.mark_read(ctx.datum, src, ctx.done_event)
+
+    def _recover(self, device: int, at_time: float) -> None:
+        """Permanent-failure recovery: retire the device and resubmit every
+        incomplete task and gather over the survivors (in original
+        submission order, so recomputed values flow exactly as first
+        scheduled). Cascading injected allocation failures during
+        resubmission retire further devices."""
+        while True:
+            try:
+                self._retire_device(device, at_time)
+                self._resubmit()
+                return
+            except AllocationError as e:
+                if not e.injected:
+                    raise
+                device, at_time = e.device, self.node.time
+
+    def _retire_device(self, device: int, at_time: float) -> None:
+        """Drop one device from the schedulable set and purge every piece
+        of host-side state that mentioned it."""
+        alive = tuple(d for d in self._alive if d != device)
+        if not alive:
+            raise UnrecoverableError(
+                f"device {device} failed at t={at_time:.6g} and no devices "
+                "survive; restart from an application checkpoint"
+            )
+        self._alive = alive
+        node = self.node
+        node.retire_device(device, at_time)
+        # Abort everything in flight: queued commands reference dead
+        # buffers and events that will never record. Incomplete work is
+        # re-issued from the submission log instead.
+        for s in node.streams:
+            s.commands.clear()
+        node.host_time = max(node.host_time, at_time)
+        self.monitor.invalidate_for_recovery((device,))
+        self.plans.invalidate_device(device)
+        self._peer_cache.clear()
+        self.analyzer.drop_device(device)
+        # Re-segmenting over the survivors grows their requirement boxes;
+        # re-analyze every declared task so allocations are resized before
+        # resubmission (growth preserves surviving contents).
+        for t in self._analyzed:
+            self.analyzer.ensure(t, self._alive)
+
+    def _resubmit(self) -> None:
+        """Re-issue incomplete tasks and gathers in submission order."""
+        log = list(self._log)
+        for i, entry in enumerate(log):
+            if isinstance(entry, TaskHandle):
+                if not entry.events or all(e.recorded for e in entry.events):
+                    continue
+                task = entry.task
+                try:
+                    plan = self._lookup_or_build(task)
+                    self._replay(task, plan, handle=entry)
+                except SchedulingError as e:
+                    # A needed input segment has no surviving replica: the
+                    # fault destroyed data that was never checkpointed.
+                    raise UnrecoverableError(
+                        f"cannot resubmit task {task.name!r}: {e}"
+                    ) from e
+            else:
+                if entry.complete:
+                    continue
+                try:
+                    entry.events = self._gather_events(
+                        entry.datum, entry.region
+                    )
+                except (SchedulingError, UnrecoverableError) as e:
+                    # The fault landed between a task's completion and its
+                    # checkpoint copy-out: the task counts as done, but
+                    # part of its output (a stripe, or an aggregation
+                    # partial) died with the device. The producing task is
+                    # still in the log — pruning happens only on fault-free
+                    # waits — so recompute it from its own inputs, then
+                    # retry the gather.
+                    if not self._recompute_producer(entry.datum, log[:i]):
+                        raise UnrecoverableError(
+                            f"cannot re-issue gather of "
+                            f"{entry.datum.name!r}: {e}"
+                        ) from e
+                    try:
+                        entry.events = self._gather_events(
+                            entry.datum, entry.region
+                        )
+                    except SchedulingError as e2:
+                        raise UnrecoverableError(
+                            f"cannot re-issue gather of "
+                            f"{entry.datum.name!r}: {e2}"
+                        ) from e2
+
+    def _recompute_producer(self, datum: Datum, preceding: list) -> bool:
+        """Force-resubmit the most recent logged task writing ``datum``.
+
+        Returns False when no such task is in the log, or its own inputs
+        have no surviving replica (only one producer level is recomputed:
+        an application checkpointing every step never needs more; one that
+        doesn't has no host anchor to recompute from anyway)."""
+        for entry in reversed(preceding):
+            if not isinstance(entry, TaskHandle):
+                continue
+            task = entry.task
+            writes = any(
+                isinstance(c, OutputContainer) and c.datum is datum
+                for c in task.containers
+            )
+            if not writes:
+                continue
+            try:
+                plan = self._lookup_or_build(task)
+                self._replay(task, plan, handle=entry)
+            except SchedulingError:
+                return False
+            return True
+        return False
+
+    def _prune_log(self) -> None:
+        """Drop completed entries from the submission log (everything ran,
+        so nothing before this point can ever need resubmission)."""
+        if self._log:
+            self._log = [
+                e for e in self._log
+                if not (
+                    all(ev.recorded for ev in e.events)
+                    if isinstance(e, TaskHandle) else e.complete
+                )
+            ]
 
     # -- paper-style CamelCase aliases ------------------------------------------------
     AnalyzeCall = analyze_call

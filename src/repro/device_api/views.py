@@ -99,7 +99,16 @@ class WindowView:
             for i, v in enumerate(range(want[d].begin, want[d].end)):
                 pos: int | None = None
                 if boundary is Boundary.WRAP:
-                    for cand in (v, v - n, v + n):
+                    # Prefer the in-datum (identity) position: kernel
+                    # writes and copies keep it current, while a halo
+                    # image the buffer happens to retain (e.g. after
+                    # fault recovery grew it to a full period) may be
+                    # stale — the analyzer plans no halo copies when a
+                    # device holds the whole dimension.
+                    cands = sorted(
+                        (v, v - n, v + n), key=lambda c: not 0 <= c < n
+                    )
+                    for cand in cands:
                         if lo <= cand < hi:
                             pos = cand - lo
                             break

@@ -4,6 +4,13 @@ The paper notes (§4.2) that the framework performs error checking in the
 memory analyzer and raises runtime errors when programmer-provided access
 patterns do not match task invocation parameters; these exceptions make
 those failure modes explicit and testable.
+
+The fault taxonomy (DESIGN.md §8) extends the hierarchy with *injected*
+hardware failures: :class:`DeviceFault` is what the discrete-event engine
+surfaces when a :class:`~repro.sim.faults.FaultPlan` fails a command, its
+subclass :class:`TransientTransferError` marks the retryable case, and
+:class:`UnrecoverableError` is the scheduler's verdict that no valid
+replica of a needed segment survives the failure.
 """
 
 from __future__ import annotations
@@ -22,7 +29,24 @@ class AnalysisError(MapsError):
 
 
 class AllocationError(MapsError):
-    """Device memory allocation failed (out of memory, bad size)."""
+    """Device memory allocation failed (out of memory, bad size).
+
+    Attributes:
+        device: Device index the allocation targeted (``None`` if unknown).
+        injected: True when a :class:`~repro.sim.faults.FaultPlan` injected
+            the failure (the scheduler then retires the device and
+            re-segments its work); genuine capacity overflows propagate.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        device: int | None = None,
+        injected: bool = False,
+    ):
+        super().__init__(message)
+        self.device = device
+        self.injected = injected
 
 
 class SchedulingError(MapsError):
@@ -33,5 +57,60 @@ class SimulationError(MapsError):
     """Discrete-event simulator invariant violated (deadlock, bad command)."""
 
 
+class DeadlockError(SimulationError):
+    """Queued commands can never execute: streams blocked on events that
+    will never be recorded."""
+
+
 class DeviceError(SimulationError):
     """Invalid device operation (bad stream, unallocated buffer, ...)."""
+
+
+class DeviceFault(SimulationError):
+    """An injected hardware fault hit a command at dispatch (DESIGN.md §8).
+
+    Raised by the engine *before* the command's functional payload runs, so
+    device state is never corrupted — the command simply did not happen.
+    The scheduler catches this and runs its recovery path.
+
+    Attributes:
+        device: The faulty device index.
+        time: Simulated time at which the fault was detected (the failed
+            command's would-be start time).
+        command: The command object that was about to dispatch (already
+            popped from its stream).
+        stream: The stream the command was popped from.
+        kind: Fault category (``"device-failure"``, ``"transfer"``, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device: int | None = None,
+        time: float = 0.0,
+        command=None,
+        stream=None,
+        kind: str = "device-failure",
+    ):
+        super().__init__(message)
+        self.device = device
+        self.time = time
+        self.command = command
+        self.stream = stream
+        self.kind = kind
+
+
+class TransientTransferError(DeviceFault):
+    """A D2D/H2D/D2H copy errored transiently; the transfer may be retried
+    (from an alternate valid replica, with backoff in simulated time)."""
+
+    def __init__(self, message: str, **kwargs):
+        kwargs.setdefault("kind", "transfer")
+        super().__init__(message, **kwargs)
+
+
+class UnrecoverableError(MapsError):
+    """Fault recovery is impossible: no valid replica of a needed segment
+    survives (or the last device failed). The application must restart
+    from its own checkpoint."""

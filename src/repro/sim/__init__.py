@@ -4,6 +4,13 @@ from repro.sim.commands import Event, EventRecord, EventWait, HostOp, KernelLaun
 from repro.sim.costmodel import KernelCost
 from repro.sim.device import Device
 from repro.sim.engine import Engine
+from repro.sim.faults import (
+    AllocFailure,
+    DeviceFailure,
+    FaultPlan,
+    Straggler,
+    TransferFault,
+)
 from repro.sim.memory import DeviceBuffer, DeviceMemory
 from repro.sim.node import SimNode
 from repro.sim.stream import Stream
@@ -25,4 +32,9 @@ __all__ = [
     "DeviceMemory",
     "Trace",
     "TraceRecord",
+    "FaultPlan",
+    "DeviceFailure",
+    "TransferFault",
+    "AllocFailure",
+    "Straggler",
 ]

@@ -10,7 +10,7 @@ numpy computation — executed when the simulator dispatches the command.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 Payload = Optional[Callable[[], None]]
 
@@ -60,6 +60,10 @@ class Memcpy(Command):
     nbytes: int = 0
     pageable: bool = False
     extra_latency: float = 0.0
+    #: Scheduler-attached provenance (a retry context) so an injected
+    #: transient fault can be retried from an alternate replica. Opaque to
+    #: the engine.
+    origin: Any = None
 
 
 @dataclass(eq=False, slots=True)

@@ -21,14 +21,29 @@ A stream's head readiness can only change through its own dispatches
 blocked streams are parked per event and re-inserted when the matching
 ``EventRecord`` executes — so heap entries are never stale and each
 dispatch costs O(log streams) instead of O(streams × heads).
+
+Fault injection (DESIGN.md §8): when the node carries a
+:class:`~repro.sim.faults.FaultPlan`, every kernel/memcpy dispatch is
+checked against it *before* resources are occupied or the functional
+payload runs. A command touching a permanently-failed device raises
+:class:`~repro.errors.DeviceFault`; a transiently-faulted transfer raises
+:class:`~repro.errors.TransientTransferError`. Either way the engine's
+state stays consistent (the command is popped, nothing else moved), so
+the scheduler can recover and call :meth:`Engine.run` again. Straggler
+degradation factors stretch durations without raising.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import (
+    DeadlockError,
+    DeviceFault,
+    SimulationError,
+    TransientTransferError,
+)
 from repro.hardware.topology import HOST, NodeTopology, PathSegment
 from repro.sim.commands import (
     Command,
@@ -42,6 +57,9 @@ from repro.sim.device import Device, EngineState
 from repro.sim.stream import Stream
 from repro.sim.trace import Trace, TraceRecord
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultPlan
+
 
 class Engine:
     """Discrete-event executor over a node's devices, links and streams."""
@@ -51,14 +69,39 @@ class Engine:
         devices: list[Device],
         topology: NodeTopology,
         trace: Trace,
+        faults: "FaultPlan | None" = None,
     ):
         self.devices = devices
         self.topology = topology
         self.trace = trace
+        self.faults = faults
+        #: device -> simulated time of permanent failure. Seeded from the
+        #: fault plan; the scheduler may add entries (e.g. when it retires
+        #: a device after an injected allocation failure).
+        self.dead: dict[int, float] = (
+            faults.failure_times() if faults is not None else {}
+        )
         self.host_engine = EngineState("host.compute")
         self._channel_busy: dict[tuple[int, int], float] = {}
         self.now = 0.0
         self.commands_executed = 0
+
+    def _check_dead(
+        self, device: int, start: float, cmd: Command, stream: Stream
+    ) -> None:
+        """Raise DeviceFault if ``device`` has permanently failed by the
+        command's start time (fail-stop: nothing dispatches on it)."""
+        ft = self.dead.get(device)
+        if ft is not None and start >= ft:
+            self.commands_executed -= 1
+            raise DeviceFault(
+                f"device {device} failed at t={ft:.6g}: cannot dispatch "
+                f"{cmd.label!r}",
+                device=device,
+                time=start,
+                command=cmd,
+                stream=stream,
+            )
 
     # -- resource helpers ----------------------------------------------------
     def _channel_until(self, seg: PathSegment) -> float:
@@ -104,6 +147,10 @@ class Engine:
         until_events = None
         if until is not None:
             until_events = [e for e in until if not e.recorded]
+            if not until_events:
+                # Everything asked for already happened (e.g. a recovery
+                # pass completed the events): leave later work queued.
+                return self.now
 
         # heap of (ready_time, stream.id, stream); a stream is either in
         # the heap, parked in `waiting` on its head's event, or drained.
@@ -152,7 +199,7 @@ class Engine:
 
         if blocked and not stopped_early:
             pend = [s for s in streams if s.commands]
-            raise SimulationError(
+            raise DeadlockError(
                 f"deadlock: {blocked} streams blocked on unrecorded "
                 f"events; pending streams: {pend}"
             )
@@ -179,7 +226,11 @@ class Engine:
         if isinstance(cmd, KernelLaunch):
             dev = self.devices[stream.device]
             start = max(ready, dev.compute.busy_until)
-            end = start + cmd.duration
+            self._check_dead(stream.device, start, cmd, stream)
+            duration = cmd.duration
+            if self.faults is not None:
+                duration *= self.faults.compute_factor(stream.device)
+            end = start + duration
             dev.compute.occupy(start, end)
             self._finish(stream, cmd, "kernel", stream.device, start, end)
             return cmd
@@ -191,10 +242,29 @@ class Engine:
                 + [e.busy_until for e in engines]
                 + [self._channel_until(seg) for seg in path]
             )
+            if cmd.src != HOST:
+                self._check_dead(cmd.src, start, cmd, stream)
+            if cmd.dst != HOST:
+                self._check_dead(cmd.dst, start, cmd, stream)
             duration = (
                 self.topology.transfer_time(cmd.nbytes, path)
                 + cmd.extra_latency
             )
+            if self.faults is not None:
+                if self.faults.transfer_faults_now(cmd.src, cmd.dst):
+                    # The failed attempt occupies nothing: the error is
+                    # detected at start; the retry backoff (simulated
+                    # time) is the modelled cost of the fault.
+                    self.commands_executed -= 1
+                    raise TransientTransferError(
+                        f"transfer {cmd.label!r} ({cmd.src}->{cmd.dst}) "
+                        f"faulted at t={start:.6g}",
+                        device=cmd.dst if cmd.dst != HOST else cmd.src,
+                        time=start,
+                        command=cmd,
+                        stream=stream,
+                    )
+                duration *= self.faults.transfer_factor(cmd.src, cmd.dst)
             end = start + duration
             for e in engines:
                 e.occupy(start, end)

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the simulated node (DESIGN.md §8).
+
+A :class:`FaultPlan` describes *when and where* the simulated hardware
+misbehaves. The discrete-event engine consults it at dispatch time, so a
+fault always fires **before** a command's functional payload runs — the
+command simply does not happen, and device state is never corrupted.
+Four fault classes are modelled:
+
+* **Permanent device failure** (:class:`DeviceFailure`): from simulated
+  time ``at_time`` on, any kernel or transfer touching the device raises
+  :class:`~repro.errors.DeviceFault`. Fail-stop semantics: the device's
+  memory contents are gone; the scheduler retires the device and
+  re-segments its work across the survivors.
+* **Transient transfer faults** (:class:`TransferFault`, or a seeded
+  ``transfer_fault_rate``): a matching memcpy raises
+  :class:`~repro.errors.TransientTransferError` at dispatch. The
+  scheduler retries it — from an alternate valid replica when the
+  Segment Location Monitor knows one — after a capped exponential
+  backoff in *simulated* time.
+* **Allocation failures** (:class:`AllocFailure`): the Nth allocation on
+  a device raises an *injected* :class:`~repro.errors.AllocationError`;
+  the scheduler treats the device as failed (a device that cannot
+  allocate cannot take new work) and re-segments.
+* **Stragglers** (:class:`Straggler`): per-device multiplicative
+  degradation of compute duration and transfer bandwidth. Stragglers
+  never raise; they only stretch the timeline (and must not change
+  results or command streams — asserted by tests).
+
+Determinism: all state lives in the plan (explicit counters plus one
+``random.Random(seed)``; no global randomness), and the engine's dispatch
+order is itself deterministic, so two runs with equal plans produce
+identical fault sequences, identical recovery actions and identical
+simulated times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """Permanent fail-stop failure of one device at a simulated time."""
+
+    device: int
+    at_time: float
+
+
+@dataclass(frozen=True)
+class TransferFault:
+    """Transient failure of specific transfers on a link.
+
+    The ``nth`` dispatched memcpy matching ``(src, dst)`` (1-based; ``None``
+    matches any endpoint) faults, as do the following ``count - 1``
+    matching dispatches — so ``count`` models how many consecutive attempts
+    (including the scheduler's retries over the same link) fail before the
+    link heals.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    nth: int = 1
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class AllocFailure:
+    """The ``nth_alloc``-th allocation call on ``device`` fails (1-based)."""
+
+    device: int
+    nth_alloc: int
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Per-device degradation: kernel durations are multiplied by
+    ``compute_factor``; transfers touching the device take
+    ``bandwidth_factor`` times longer. Factors must be >= 1."""
+
+    device: int
+    compute_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults (see module docstring).
+
+    Args:
+        seed: Seed for the plan's private RNG (used only by
+            ``transfer_fault_rate`` draws).
+        device_failures: Permanent failures.
+        transfer_faults: Targeted transient transfer faults.
+        alloc_failures: Injected allocation failures.
+        stragglers: Per-device slowdown factors.
+        transfer_fault_rate: Probability that any dispatched transfer
+            faults transiently (drawn from the seeded RNG per dispatch;
+            deterministic because dispatch order is).
+        retry_base: First retry backoff in simulated seconds.
+        retry_cap: Upper bound on a single backoff interval.
+        max_retries: Retries per logical transfer before the scheduler
+            gives up with :class:`~repro.errors.UnrecoverableError`.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        device_failures: list[DeviceFailure] | None = None,
+        transfer_faults: list[TransferFault] | None = None,
+        alloc_failures: list[AllocFailure] | None = None,
+        stragglers: list[Straggler] | None = None,
+        transfer_fault_rate: float = 0.0,
+        retry_base: float = 1e-5,
+        retry_cap: float = 1e-3,
+        max_retries: int = 8,
+    ):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.device_failures = list(device_failures or [])
+        self.transfer_faults = list(transfer_faults or [])
+        self.alloc_failures = {
+            (a.device, a.nth_alloc) for a in (alloc_failures or [])
+        }
+        self.transfer_fault_rate = float(transfer_fault_rate)
+        self.retry_base = float(retry_base)
+        self.retry_cap = float(retry_cap)
+        self.max_retries = int(max_retries)
+        self._compute_factor: dict[int, float] = {}
+        self._bandwidth_factor: dict[int, float] = {}
+        for s in stragglers or []:
+            if s.compute_factor < 1.0 or s.bandwidth_factor < 1.0:
+                raise ValueError(
+                    f"straggler factors must be >= 1, got {s}"
+                )
+            self._compute_factor[s.device] = s.compute_factor
+            self._bandwidth_factor[s.device] = s.bandwidth_factor
+        #: Per-(src, dst) count of dispatched transfers, for `nth` matching.
+        self._link_counts: dict[tuple[int | None, int | None], int] = {}
+        #: Diagnostics, also used by `repro.bench --faults` reports.
+        self.transfer_faults_fired = 0
+        self.alloc_faults_fired = 0
+
+    # -- permanent failures --------------------------------------------------
+    def failure_times(self) -> dict[int, float]:
+        """Device -> earliest permanent-failure time (engine dead-map seed)."""
+        times: dict[int, float] = {}
+        for f in self.device_failures:
+            t = times.get(f.device)
+            times[f.device] = f.at_time if t is None else min(t, f.at_time)
+        return times
+
+    # -- stragglers ----------------------------------------------------------
+    def compute_factor(self, device: int) -> float:
+        return self._compute_factor.get(device, 1.0)
+
+    def transfer_factor(self, src: int, dst: int) -> float:
+        """Slowdown of a transfer: the worse of the two endpoints."""
+        return max(
+            self._bandwidth_factor.get(src, 1.0),
+            self._bandwidth_factor.get(dst, 1.0),
+        )
+
+    # -- transient transfer faults -------------------------------------------
+    def transfer_faults_now(self, src: int, dst: int) -> bool:
+        """Whether the transfer being dispatched on ``src -> dst`` faults.
+
+        Stateful: advances the per-link dispatch counters (exact-link and
+        wildcard specs count independently) and, when a fault rate is set,
+        draws from the plan's RNG. Call exactly once per memcpy dispatch.
+        """
+        fault = False
+        for spec in self.transfer_faults:
+            if spec.src is not None and spec.src != src:
+                continue
+            if spec.dst is not None and spec.dst != dst:
+                continue
+            key = (spec.src, spec.dst)
+            n = self._link_counts.get(key, 0) + 1
+            self._link_counts[key] = n
+            if spec.nth <= n < spec.nth + spec.count:
+                fault = True
+        if self.transfer_fault_rate > 0.0:
+            if self.rng.random() < self.transfer_fault_rate:
+                fault = True
+        if fault:
+            self.transfer_faults_fired += 1
+        return fault
+
+    # -- allocation failures -------------------------------------------------
+    def check_alloc(self, device: int, nth: int) -> None:
+        """Raise an injected AllocationError if the plan fails this alloc."""
+        if (device, nth) in self.alloc_failures:
+            self.alloc_faults_fired += 1
+            raise AllocationError(
+                f"injected allocation failure: device {device}, "
+                f"allocation #{nth}",
+                device=device,
+                injected=True,
+            )
+
+    # -- retry policy ----------------------------------------------------------
+    def backoff(self, attempt: int) -> float:
+        """Simulated-time delay before retry ``attempt`` (1-based):
+        capped exponential ``min(retry_base * 2**(attempt-1), retry_cap)``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.retry_base * (2.0 ** (attempt - 1)), self.retry_cap)

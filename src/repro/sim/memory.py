@@ -63,7 +63,12 @@ class DeviceBuffer:
 
 
 class DeviceMemory:
-    """Global-memory accounting for one device."""
+    """Global-memory accounting for one device.
+
+    When a :class:`~repro.sim.faults.FaultPlan` is installed on the node,
+    ``fault_check`` is wired to :meth:`FaultPlan.check_alloc` so the Nth
+    allocation call can raise an *injected* AllocationError (DESIGN.md §8).
+    """
 
     def __init__(self, capacity: int, functional: bool):
         self.capacity = int(capacity)
@@ -71,6 +76,9 @@ class DeviceMemory:
         self.used = 0
         self.peak = 0
         self.alloc_calls = 0
+        #: Optional injected-fault hook: callable(device, nth_alloc) that
+        #: raises AllocationError(injected=True) when the plan says so.
+        self.fault_check = None
 
     def allocate(
         self, device: int, rect: Rect, dtype: np.dtype | type
@@ -81,11 +89,14 @@ class DeviceMemory:
             # Zero-size allocations are legal (a device with no share of a
             # datum); they consume no memory.
             return DeviceBuffer(device, rect, dtype, None)
+        if self.fault_check is not None:
+            self.fault_check(device, self.alloc_calls + 1)
         nbytes = rect.size * dtype.itemsize
         if self.used + nbytes > self.capacity:
             raise AllocationError(
                 f"device {device} out of memory: requested {nbytes} B, "
-                f"{self.capacity - self.used} B free of {self.capacity} B"
+                f"{self.capacity - self.used} B free of {self.capacity} B",
+                device=device,
             )
         self.used += nbytes
         self.peak = max(self.peak, self.used)

@@ -15,7 +15,7 @@ Two execution modes (see DESIGN.md §4):
 from __future__ import annotations
 
 
-from repro.errors import SimulationError
+from repro.errors import DeadlockError
 from repro.hardware.calibration import (
     DEFAULT_INTERCONNECT,
     InterconnectCalibration,
@@ -33,6 +33,7 @@ from repro.sim.commands import (
 )
 from repro.sim.device import Device
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan
 from repro.sim.stream import Stream
 from repro.sim.trace import Trace
 
@@ -47,6 +48,7 @@ class SimNode:
         functional: bool = True,
         interconnect: InterconnectCalibration | None = None,
         gpus_per_switch: int = 2,
+        faults: FaultPlan | None = None,
     ):
         if num_gpus < 1:
             raise ValueError("need at least one GPU")
@@ -58,7 +60,11 @@ class SimNode:
         )
         self.devices = [Device(i, spec, functional) for i in range(num_gpus)]
         self.trace = Trace()
-        self.engine = Engine(self.devices, self.topology, self.trace)
+        self.faults = faults
+        self.engine = Engine(self.devices, self.topology, self.trace, faults)
+        if faults is not None:
+            for d in self.devices:
+                d.memory.fault_check = faults.check_alloc
         self.streams: list[Stream] = []
         #: Host thread clock — the scheduler advances it to model host-side
         #: overhead; commands submitted after time t carry earliest_start=t.
@@ -84,6 +90,16 @@ class SimNode:
             s = self.devices[device].new_stream(role, label)
         self.streams.append(s)
         return s
+
+    # -- fault handling --------------------------------------------------------
+    def retire_device(self, device: int, at_time: float) -> None:
+        """Mark ``device`` permanently failed from ``at_time`` on (fail-stop).
+
+        Used by the scheduler when it decides a device is unusable (e.g.
+        after an injected allocation failure); from then on the engine
+        refuses to dispatch any command touching it.
+        """
+        self.engine.dead.setdefault(device, at_time)
 
     # -- host clock ----------------------------------------------------------
     def host_advance(self, dt: float) -> None:
@@ -181,7 +197,7 @@ class SimNode:
         self.engine.run(self.streams, until=events)
         pending = [e for e in events if not e.recorded]
         if pending:  # pragma: no cover - queues drained without recording
-            raise SimulationError(
+            raise DeadlockError(
                 f"run_until: {len(pending)} events were never recorded "
                 f"(first: {pending[0].label!r})"
             )

@@ -84,6 +84,43 @@ class TestGatherRegion:
             sched.gather_region(acc, Rect((0, 4)))
 
 
+class TestRegionValidation:
+    """Out-of-bounds or wrong-rank regions must be rejected up front:
+    silently accepting one would poison the location monitor with regions
+    that cannot exist and index past the bound host buffer."""
+
+    def test_gather_region_out_of_bounds_rejected(self, setup):
+        _, sched, v = setup
+        with pytest.raises(SchedulingError, match="out of bounds"):
+            sched.gather_region(v, Rect((32, 100)))
+
+    def test_gather_region_negative_start_rejected(self, setup):
+        _, sched, v = setup
+        with pytest.raises(SchedulingError, match="out of bounds"):
+            sched.gather_region(v, Rect((-4, 8)))
+
+    def test_gather_region_wrong_rank_rejected(self, setup):
+        _, sched, v = setup
+        with pytest.raises(SchedulingError, match="dims"):
+            sched.gather_region(v, Rect((0, 8), (0, 8)))
+
+    def test_mark_dirty_out_of_bounds_rejected(self, setup):
+        _, sched, v = setup
+        sched.gather(v)
+        with pytest.raises(SchedulingError, match="out of bounds"):
+            sched.mark_host_region_dirty(v, Rect((60, 65)))
+
+    def test_mark_dirty_wrong_rank_rejected(self, setup):
+        _, sched, v = setup
+        with pytest.raises(SchedulingError, match="dims"):
+            sched.mark_host_region_dirty(v, Rect((0, 4), (0, 4)))
+
+    def test_empty_region_is_accepted(self, setup):
+        _, sched, v = setup
+        sched.gather_region(v, Rect((8, 8)))  # no-op, not an error
+        sched.wait_all()
+
+
 class TestMarkHostRegionDirty:
     def test_devices_refetch_dirty_region_only(self, setup):
         node, sched, v = setup

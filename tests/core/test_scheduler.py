@@ -462,6 +462,33 @@ class TestSchedulerErrors:
                 ReductiveStatic(h),
             )
 
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="invalid grid shape"):
+            Grid((0,))
+        with pytest.raises(ValueError, match="invalid grid shape"):
+            Grid(())
+        with pytest.raises(ValueError, match="invalid grid shape"):
+            Grid((64, 0))
+
+    def test_wait_rejects_invalid_handle(self):
+        node = SimNode(GTX_780, 1, functional=True)
+        sched = Scheduler(node)
+        with pytest.raises(SchedulingError, match="invalid task handle"):
+            sched.wait(None)
+        with pytest.raises(SchedulingError, match="invalid task handle"):
+            sched.wait("not-a-handle")
+
+    def test_unanalyzed_invoke_raises_analysis_error(self):
+        from repro.errors import AnalysisError
+
+        node = SimNode(GTX_780, 2, functional=True)
+        sched = Scheduler(node)  # auto_analyze off: AnalyzeCall is required
+        a = Matrix(16, 16, np.int32, "a").bind(np.zeros((16, 16), np.int32))
+        b = Matrix(16, 16, np.int32, "b").bind(np.zeros((16, 16), np.int32))
+        kernel = make_gol_kernel()
+        with pytest.raises(AnalysisError, match="never analyzed"):
+            sched.invoke(kernel, Window2D(a, 1, WRAP), StructuredInjective(b))
+
 
 class TestPaperAliases:
     def test_camelcase_api(self):

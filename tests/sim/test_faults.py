@@ -1,0 +1,156 @@
+"""Unit tests for the fault-injection layer (FaultPlan + engine hooks).
+
+Scheduler-level recovery is covered by tests/core/test_recovery.py; here
+we test the plan's own semantics and the engine surfacing typed faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, DeviceFault, TransientTransferError
+from repro.hardware import GTX_780, HOST
+from repro.sim import (
+    AllocFailure,
+    DeviceFailure,
+    FaultPlan,
+    SimNode,
+    Straggler,
+    TransferFault,
+)
+
+
+class TestFaultPlan:
+    def test_failure_times_keeps_earliest(self):
+        fp = FaultPlan(device_failures=[
+            DeviceFailure(1, 2e-3), DeviceFailure(1, 1e-3),
+            DeviceFailure(0, 5e-3),
+        ])
+        assert fp.failure_times() == {1: 1e-3, 0: 5e-3}
+
+    def test_straggler_factors_default_to_one(self):
+        fp = FaultPlan(stragglers=[Straggler(2, 3.0, 1.5)])
+        assert fp.compute_factor(2) == 3.0
+        assert fp.compute_factor(0) == 1.0
+        assert fp.transfer_factor(2, HOST) == 1.5
+        assert fp.transfer_factor(HOST, 2) == 1.5  # worse endpoint wins
+        assert fp.transfer_factor(0, 1) == 1.0
+
+    def test_straggler_factors_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FaultPlan(stragglers=[Straggler(0, compute_factor=0.5)])
+
+    def test_targeted_transfer_fault_matches_nth_and_count(self):
+        fp = FaultPlan(transfer_faults=[TransferFault(nth=2, count=2)])
+        fired = [fp.transfer_faults_now(0, 1) for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+        assert fp.transfer_faults_fired == 2
+
+    def test_link_specific_fault_ignores_other_links(self):
+        fp = FaultPlan(transfer_faults=[TransferFault(src=0, dst=1, nth=1)])
+        assert not fp.transfer_faults_now(1, 0)  # reverse direction
+        assert not fp.transfer_faults_now(0, HOST)
+        assert fp.transfer_faults_now(0, 1)
+
+    def test_rate_draws_are_deterministic_per_seed(self):
+        draws = []
+        for _ in range(2):
+            fp = FaultPlan(seed=42, transfer_fault_rate=0.3)
+            draws.append([fp.transfer_faults_now(0, 1) for _ in range(64)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+    def test_check_alloc_raises_injected_error(self):
+        fp = FaultPlan(alloc_failures=[AllocFailure(1, 3)])
+        fp.check_alloc(1, 2)
+        fp.check_alloc(0, 3)
+        with pytest.raises(AllocationError) as ei:
+            fp.check_alloc(1, 3)
+        assert ei.value.injected and ei.value.device == 1
+        assert fp.alloc_faults_fired == 1
+
+    def test_backoff_is_capped_exponential(self):
+        fp = FaultPlan(retry_base=1e-5, retry_cap=4e-5)
+        assert fp.backoff(1) == 1e-5
+        assert fp.backoff(2) == 2e-5
+        assert fp.backoff(3) == 4e-5
+        assert fp.backoff(4) == 4e-5  # capped
+        with pytest.raises(ValueError):
+            fp.backoff(0)
+
+
+class TestEngineFaults:
+    def test_kernel_on_dead_device_raises_device_fault(self):
+        fp = FaultPlan(device_failures=[DeviceFailure(0, 0.0)])
+        node = SimNode(GTX_780, 2, functional=False, faults=fp)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 1e-3, label="doomed")
+        with pytest.raises(DeviceFault) as ei:
+            node.run()
+        assert ei.value.device == 0
+
+    def test_device_healthy_before_failure_time(self):
+        fp = FaultPlan(device_failures=[DeviceFailure(0, 1.0)])
+        node = SimNode(GTX_780, 2, functional=False, faults=fp)
+        s = node.new_stream(0)
+        node.launch_kernel(s, 1e-3, label="fine")
+        node.run()
+        assert node.engine.commands_executed == 1
+
+    def test_transfer_touching_dead_device_raises(self):
+        fp = FaultPlan(device_failures=[DeviceFailure(1, 0.0)])
+        node = SimNode(GTX_780, 2, functional=False, faults=fp)
+        s = node.new_stream(0, role="copy-out")
+        node.memcpy(s, src=0, dst=1, nbytes=1 << 20, label="to-dead")
+        with pytest.raises(DeviceFault) as ei:
+            node.run()
+        assert ei.value.device == 1
+
+    def test_transient_fault_surfaces_before_payload_runs(self):
+        fp = FaultPlan(transfer_faults=[TransferFault(nth=1)])
+        node = SimNode(GTX_780, 2, functional=True, faults=fp)
+        s = node.new_stream(0, role="copy-in")
+        ran = []
+        node.memcpy(s, src=HOST, dst=0, nbytes=4096,
+                    payload=lambda: ran.append(1), label="flaky")
+        with pytest.raises(TransientTransferError):
+            node.run()
+        assert ran == []  # the command did not happen
+        assert node.engine.commands_executed == 0
+
+    def test_compute_straggler_stretches_kernel(self):
+        def total_time(faults):
+            node = SimNode(GTX_780, 1, functional=False, faults=faults)
+            node.launch_kernel(node.new_stream(0), 1e-3, label="k")
+            return node.run()
+
+        base = total_time(None)
+        slow = total_time(FaultPlan(stragglers=[Straggler(0, 4.0)]))
+        assert slow > base * 2
+
+    def test_bandwidth_straggler_stretches_copy(self):
+        def total_time(faults):
+            node = SimNode(GTX_780, 2, functional=False, faults=faults)
+            s = node.new_stream(0, role="copy-in")
+            node.memcpy(s, src=HOST, dst=0, nbytes=64 << 20, label="c")
+            return node.run()
+
+        base = total_time(None)
+        slow = total_time(
+            FaultPlan(stragglers=[Straggler(0, bandwidth_factor=3.0)])
+        )
+        assert slow > base * 2
+
+    def test_injected_alloc_failure_via_node_wiring(self):
+        fp = FaultPlan(alloc_failures=[AllocFailure(0, 1)])
+        node = SimNode(GTX_780, 1, functional=True, faults=fp)
+        from repro.utils.rect import Rect
+
+        with pytest.raises(AllocationError) as ei:
+            node.devices[0].memory.allocate(0, Rect((0, 8)), np.float32)
+        assert ei.value.injected
+
+    def test_retire_device_keeps_earliest_time(self):
+        node = SimNode(GTX_780, 2, functional=False, faults=FaultPlan())
+        node.retire_device(1, 2.0)
+        node.retire_device(1, 5.0)
+        assert node.engine.dead[1] == 2.0
