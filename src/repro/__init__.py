@@ -25,6 +25,7 @@ Package layout:
 * :mod:`repro.core` - Datum/Task, Memory Analyzer, Location Monitor,
   Scheduler (Algorithms 1-2)
 * :mod:`repro.device_api` - index-free device-level views and iterators
+* :mod:`repro.sanitize` - pattern-conformance sanitizer and race detector
 * :mod:`repro.kernels` - built-in kernels (Game of Life, histogram, ...)
 * :mod:`repro.libs` - simulated CUBLAS / CUBLAS-XT / CUB / cuDNN
 * :mod:`repro.apps` - LeNet training (S6.1) and NMF (S6.2)
@@ -65,6 +66,16 @@ from repro.hardware import (
     TITAN_BLACK,
     Architecture,
     GPUSpec,
+)
+from repro.sanitize import (
+    OutOfPatternReadError,
+    OutOfRegionWriteError,
+    SanitizeSession,
+    SanitizerError,
+    UnaggregatedReadError,
+    WriteRaceError,
+    lint_invocation,
+    sanitize_task,
 )
 from repro.sim import (
     AllocFailure,
@@ -114,4 +125,12 @@ __all__ = [
     "TransferFault",
     "AllocFailure",
     "Straggler",
+    "SanitizerError",
+    "OutOfPatternReadError",
+    "OutOfRegionWriteError",
+    "WriteRaceError",
+    "UnaggregatedReadError",
+    "SanitizeSession",
+    "sanitize_task",
+    "lint_invocation",
 ]

@@ -68,11 +68,12 @@ class MapsLeNetTrainer:
         batch: int,
         mode: str = "data",
         lr: float = 0.05,
+        sanitize: bool = False,
     ):
         if mode not in ("data", "hybrid"):
             raise ValueError(f"unknown parallelism mode {mode!r}")
         self.node = node
-        self.sched = Scheduler(node)
+        self.sched = Scheduler(node, sanitize=sanitize)
         self.params = params
         self.batch = batch
         self.mode = mode

@@ -163,9 +163,10 @@ class MapsNMF:
         v: np.ndarray | tuple[int, int],
         k: int = 128,
         seed: int = 0,
+        sanitize: bool = False,
     ):
         self.node = node
-        self.sched = Scheduler(node)
+        self.sched = Scheduler(node, sanitize=sanitize)
         if isinstance(v, np.ndarray):
             n, m = v.shape
         else:

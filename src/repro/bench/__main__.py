@@ -30,6 +30,11 @@ from repro.bench.overhead import (
     write_overhead_json,
 )
 from repro.bench.reporting import fmt_table
+from repro.bench.sanitize import (
+    measure_sanitize,
+    sanitize_report,
+    write_sanitize_json,
+)
 from repro.hardware import GTX_780, PAPER_GPUS
 
 
@@ -172,6 +177,18 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="output path for --faults results (default: %(default)s)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="measure the sanitizer's functional-mode overhead (recording "
+        "on vs off) and write BENCH_sanitize.json",
+    )
+    parser.add_argument(
+        "--sanitize-json",
+        default="BENCH_sanitize.json",
+        metavar="PATH",
+        help="output path for --sanitize results (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(sorted(EXPERIMENTS)))
@@ -187,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         print(faults_report(results))
         write_faults_json(results, args.faults_json)
         print(f"wrote {args.faults_json}")
+        return 0
+    if args.sanitize:
+        results = measure_sanitize()
+        print(sanitize_report(results))
+        write_sanitize_json(results, args.sanitize_json)
+        print(f"wrote {args.sanitize_json}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -109,6 +109,7 @@ class Scheduler:
         node: "SimNode",
         auto_analyze: bool = False,
         plan_cache: bool = True,
+        sanitize: bool = False,
     ):
         """Args:
             node: The simulated multi-GPU node to drive.
@@ -125,9 +126,23 @@ class Scheduler:
                 amortization). Affects host wall-clock only — the emitted
                 command sequence, numerical results and simulated times are
                 identical with the cache on or off.
+            sanitize: Run every functional kernel under the pattern-
+                conformance sanitizer (DESIGN.md §9): device-level views
+                record their actual accesses, which are checked against
+                the declared patterns after each per-device kernel and
+                across devices once all of a task's kernels have run. A
+                violation raises the typed
+                :class:`~repro.sanitize.errors.SanitizerError` out of
+                ``wait``/``wait_all``. Requires a functional node.
         """
         self.node = node
         self.auto_analyze = auto_analyze
+        self.sanitize = sanitize
+        if sanitize and not node.functional:
+            raise SchedulingError(
+                "sanitize mode records kernel accesses and therefore "
+                "requires a functional-mode node"
+            )
         self.analyzer = MemoryAnalyzer(node)
         self.monitor = LocationMonitor()
         # One knob controls all cross-invocation amortization: with the
@@ -436,12 +451,16 @@ class Scheduler:
             handle.events.clear()
         durations = self._durations(task, plan)
         num_active = len(active)
+        # One race pool per replay: payloads deposit their recorders here
+        # as they execute; the last kernel of the task runs the
+        # cross-device checks over the full pool.
+        race_pool: dict[int, Any] | None = {} if self.sanitize else None
         for d in active:
             stream = self._compute[d]
             for ev in kernel_waits[d]:
                 node.wait_event(stream, ev)
             payload = self._kernel_payload(
-                task, d, dplans[d].work_rect, num_active
+                task, d, dplans[d].work_rect, num_active, race_pool
             )
             node.launch_kernel(
                 stream, durations[d], payload, label=f"{task.name}@gpu{d}"
@@ -583,7 +602,7 @@ class Scheduler:
         )
 
     def _kernel_payload(self, task: Task, device: int, work_rect: Rect,
-                        num_active: int):
+                        num_active: int, race_pool: dict | None = None):
         if not self.node.functional or task.kernel.func is None:
             return None
         if task.kernel.raw:
@@ -591,14 +610,23 @@ class Scheduler:
         analyzer = self.analyzer
 
         def payload() -> None:
+            recorder = None
+            if race_pool is not None:
+                from repro.sanitize.recorder import AccessRecorder
+
+                recorder = AccessRecorder(
+                    len(race_pool), work_rect, device=device
+                )
             views = tuple(
                 make_view(
                     c,
                     analyzer.buffer(c.datum, device),
                     task.grid.shape,
                     work_rect,
+                    recorder=recorder,
+                    index=i,
                 )
-                for c in task.containers
+                for i, c in enumerate(task.containers)
             )
             ctx = KernelContext(
                 device=device,
@@ -609,6 +637,20 @@ class Scheduler:
                 constants=task.constants,
             )
             task.kernel.func(ctx)
+            if recorder is not None:
+                from repro.sanitize.checker import check_races, check_segment
+
+                race_pool[device] = recorder
+                errors = check_segment(
+                    task.name, task.containers, task.grid.shape, recorder
+                )
+                if not errors and len(race_pool) == num_active:
+                    errors = check_races(
+                        task.name, task.containers, task.grid.shape,
+                        list(race_pool.values()),
+                    )
+                if errors:
+                    raise errors[0]
 
         return payload
 

@@ -29,6 +29,7 @@ from repro.device_api.views import (
     WindowView,
 )
 from repro.errors import DeviceError
+from repro.utils.rect import Rect
 
 
 @dataclass
@@ -41,7 +42,7 @@ class OutputIterator:
 
     def set(self, value) -> None:
         """``*iter = value``."""
-        self.view.array[self._local] = value
+        self.view.write_element(self._local, value)
 
     def get(self):
         return self.view.array[self._local]
@@ -65,6 +66,7 @@ class WindowAccessor:
 
     def __init__(self, view: WindowView, index: tuple[int, ...]):
         self.view = view
+        self._index = index  # datum coordinates (for access recording)
         # Element position inside the padded array's center region.
         self._base = tuple(
             i - b + r
@@ -89,12 +91,37 @@ class WindowAccessor:
             raise DeviceError(
                 f"need {len(self._base)} offsets, got {len(offsets)}"
             )
-        pos = []
-        for p, o, r in zip(self._base, offsets, self.view.radius):
-            if abs(o) > r:
+        view = self.view
+        want = Rect(*[
+            (i + o, i + o + 1) for i, o in zip(self._index, offsets)
+        ])
+        if view._recorder is not None:
+            view._recorder.record_read(view._rec_index, want)
+        over = any(abs(o) > r for o, r in zip(offsets, view.radius))
+        if over:
+            if view._recorder is None:
+                o, r = next(
+                    (o, r) for o, r in zip(offsets, view.radius)
+                    if abs(o) > r
+                )
                 raise DeviceError(f"offset {o} exceeds window radius {r}")
-            pos.append(p + o)
-        return self.view._padded[tuple(pos)]
+            from repro.sanitize.recorder import AccessFlag
+
+            view._recorder.flag(AccessFlag(
+                kind="over-radius-read",
+                container_index=view._rec_index,
+                rect=want,
+                declared=view.center_rect.expand(list(view.radius)),
+                detail=(
+                    f"offsets {tuple(offsets)} exceed declared window "
+                    f"radius {view.radius}"
+                ),
+            ))
+            return view._gather(want, lenient=True)[
+                tuple([0] * len(offsets))
+            ]
+        pos = [p + o for p, o in zip(self._base, offsets)]
+        return view._padded[tuple(pos)]
 
     @property
     def value(self):
@@ -127,9 +154,9 @@ class ReductiveIterator:
     view: ReductiveStaticView
 
     def add(self, bin_index: int, weight=1) -> None:
-        if self.view.container.op != "sum":
-            raise DeviceError("add requires a sum-reduction container")
-        self.view.partial.reshape(-1)[int(bin_index)] += weight
+        # Routed through add_at so bin indices get the same bounds
+        # validation (and sanitize-mode recording) as the bulk path.
+        self.view.add_at(np.array([int(bin_index)]), np.array([weight]))
 
 
 def maps_foreach_reductive(

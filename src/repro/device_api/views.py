@@ -9,11 +9,18 @@ Views operate on whole device segments with numpy (the vectorized
 "bulk-synchronous thread-block" execution mode); the scalar reference
 iterators of :mod:`repro.device_api.foreach` provide the literal
 one-thread-at-a-time semantics for validation.
+
+Sanitize mode (DESIGN.md §9): every view optionally carries an
+:class:`~repro.sanitize.recorder.AccessRecorder`. With a recorder present,
+views report the element regions they actually resolve — and accesses the
+framework would normally reject outright (a window offset beyond the
+declared radius) resolve leniently instead of raising, so the sanitizer
+can observe, classify and report the violation with full context.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -53,7 +60,26 @@ def _scaled(work_rect: Rect, scales: Sequence[int]) -> Rect:
     )
 
 
-class WindowView:
+class _Recording:
+    """Mixin wiring a view to an optional access recorder."""
+
+    _recorder = None
+    _rec_index: int = 0
+
+    def _attach(self, recorder, index: int) -> None:
+        self._recorder = recorder
+        self._rec_index = index
+
+    def _note_read(self, rect: Rect) -> None:
+        if self._recorder is not None:
+            self._recorder.record_read(self._rec_index, rect)
+
+    def _note_write(self, rect: Rect) -> None:
+        if self._recorder is not None:
+            self._recorder.record_write(self._rec_index, rect)
+
+
+class WindowView(_Recording):
     """Neighborhood access for Window (ND) inputs.
 
     ``center()`` is the device's own region; ``offset(o1, ..., oN)`` is
@@ -68,25 +94,36 @@ class WindowView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         datum = container.datum
         self.radius = container.radius
         scales = _scales(work_shape, datum.shape)
         self.center_rect = _scaled(work_rect, scales)
-        self._padded = self._assemble(buffer, datum.shape)
+        self._attach(recorder, index)
+        self._buffer = buffer
+        self._shape = tuple(datum.shape)
+        self._padded = self._gather(
+            self.center_rect.expand(list(self.radius)), lenient=False
+        )
 
-    def _assemble(self, buffer: DeviceBuffer, shape: Sequence[int]) -> np.ndarray:
-        """Build the center+halo array from the device buffer.
+    def _gather(self, want: Rect, lenient: bool) -> np.ndarray:
+        """Materialize an arbitrary virtual-coordinate rect from the buffer.
 
-        Each halo position maps to a buffer position: directly where the
+        Each position maps to a buffer position: directly where the
         framework placed halo data; modularly when the buffer holds the
         full period of a wrapped dimension; clamped to the nearest edge
         under CLAMP; or to synthesized zeros under ZERO/NO_CHECKS. The
         mapping is materialized as per-dimension index arrays and gathered
-        with successive ``np.take`` calls.
+        with successive ``np.take`` calls. Positions with no backing data
+        raise DeviceError — except in ``lenient`` (sanitize) mode, where
+        they resolve to zeros so the access can be recorded and reported
+        instead of aborting the kernel.
         """
-        want = self.center_rect.expand(list(self.radius))
+        buffer = self._buffer
+        shape = self._shape
         arr = buffer.view(buffer.rect)
         boundary = self.container.boundary
         index_lists: list[np.ndarray] = []
@@ -123,11 +160,15 @@ class WindowView:
                         pos = 0
                         mask[i] = True
                 if pos is None:
-                    raise DeviceError(
-                        f"window position {v} (dim {d}) has no backing "
-                        f"data in buffer extent {buffer.rect} "
-                        f"(boundary {boundary.value})"
-                    )
+                    if lenient:
+                        pos = 0
+                        mask[i] = True
+                    else:
+                        raise DeviceError(
+                            f"window position {v} (dim {d}) has no backing "
+                            f"data in buffer extent {buffer.rect} "
+                            f"(boundary {boundary.value})"
+                        )
                 idxs[i] = pos
             index_lists.append(idxs)
             zero_masks.append(mask)
@@ -156,14 +197,40 @@ class WindowView:
             raise DeviceError(
                 f"offset needs {self.center_rect.ndim} components"
             )
+        over = any(
+            abs(off) > r for off, r in zip(offsets, self.radius)
+        )
+        want = self.center_rect.shift(list(offsets))
+        self._note_read(want)
+        if over:
+            if self._recorder is None:
+                d, off = next(
+                    (d, o) for d, (o, r)
+                    in enumerate(zip(offsets, self.radius)) if abs(o) > r
+                )
+                raise DeviceError(
+                    f"offset {off} exceeds window radius {self.radius[d]} "
+                    f"in dim {d}"
+                )
+            # Sanitize mode: record the over-radius access (the checker
+            # turns the flag into an OutOfPatternReadError) and resolve it
+            # leniently so execution continues.
+            from repro.sanitize.recorder import AccessFlag
+
+            self._recorder.flag(AccessFlag(
+                kind="over-radius-read",
+                container_index=self._rec_index,
+                rect=want,
+                declared=self.center_rect.expand(list(self.radius)),
+                detail=(
+                    f"offsets {tuple(offsets)} exceed declared window "
+                    f"radius {self.radius}"
+                ),
+            ))
+            return self._gather(want, lenient=True)
         slices = []
         for d, off in enumerate(offsets):
-            r = self.radius[d]
-            if abs(off) > r:
-                raise DeviceError(
-                    f"offset {off} exceeds window radius {r} in dim {d}"
-                )
-            start = r + off
+            start = self.radius[d] + off
             slices.append(slice(start, start + self.center_rect.shape[d]))
         return self._padded[tuple(slices)]
 
@@ -185,7 +252,7 @@ class WindowView:
         return acc
 
 
-class BlockView:
+class BlockView(_Recording):
     """Row-stripe access for Block (2D) inputs (e.g. GEMM's first operand)."""
 
     def __init__(
@@ -194,18 +261,22 @@ class BlockView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         self.rect = container.required(work_shape, work_rect).virtual
         self._arr = buffer.view(self.rect)
+        self._attach(recorder, index)
 
     @property
     def stripe(self) -> np.ndarray:
         """This device's rows of the matrix."""
+        self._note_read(self.rect)
         return self._arr
 
 
-class FullView:
+class FullView(_Recording):
     """Whole-datum access for fully-replicated inputs (Block 1D/2D-T,
     Adjacency, Traversal, Permutation, Irregular)."""
 
@@ -215,17 +286,21 @@ class FullView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         self.rect = container.required(work_shape, work_rect).virtual
         self._arr = buffer.view(self.rect)
+        self._attach(recorder, index)
 
     @property
     def array(self) -> np.ndarray:
+        self._note_read(self.rect)
         return self._arr
 
 
-class StructuredInjectiveView:
+class StructuredInjectiveView(_Recording):
     """Write access to the device's exact output segment.
 
     ``array`` is the segment; assigning into it is the vectorized
@@ -240,11 +315,14 @@ class StructuredInjectiveView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         self.rect = container.owned(work_shape, work_rect)
         self._arr = buffer.view(self.rect)
         self.committed = False
+        self._attach(recorder, index)
 
     @property
     def array(self) -> np.ndarray:
@@ -256,13 +334,23 @@ class StructuredInjectiveView:
                 f"output shape {values.shape} != segment shape "
                 f"{self._arr.shape}"
             )
+        self._note_write(self.rect)
         self._arr[...] = values
+
+    def write_element(self, local: tuple[int, ...], value) -> None:
+        """Single-element write (the scalar foreach iterator path)."""
+        if self._recorder is not None:
+            origin = self.rect.begin
+            self._note_write(Rect(*[
+                (o + p, o + p + 1) for o, p in zip(origin, local)
+            ]))
+        self._arr[local] = value
 
     def commit(self) -> None:
         self.committed = True
 
 
-class ReductiveStaticView:
+class ReductiveStaticView(_Recording):
     """Per-device partial accumulator for Reductive (Static) outputs.
 
     ``partial`` is the device-private duplicate (e.g. a 256-bin histogram);
@@ -276,41 +364,78 @@ class ReductiveStaticView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         self.rect = Rect.from_shape(container.datum.shape)
         self._arr = buffer.view(self.rect)
         self.committed = False
+        self._attach(recorder, index)
 
     @property
     def partial(self) -> np.ndarray:
+        self._note_write(self.rect)
         return self._arr
+
+    def _check_bins(
+        self, indices: np.ndarray, weights: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Validate bin indices against the datum extent.
+
+        Out-of-range bins would corrupt adjacent memory on a GPU (or crash
+        the bincount here); in sanitize mode they are flagged as
+        out-of-region writes and dropped so execution continues.
+        """
+        idx = np.asarray(indices).reshape(-1)
+        flat_w = None if weights is None else np.asarray(weights).reshape(-1)
+        size = self.rect.size
+        bad = (idx < 0) | (idx >= size)
+        if not bad.any():
+            return idx, flat_w
+        if self._recorder is None:
+            raise DeviceError(
+                f"reduction index {int(idx[bad][0])} outside output extent "
+                f"[0, {size})"
+            )
+        from repro.sanitize.recorder import AccessFlag
+
+        offenders = idx[bad]
+        self._recorder.flag(AccessFlag(
+            kind="oob-write-index",
+            container_index=self._rec_index,
+            rect=Rect((int(offenders.min()), int(offenders.max()) + 1)),
+            declared=Rect((0, size)),
+            detail=f"{offenders.size} reduction indices out of range",
+        ))
+        keep = ~bad
+        return idx[keep], None if flat_w is None else flat_w[keep]
 
     def add_at(self, indices: np.ndarray, weights: np.ndarray | None = None) -> None:
         if self.container.op != "sum":
             raise DeviceError("add_at requires a sum-reduction container")
         flat = self._arr.reshape(-1)
-        idx = np.asarray(indices).reshape(-1)
-        if weights is None:
+        idx, w = self._check_bins(indices, weights)
+        self._note_write(self.rect)
+        if w is None:
             counts = np.bincount(idx, minlength=flat.size)
         else:
-            counts = np.bincount(
-                idx, weights=np.asarray(weights).reshape(-1), minlength=flat.size
-            )
+            counts = np.bincount(idx, weights=w, minlength=flat.size)
         flat += counts.astype(flat.dtype, copy=False)
 
     def max_at(self, indices: np.ndarray, values: np.ndarray) -> None:
         if self.container.op != "max":
             raise DeviceError("max_at requires a max-reduction container")
         flat = self._arr.reshape(-1)
-        np.maximum.at(flat, np.asarray(indices).reshape(-1),
-                      np.asarray(values).reshape(-1))
+        idx, vals = self._check_bins(indices, values)
+        self._note_write(self.rect)
+        np.maximum.at(flat, idx, vals)
 
     def commit(self) -> None:
         self.committed = True
 
 
-class DynamicOutputView:
+class DynamicOutputView(_Recording):
     """Append-only output for Reductive (Dynamic) / Irregular patterns.
 
     Each device appends a runtime-determined number of elements; the
@@ -325,12 +450,15 @@ class DynamicOutputView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         self.rect = Rect.from_shape(container.datum.shape)
         self._arr = buffer.view(self.rect)
         self._buffer = buffer
         buffer.dynamic_count = 0  # type: ignore[attr-defined]
+        self._attach(recorder, index)
 
     @property
     def capacity(self) -> int:
@@ -345,14 +473,34 @@ class DynamicOutputView:
         n = values.shape[0]
         c = self.count
         if c + n > self.capacity:
-            raise DeviceError(
-                f"dynamic output overflow: {c}+{n} > capacity {self.capacity}"
-            )
+            if self._recorder is None:
+                raise DeviceError(
+                    f"dynamic output overflow: {c}+{n} > capacity "
+                    f"{self.capacity}"
+                )
+            from repro.sanitize.recorder import AccessFlag
+
+            self._recorder.flag(AccessFlag(
+                kind="append-overflow",
+                container_index=self._rec_index,
+                rect=Rect((c, c + n)),
+                declared=self.capacity,
+                detail=(
+                    f"append of {n} elements at count {c} overflows the "
+                    f"declared capacity {self.capacity}"
+                ),
+            ))
+            n = self.capacity - c  # keep what fits; the checker reports
+            values = values[:n]
+            if n <= 0:
+                return
+        if self._recorder is not None:
+            self._recorder.record_append(self._rec_index, n)
         self._arr[c : c + n] = values
         self._buffer.dynamic_count = c + n  # type: ignore[attr-defined]
 
 
-class UnstructuredInjectiveView:
+class UnstructuredInjectiveView(_Recording):
     """Scatter-write access for Unstructured Injective outputs.
 
     The device-private duplicate is zero-initialized; ``scatter`` writes
@@ -367,19 +515,47 @@ class UnstructuredInjectiveView:
         buffer: DeviceBuffer,
         work_shape: Sequence[int],
         work_rect: Rect,
+        recorder=None,
+        index: int = 0,
     ):
         self.container = container
         self.rect = Rect.from_shape(container.datum.shape)
         self._arr = buffer.view(self.rect)
+        self._attach(recorder, index)
 
     @property
     def duplicate(self) -> np.ndarray:
         return self._arr
 
     def scatter(self, flat_indices: np.ndarray, values: np.ndarray) -> None:
-        self._arr.reshape(-1)[np.asarray(flat_indices).reshape(-1)] = (
-            np.asarray(values).reshape(-1)
-        )
+        flat = self._arr.reshape(-1)
+        idx = np.asarray(flat_indices).reshape(-1)
+        vals = np.asarray(values).reshape(-1)
+        bad = (idx < 0) | (idx >= flat.size)
+        if bad.any():
+            # Negative indices used to wrap silently (python indexing),
+            # corrupting the tail of the duplicate; both directions are
+            # out-of-region writes.
+            if self._recorder is None:
+                raise DeviceError(
+                    f"scatter index {int(idx[bad][0])} outside output "
+                    f"extent [0, {flat.size})"
+                )
+            from repro.sanitize.recorder import AccessFlag
+
+            offenders = idx[bad]
+            self._recorder.flag(AccessFlag(
+                kind="oob-write-index",
+                container_index=self._rec_index,
+                rect=Rect((int(offenders.min()), int(offenders.max()) + 1)),
+                declared=Rect((0, flat.size)),
+                detail=f"{offenders.size} scatter indices out of range",
+            ))
+            keep = ~bad
+            idx, vals = idx[keep], vals[keep]
+        if self._recorder is not None:
+            self._recorder.record_scatter(self._rec_index, idx)
+        flat[idx] = vals
 
 
 def make_view(
@@ -387,24 +563,38 @@ def make_view(
     buffer: DeviceBuffer,
     work_shape: Sequence[int],
     work_rect: Rect,
+    recorder: Optional[object] = None,
+    index: int = 0,
 ):
-    """Construct the device-level view matching a container's pattern."""
+    """Construct the device-level view matching a container's pattern.
+
+    Args:
+        container: The pattern container to build a view for.
+        buffer: Device buffer holding (at least) the required region.
+        work_shape: Full task work dimensions.
+        work_rect: This device's share of the work space.
+        recorder: Optional :class:`~repro.sanitize.recorder.AccessRecorder`
+            — when present, the view records its accesses and resolves
+            normally-fatal out-of-pattern accesses leniently.
+        index: The container's index in the task's container tuple (used
+            to attribute recorded accesses).
+    """
     if isinstance(container, WindowND):
-        return WindowView(container, buffer, work_shape, work_rect)
+        return WindowView(container, buffer, work_shape, work_rect, recorder, index)
     if isinstance(container, Block2D):
-        return BlockView(container, buffer, work_shape, work_rect)
+        return BlockView(container, buffer, work_shape, work_rect, recorder, index)
     if isinstance(
         container, (Block2DTransposed, BlockStriped, BlockColumnStriped, FullReplicationInput)
     ):
-        return FullView(container, buffer, work_shape, work_rect)
+        return FullView(container, buffer, work_shape, work_rect, recorder, index)
     if isinstance(container, (StructuredInjective, InjectiveStriped, InjectiveColumnStriped)):
-        return StructuredInjectiveView(container, buffer, work_shape, work_rect)
+        return StructuredInjectiveView(container, buffer, work_shape, work_rect, recorder, index)
     if isinstance(container, ReductiveStatic):
-        return ReductiveStaticView(container, buffer, work_shape, work_rect)
+        return ReductiveStaticView(container, buffer, work_shape, work_rect, recorder, index)
     if isinstance(container, (ReductiveDynamic, IrregularOutput)):
-        return DynamicOutputView(container, buffer, work_shape, work_rect)
+        return DynamicOutputView(container, buffer, work_shape, work_rect, recorder, index)
     if isinstance(container, UnstructuredInjective):
-        return UnstructuredInjectiveView(container, buffer, work_shape, work_rect)
+        return UnstructuredInjectiveView(container, buffer, work_shape, work_rect, recorder, index)
     raise PatternMismatchError(
         f"no device-level view for container type {type(container).__name__}"
     )

@@ -66,6 +66,38 @@ def make_gol_kernel(variant: str = "maps_ilp") -> Kernel:
     return Kernel(f"gol-{variant}", func=game_of_life_body, cost=cost)
 
 
+def make_gol_oob_kernel() -> Kernel:
+    """A deliberately out-of-pattern Game of Life variant (sanitizer demo).
+
+    The kernel declares the standard radius-1 window but reads two rows
+    above the center — exactly the class of bug the sanitizer exists for:
+    on one device the whole board is resident and the kernel is correct;
+    on a multi-GPU node the second halo row is never copied, so the
+    kernel silently reads stale or unbacked memory. In normal execution
+    the framework rejects the access (DeviceError); under
+    ``repro.sanitize`` it is recorded and reported as an
+    :class:`~repro.sanitize.errors.OutOfPatternReadError`.
+    """
+
+    def body(ctx) -> None:
+        cur, nxt = ctx.views
+        neighbors = cur.neighborhood_sum()
+        far = cur.offset(-2, 0)  # BUG: beyond the declared 1-halo window
+        alive = cur.center()
+        nxt.write(
+            (
+                (neighbors == 3) | ((alive == 1) & (neighbors == 2))
+            ).astype(nxt.array.dtype)
+            + (far * 0).astype(nxt.array.dtype)
+        )
+        nxt.commit()
+
+    def cost(ctx: CostContext) -> float:
+        return _cells(ctx) / ctx.calib.gol_naive_rate
+
+    return Kernel("gol-oob", func=body, cost=cost)
+
+
 def gol_containers(
     src: Datum,
     dst: Datum,

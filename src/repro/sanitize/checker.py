@@ -1,0 +1,217 @@
+"""Conformance checking: recorded accesses vs. declared patterns.
+
+Two entry points, mirroring the two scopes a violation can have:
+
+* :func:`check_segment` — judge one segment's recording in isolation
+  (out-of-pattern reads, out-of-region writes, flags raised by the views).
+* :func:`check_races` — judge all segments of one task together
+  (write-write races between segments of an injective output, dynamic
+  outputs whose combined appends overflow the declared capacity).
+
+Both return lists of typed :class:`~repro.sanitize.errors.SanitizerError`
+instances (not raised — callers decide whether to raise the first one or
+collect a report).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.patterns.base import Aggregation, InputContainer, OutputContainer
+from repro.patterns.boundary import Boundary
+from repro.patterns.input_patterns import WindowND
+from repro.patterns.output_patterns import UnstructuredInjective
+from repro.sanitize.errors import (
+    OutOfPatternReadError,
+    OutOfRegionWriteError,
+    SanitizerError,
+    WriteRaceError,
+)
+from repro.sanitize.recorder import AccessRecorder
+from repro.utils.rect import Rect, split_modular
+
+
+def _read_escapes(container: InputContainer, declared, observed: Rect):
+    """Parts of an observed read outside the declared footprint.
+
+    Returns a list of out-of-footprint rects (in actual datum
+    coordinates), empty when the read conforms. WRAP windows need modular
+    reasoning: an observed virtual rect like rows ``[-1, 0)`` refers to the
+    last datum row, which the declared pieces may well cover even though
+    the virtual bounding boxes don't nest.
+    """
+    if declared.virtual.contains(observed):
+        return []
+    shape = container.datum.shape
+    declared_actuals = [a for _, a in declared.pieces]
+    boundary = getattr(container, "boundary", None)
+    if isinstance(container, WindowND) and boundary is Boundary.WRAP:
+        try:
+            observed_pieces = [a for _, a in split_modular(observed, shape)]
+        except ValueError:
+            # More than one period out of bounds — cannot possibly be a
+            # legal wrap access; the whole rect is an escape.
+            return [observed]
+    else:
+        # CLAMP/ZERO resolve out-of-bounds virtual positions to edge/zero
+        # values; the elements actually consumed are the clipped ones.
+        observed_pieces = [observed.clip(Rect.from_shape(shape))]
+    escapes = []
+    for piece in observed_pieces:
+        escapes.extend(piece.subtract_all(declared_actuals))
+    return escapes
+
+
+def _flag_errors(
+    task_name: str,
+    containers: Sequence,
+    rec: AccessRecorder,
+) -> list[SanitizerError]:
+    """Typed errors for violations the views classified at access time."""
+    errors: list[SanitizerError] = []
+    for f in rec.flags:
+        c = containers[f.container_index]
+        common = dict(
+            task=task_name,
+            container_index=f.container_index,
+            datum=c.datum.name,
+            segment=rec.segment,
+            device=rec.device,
+            rect=f.rect,
+            declared=f.declared,
+        )
+        if f.kind == "over-radius-read":
+            errors.append(OutOfPatternReadError(f.detail, **common))
+        else:  # "oob-write-index" / "append-overflow"
+            errors.append(OutOfRegionWriteError(f.detail, **common))
+    return errors
+
+
+def check_segment(
+    task_name: str,
+    containers: Sequence,
+    work_shape: Sequence[int],
+    rec: AccessRecorder,
+) -> list[SanitizerError]:
+    """Check one segment's recorded accesses against the declarations."""
+    errors = _flag_errors(task_name, containers, rec)
+    flagged_reads = {
+        f.container_index for f in rec.flags if f.kind == "over-radius-read"
+    }
+    for i, c in enumerate(containers):
+        if isinstance(c, InputContainer):
+            for observed in rec.reads.get(i, ()):
+                if i in flagged_reads:
+                    # The view already classified this container's
+                    # over-radius accesses; re-deriving them from the
+                    # footprint would double-report.
+                    continue
+                escapes = _read_escapes(
+                    c, c.required(work_shape, rec.work_rect), observed
+                )
+                if escapes:
+                    errors.append(OutOfPatternReadError(
+                        f"segment read {escapes[0]} outside its declared "
+                        f"{c.pattern_name} footprint",
+                        task=task_name,
+                        container_index=i,
+                        datum=c.datum.name,
+                        segment=rec.segment,
+                        device=rec.device,
+                        rect=observed,
+                        declared=c.required(
+                            work_shape, rec.work_rect
+                        ).virtual,
+                    ))
+        elif isinstance(c, OutputContainer) and not c.duplicated:
+            owned = c.owned(work_shape, rec.work_rect)
+            for observed in rec.writes.get(i, ()):
+                if not owned.contains(observed):
+                    errors.append(OutOfRegionWriteError(
+                        f"segment wrote outside its owned "
+                        f"{c.pattern_name} region",
+                        task=task_name,
+                        container_index=i,
+                        datum=c.datum.name,
+                        segment=rec.segment,
+                        device=rec.device,
+                        rect=observed,
+                        declared=owned,
+                    ))
+    return errors
+
+
+def check_races(
+    task_name: str,
+    containers: Sequence,
+    work_shape: Sequence[int],
+    recorders: Sequence[AccessRecorder],
+) -> list[SanitizerError]:
+    """Cross-segment checks over all recorders of one task invocation."""
+    errors: list[SanitizerError] = []
+    for i, c in enumerate(containers):
+        if not isinstance(c, OutputContainer):
+            continue
+        if isinstance(c, UnstructuredInjective):
+            # Injectivity contract: no two segments scatter to the same
+            # flat index (the zero-init SUM merge would double-count).
+            seen: dict[int, int] = {}
+            for rec in recorders:
+                for idx in np.unique(rec.scattered(i)):
+                    idx = int(idx)
+                    if idx in seen and seen[idx] != rec.segment:
+                        errors.append(WriteRaceError(
+                            f"segments {seen[idx]} and {rec.segment} both "
+                            f"scattered to flat index {idx}",
+                            task=task_name,
+                            container_index=i,
+                            datum=c.datum.name,
+                            rect=Rect((idx, idx + 1)),
+                            declared="injective (disjoint) scatter",
+                        ))
+                        break
+                    seen[idx] = rec.segment
+        elif c.aggregation is Aggregation.APPEND:
+            total = sum(rec.appends.get(i, 0) for rec in recorders)
+            capacity = c.datum.shape[0]
+            if total > capacity:
+                errors.append(OutOfRegionWriteError(
+                    f"combined appends ({total}) overflow the declared "
+                    f"output capacity",
+                    task=task_name,
+                    container_index=i,
+                    datum=c.datum.name,
+                    rect=Rect((0, total)),
+                    declared=Rect((0, capacity)),
+                ))
+        elif not c.duplicated:
+            for a_idx, ra in enumerate(recorders):
+                for rb in recorders[a_idx + 1:]:
+                    hit = _first_overlap(
+                        ra.writes.get(i, ()), rb.writes.get(i, ())
+                    )
+                    if hit is not None:
+                        wa, wb = hit
+                        errors.append(WriteRaceError(
+                            f"segments {ra.segment} and {rb.segment} wrote "
+                            f"overlapping regions of an injective output",
+                            task=task_name,
+                            container_index=i,
+                            datum=c.datum.name,
+                            rect=wa.intersect(wb),
+                            declared=(
+                                f"disjoint per-segment regions "
+                                f"({c.pattern_name})"
+                            ),
+                        ))
+    return errors
+
+
+def _first_overlap(rects_a, rects_b):
+    for a in rects_a:
+        for b in rects_b:
+            if a.overlaps(b) and not a.intersect(b).empty:
+                return a, b
+    return None

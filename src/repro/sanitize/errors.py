@@ -1,0 +1,140 @@
+"""Typed sanitizer violations and static-lint findings.
+
+Each dynamic violation class corresponds to one way a kernel can break the
+contract its declared access patterns promise the scheduler (DESIGN.md §9):
+
+* :class:`OutOfPatternReadError` — the kernel read datum elements outside
+  the footprint its *input* pattern entitles the segment to. On a real
+  multi-GPU node those elements are simply not resident: the kernel reads
+  garbage (or faults) while passing single-device tests.
+* :class:`OutOfRegionWriteError` — the kernel wrote outside the region its
+  *output* pattern declares (an injective segment's owned rect, a
+  reductive datum's extent, a dynamic output's capacity).
+* :class:`WriteRaceError` — two ROI segments of an injective output wrote
+  overlapping regions. Injectivity is what lets the framework gather by
+  concatenation / zero-init scatter-merge; a race makes the multi-GPU
+  result depend on device count and copy ordering.
+* :class:`UnaggregatedReadError` — a task read a datum whose last writer
+  was a reductive task whose per-device partials were never aggregated;
+  the values read are one device's partial, not the reduction.
+
+All carry the offending kernel, segment, observed rect and declared bound,
+and render them into the exception message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MapsError
+
+
+class SanitizerError(MapsError):
+    """Base class for pattern-conformance violations.
+
+    Attributes:
+        task: Name of the offending kernel/task.
+        container_index: Index of the violated container in the task's
+            container tuple (``None`` when not container-specific).
+        datum: Name of the datum involved.
+        segment: ROI segment ordinal (the sanitizer's stand-in for a
+            device index; ``None`` for cross-segment violations).
+        device: Device index when the violation was caught inside a
+            sanitize-mode scheduler run.
+        rect: Observed access region (virtual datum coordinates), or a
+            description of the offending flat indices.
+        declared: The declared bound the access escaped (rect, list of
+            rects, or capacity).
+    """
+
+    violation = "pattern violation"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: str = "?",
+        container_index: int | None = None,
+        datum: str | None = None,
+        segment: int | None = None,
+        device: int | None = None,
+        rect=None,
+        declared=None,
+    ):
+        self.task = task
+        self.container_index = container_index
+        self.datum = datum
+        self.segment = segment
+        self.device = device
+        self.rect = rect
+        self.declared = declared
+        super().__init__(self._render(message))
+
+    def _render(self, message: str) -> str:
+        lines = [f"{self.violation}: {message}", f"  task: {self.task}"]
+        if self.datum is not None:
+            where = f"  datum: {self.datum!r}"
+            if self.container_index is not None:
+                where += f" (container #{self.container_index})"
+            lines.append(where)
+        if self.segment is not None:
+            seg = f"  segment: {self.segment}"
+            if self.device is not None:
+                seg += f" (device {self.device})"
+            lines.append(seg)
+        elif self.device is not None:
+            lines.append(f"  device: {self.device}")
+        if self.rect is not None:
+            lines.append(f"  observed: {self.rect}")
+        if self.declared is not None:
+            lines.append(f"  declared: {self.declared}")
+        return "\n".join(lines)
+
+
+class OutOfPatternReadError(SanitizerError):
+    """A segment read outside its declared input footprint."""
+
+    violation = "out-of-pattern read"
+
+
+class OutOfRegionWriteError(SanitizerError):
+    """A segment wrote outside its declared output region."""
+
+    violation = "out-of-region write"
+
+
+class WriteRaceError(SanitizerError):
+    """Two segments of an injective output wrote overlapping regions."""
+
+    violation = "write-write race"
+
+
+class UnaggregatedReadError(SanitizerError):
+    """A task read reductive partials that were never aggregated."""
+
+    violation = "unaggregated read"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding of the static lint pass over a task declaration.
+
+    Attributes:
+        severity: ``"error"`` (the declaration cannot be trusted) or
+            ``"warning"`` (legal but suspicious).
+        code: Stable machine-readable identifier, e.g. ``"rank-mismatch"``.
+        message: Human-readable explanation.
+        task: Kernel name the issue was found on.
+        container_index: Offending container index, when applicable.
+    """
+
+    severity: str
+    code: str
+    message: str
+    task: str = "?"
+    container_index: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" [container #{self.container_index}]" \
+            if self.container_index is not None else ""
+        return f"{self.severity}({self.code}) {self.task}{where}: {self.message}"

@@ -1,0 +1,181 @@
+"""Static lint over task declarations (no kernel execution).
+
+Catches declaration-level inconsistencies the dynamic checker would only
+see as downstream effects — or not at all, when the broken declaration
+prevents the task from ever being scheduled cleanly:
+
+* shape/rank incompatibilities between containers and the grid (the
+  pattern's ``required``/``owned`` raising for some legal partitioning),
+* windows whose diameter exceeds the datum (every device degenerates to
+  full replication — legal, but the declared locality is fictional),
+* the same datum claimed by two output containers, or used both as a
+  duplicated output and an input in one task (the duplicate and the input
+  cannot be consistent),
+* structured outputs whose owned regions overlap across devices (a
+  guaranteed write-write race),
+* structured outputs that leave part of the datum unwritten (stale
+  elements survive the task — legal for updates, surprising otherwise),
+* in-place stencils (same datum as a radius>0 window input and an
+  injective output) — correct only thanks to the framework's input
+  snapshotting, worth a warning.
+
+Returns :class:`~repro.sanitize.errors.LintIssue` lists; ``error``
+severity means the declaration cannot be trusted, ``warning`` means legal
+but suspicious.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.grid import Grid
+from repro.core.task import Kernel, Task
+from repro.errors import MapsError, PatternMismatchError, SchedulingError
+from repro.patterns.base import InputContainer, OutputContainer
+from repro.patterns.input_patterns import WindowND
+from repro.sanitize.errors import LintIssue
+from repro.utils.rect import Rect
+
+#: Device counts the partition probe simulates.
+_PROBE_SEGMENTS = (1, 2, 3, 4)
+
+
+def lint_invocation(
+    kernel: Kernel,
+    containers: Sequence,
+    grid: Grid | None = None,
+    constants: Mapping[str, Any] | None = None,
+) -> list[LintIssue]:
+    """Lint one prospective invocation; returns all findings."""
+    issues: list[LintIssue] = []
+    name = kernel.name
+    try:
+        task = Task(kernel, containers, grid, constants)
+    except (PatternMismatchError, SchedulingError) as e:
+        issues.append(LintIssue(
+            "error", "invalid-declaration", str(e), task=name,
+        ))
+        return issues
+    name = task.name
+    work_shape = task.grid.shape
+
+    for i, c in enumerate(task.containers):
+        if isinstance(c, WindowND):
+            for d, (r, s) in enumerate(zip(c.radius, c.datum.shape)):
+                if 2 * r + 1 > s:
+                    issues.append(LintIssue(
+                        "warning", "window-exceeds-datum",
+                        f"window diameter {2 * r + 1} exceeds datum extent "
+                        f"{s} in dim {d}: every device requires the full "
+                        "datum, the declared locality buys nothing",
+                        task=name, container_index=i,
+                    ))
+
+    # Output uniqueness: two containers writing one datum in a single task
+    # makes the post-task residency ambiguous (which writer wins?).
+    writers: dict[Any, int] = {}
+    for i, c in enumerate(task.containers):
+        if not isinstance(c, OutputContainer):
+            continue
+        if c.datum in writers:
+            issues.append(LintIssue(
+                "error", "duplicate-output",
+                f"datum {c.datum.name!r} is written by output containers "
+                f"#{writers[c.datum]} and #{i}; one task may declare each "
+                "output datum once",
+                task=name, container_index=i,
+            ))
+        else:
+            writers[c.datum] = i
+
+    # A duplicated output's per-device private copies cannot coexist with
+    # the same datum's input residency within one task.
+    for i, c in enumerate(task.containers):
+        if isinstance(c, OutputContainer) and c.duplicated:
+            for j, other in enumerate(task.containers):
+                if isinstance(other, InputContainer) and \
+                        other.datum is c.datum:
+                    issues.append(LintIssue(
+                        "error", "duplicated-output-is-input",
+                        f"datum {c.datum.name!r} is both a duplicated "
+                        f"({c.pattern_name}) output and input #{j}: the "
+                        "zero-initialized duplicate replaces the input "
+                        "values on every device",
+                        task=name, container_index=i,
+                    ))
+
+    # In-place stencil: reads neighbors of a datum it also overwrites.
+    for i, c in enumerate(task.containers):
+        if isinstance(c, WindowND) and any(r > 0 for r in c.radius):
+            if any(
+                isinstance(o, OutputContainer) and not o.duplicated
+                and o.datum is c.datum
+                for o in task.containers
+            ):
+                issues.append(LintIssue(
+                    "warning", "inplace-stencil",
+                    f"datum {c.datum.name!r} is read through a radius-"
+                    f"{max(c.radius)} window and overwritten in place; "
+                    "correct only because inputs are snapshotted before "
+                    "the task runs",
+                    task=name, container_index=i,
+                ))
+
+    # Partition probe: exercise required()/owned() for 1..4 devices; a
+    # raise here means some device counts cannot schedule the task at all.
+    for n in _PROBE_SEGMENTS:
+        rects = task.grid.partition(n)
+        owned_sets: dict[int, list[Rect]] = {}
+        for rect in rects:
+            if rect.empty:
+                continue
+            for i, c in enumerate(task.containers):
+                try:
+                    if isinstance(c, InputContainer):
+                        c.required(work_shape, rect)
+                    else:
+                        owned = c.owned(work_shape, rect)
+                        if not c.duplicated:
+                            owned_sets.setdefault(i, []).append(owned)
+                except (PatternMismatchError, MapsError) as e:
+                    issues.append(LintIssue(
+                        "error", "partition-mismatch",
+                        f"container cannot segment for {n} device(s): {e}",
+                        task=name, container_index=i,
+                    ))
+                    return issues
+        for i, owns in owned_sets.items():
+            c = task.containers[i]
+            for a_idx, a in enumerate(owns):
+                for b in owns[a_idx + 1:]:
+                    if a.overlaps(b):
+                        issues.append(LintIssue(
+                            "error", "owned-overlap",
+                            f"owned regions {a} and {b} overlap when "
+                            f"partitioned over {n} device(s): guaranteed "
+                            "write-write race",
+                            task=name, container_index=i,
+                        ))
+            leftover = Rect.from_shape(c.datum.shape).subtract_all(owns)
+            if leftover:
+                issues.append(LintIssue(
+                    "warning", "uncovered-output",
+                    f"structured output leaves {leftover[0]} (and possibly "
+                    f"more) unwritten when partitioned over {n} device(s); "
+                    "stale elements survive the task",
+                    task=name, container_index=i,
+                ))
+        if issues and any(i.code == "owned-overlap" for i in issues):
+            break
+    return _dedupe(issues)
+
+
+def _dedupe(issues: list[LintIssue]) -> list[LintIssue]:
+    seen = set()
+    out = []
+    for i in issues:
+        key = (i.severity, i.code, i.task, i.container_index)
+        if key not in seen:
+            seen.add(key)
+            out.append(i)
+    return out

@@ -17,18 +17,34 @@ from repro.hardware.topology import HOST
 from repro.sim.trace import Trace, TraceRecord
 
 
-def _lane_of(rec: TraceRecord) -> str:
+def _lanes_of(rec: TraceRecord) -> tuple[str, ...]:
+    """Resource lanes a record occupies.
+
+    Most records occupy exactly one lane; a device-to-device memcpy
+    occupies two — the source's copy-out engine *and* the destination's
+    copy-in engine (the engine models both as busy, and the timeline must
+    agree or the destination looks idle while it cannot accept work).
+    """
     if rec.kind == "kernel":
-        return f"gpu{rec.device}.compute"
+        return (f"gpu{rec.device}.compute",)
     if rec.kind == "host":
-        return "host"
+        return ("host",)
+    if rec.kind == "event":
+        if rec.device == HOST:
+            return ("host",)
+        return (f"gpu{rec.device}.events",)
     if rec.kind == "memcpy":
         if rec.device == HOST:
-            return f"gpu{rec.src}.copy-out"
+            return (f"gpu{rec.src}.copy-out",)
         if rec.src == HOST:
-            return f"gpu{rec.device}.copy-in"
-        return f"gpu{rec.src}.copy-out"
-    return "other"
+            return (f"gpu{rec.device}.copy-in",)
+        return (f"gpu{rec.src}.copy-out", f"gpu{rec.device}.copy-in")
+    return ("other",)
+
+
+def _lane_of(rec: TraceRecord) -> str:
+    """Primary lane of a record (kept for single-lane callers)."""
+    return _lanes_of(rec)[0]
 
 
 def render_timeline(
@@ -58,7 +74,8 @@ def render_timeline(
     for r in records:
         if r.end <= t0 or r.start >= t1:
             continue
-        lanes[_lane_of(r)].append(r)
+        for lane in _lanes_of(r):
+            lanes[lane].append(r)
 
     name_w = max(len(n) for n in lanes) + 1
     lines = [
@@ -94,5 +111,6 @@ def utilization(trace: Trace) -> dict[str, float]:
     span = max(t1 - t0, 1e-12)
     busy: dict[str, float] = defaultdict(float)
     for r in records:
-        busy[_lane_of(r)] += r.duration
+        for lane in _lanes_of(r):
+            busy[lane] += r.duration
     return {lane: b / span for lane, b in sorted(busy.items())}

@@ -2,9 +2,12 @@
 Perfetto) format.
 
 Every dispatched command becomes a complete ("X") event on a per-resource
-track: compute engines, copy engines per direction, and the host. Open
-the produced file in ``chrome://tracing`` or https://ui.perfetto.dev to
-inspect the scheduler's overlap interactively.
+track: compute engines, copy engines per direction, and the host. A
+device-to-device copy occupies *two* tracks — the source's copy-out engine
+and the destination's copy-in engine — and is exported once per track, so
+neither engine looks idle while it is occupied. Open the produced file in
+``chrome://tracing`` or https://ui.perfetto.dev to inspect the scheduler's
+overlap interactively.
 """
 
 from __future__ import annotations
@@ -13,18 +16,33 @@ import json
 from typing import IO
 
 from repro.hardware.topology import HOST
-from repro.sim.timeline import _lane_of
+from repro.sim.timeline import _lanes_of
 from repro.sim.trace import Trace
 
-#: Stable track ordering: compute first, then copies, then host.
-_ROLE_ORDER = {"compute": 0, "copy-in": 1, "copy-out": 2}
+#: Stable track ordering: compute first, then copies, then event markers.
+_ROLE_ORDER = {"compute": 0, "copy-in": 1, "copy-out": 2, "events": 3}
+
+#: Fixed tids for the non-GPU tracks.
+_HOST_TID = 10_000
+#: Catch-all track for lanes without a ``gpuN.role`` structure, so an
+#: unclassified record degrades to a visible auxiliary track instead of a
+#: crash (the ``"event"``-kind regression: ``_tid`` used to unpack
+#: ``lane.split(".", 1)`` and raised ValueError on dot-free lanes).
+_AUX_TID = 20_000
 
 
 def _tid(lane: str) -> int:
+    """Stable chrome-trace thread id for a lane. Total — never raises."""
     if lane == "host":
-        return 10_000
-    gpu, role = lane.split(".", 1)
-    return int(gpu[3:]) * 10 + _ROLE_ORDER.get(role, 9)
+        return _HOST_TID
+    gpu, dot, role = lane.partition(".")
+    if dot and gpu.startswith("gpu") and gpu[3:].isdigit():
+        return int(gpu[3:]) * 10 + _ROLE_ORDER.get(role, 9)
+    return _AUX_TID
+
+
+def _endpoint(device: int) -> str:
+    return "host" if device == HOST else f"gpu{device}"
 
 
 def to_chrome_trace(trace: Trace, time_unit: float = 1e-6) -> dict:
@@ -38,25 +56,30 @@ def to_chrome_trace(trace: Trace, time_unit: float = 1e-6) -> dict:
     events = []
     lanes = set()
     for r in trace:
-        lane = _lane_of(r)
-        lanes.add(lane)
         args = {"kind": r.kind}
         if r.nbytes:
             args["bytes"] = r.nbytes
-        if r.src is not None:
-            args["src"] = "host" if r.src == HOST else f"gpu{r.src}"
-        events.append(
-            {
-                "name": r.label or r.kind,
-                "cat": r.kind,
-                "ph": "X",
-                "ts": r.start / time_unit,
-                "dur": max(r.duration / time_unit, 0.001),
-                "pid": 1,
-                "tid": _tid(lane),
-                "args": args,
-            }
-        )
+        if r.kind == "memcpy":
+            # ``device`` is the *destination* of a memcpy; labeling only
+            # the source used to make d2d copies read as host-bound.
+            args["src"] = _endpoint(r.src)
+            args["dst"] = _endpoint(r.device)
+        elif r.src is not None:
+            args["src"] = _endpoint(r.src)
+        for lane in _lanes_of(r):
+            lanes.add(lane)
+            events.append(
+                {
+                    "name": r.label or r.kind,
+                    "cat": r.kind,
+                    "ph": "X",
+                    "ts": r.start / time_unit,
+                    "dur": max(r.duration / time_unit, 0.001),
+                    "pid": 1,
+                    "tid": _tid(lane),
+                    "args": args,
+                }
+            )
     for lane in lanes:
         events.append(
             {

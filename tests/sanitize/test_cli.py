@@ -1,0 +1,35 @@
+"""Smoke tests for the ``python -m repro.sanitize`` CLI."""
+
+from repro.sanitize.__main__ import main
+from repro.sanitize.builtin import CONFORMANCE, DEMOS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name, _ in CONFORMANCE:
+            assert name in out
+        for name, exc, _ in DEMOS:
+            assert name in out
+            assert exc.__name__ in out
+
+    def test_single_conformance_scenario(self, capsys):
+        assert main(["--scenario", "saxpy"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   saxpy" in out
+        assert "1 scenario(s) passed" in out
+
+    def test_single_demo_scenario(self, capsys):
+        assert main(["--scenario", "scatter-race"]) == 0
+        out = capsys.readouterr().out
+        assert "caught" in out
+
+    def test_unknown_scenario_selects_nothing(self, capsys):
+        assert main(["--scenario", "no-such-scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "all 0 scenario(s) passed" in out
+
+    def test_registries_are_disjoint_and_named(self):
+        names = [n for n, _ in CONFORMANCE] + [n for n, _, _ in DEMOS]
+        assert len(names) == len(set(names))

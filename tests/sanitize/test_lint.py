@@ -1,0 +1,120 @@
+"""Tests for the static declaration lint pass."""
+
+import numpy as np
+
+from repro.core.datum import Matrix, Vector
+from repro.core.grid import Grid
+from repro.core.task import Kernel
+from repro.patterns import (
+    BlockStriped,
+    InjectiveStriped,
+    ReductiveStatic,
+    StructuredInjective,
+    UnstructuredInjective,
+    Window1D,
+    Window2D,
+)
+from repro.sanitize import lint_invocation
+
+
+def noop_kernel(name="lintk"):
+    return Kernel(name, func=lambda ctx: None)
+
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+class TestLint:
+    def test_clean_declaration_has_no_findings(self):
+        m = Matrix(16, 16, np.float32, "m")
+        o = Matrix(16, 16, np.float32, "o")
+        issues = lint_invocation(
+            noop_kernel(), (Window2D(m, 1), StructuredInjective(o)),
+            grid=Grid((16, 16)),
+        )
+        assert issues == []
+
+    def test_window_exceeding_datum_warns(self):
+        v = Vector(4, np.float32, "v")
+        o = Vector(4, np.float32, "o")
+        issues = lint_invocation(
+            noop_kernel(), (Window1D(v, 3), StructuredInjective(o)),
+            grid=Grid((4,), block0=1),
+        )
+        assert "window-exceeds-datum" in codes(issues)
+        assert all(i.severity == "warning" for i in issues)
+
+    def test_duplicate_output_is_error(self):
+        m = Matrix(16, 16, np.float32, "m")
+        o = Matrix(16, 16, np.float32, "o")
+        issues = lint_invocation(
+            noop_kernel(),
+            (
+                Window2D(m, 1),
+                StructuredInjective(o),
+                StructuredInjective(o),
+            ),
+            grid=Grid((16, 16)),
+        )
+        found = [i for i in issues if i.code == "duplicate-output"]
+        assert found and found[0].severity == "error"
+        assert found[0].container_index == 2
+
+    def test_duplicated_output_also_input_is_error(self):
+        v = Vector(16, np.float32, "v")
+        issues = lint_invocation(
+            noop_kernel(),
+            (Window1D(v, 0), UnstructuredInjective(v)),
+            grid=Grid((16,), block0=1),
+        )
+        assert "duplicated-output-is-input" in codes(issues)
+
+    def test_inplace_stencil_warns(self):
+        m = Matrix(16, 16, np.float32, "m")
+        issues = lint_invocation(
+            noop_kernel(),
+            (Window2D(m, 1), StructuredInjective(m)),
+            grid=Grid((16, 16)),
+        )
+        found = [i for i in issues if i.code == "inplace-stencil"]
+        assert found and found[0].severity == "warning"
+
+    def test_inplace_radius_zero_is_fine(self):
+        """Radius-0 in-place maps (saxpy, the NMF updates) must not warn."""
+        v = Vector(16, np.float32, "v")
+        issues = lint_invocation(
+            noop_kernel(),
+            (Window1D(v, 0), StructuredInjective(v)),
+            grid=Grid((16,), block0=1),
+        )
+        assert "inplace-stencil" not in codes(issues)
+
+    def test_invalid_declaration_reported_not_raised(self):
+        m = Matrix(16, 16, np.float32, "m")
+        issues = lint_invocation(
+            noop_kernel(), (StructuredInjective(m),), grid=None
+        )
+        # Whether or not this exact declaration is constructible, lint
+        # must never raise — findings only.
+        assert all(i.code for i in issues)
+
+    def test_reductive_outputs_lint_clean(self):
+        v = Vector(16, np.float32, "v")
+        s = Vector(1, np.float64, "s")
+        issues = lint_invocation(
+            noop_kernel(),
+            (Window1D(v, 0), ReductiveStatic(s)),
+            grid=Grid((16,), block0=1),
+        )
+        assert all(i.severity == "warning" for i in issues)
+
+    def test_striped_pairing_lint_clean(self):
+        m = Matrix(16, 16, np.float32, "m")
+        o = Matrix(16, 16, np.float32, "o")
+        issues = lint_invocation(
+            noop_kernel(),
+            (BlockStriped(m), InjectiveStriped(o)),
+            grid=Grid((16,), block0=1),
+        )
+        assert issues == []

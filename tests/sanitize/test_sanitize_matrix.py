@@ -1,0 +1,166 @@
+"""Sanitizer matrix: every input pattern x every output pattern pairing.
+
+For each grid-compatible (input, output) pairing, a minimal conforming
+kernel reads exactly through the input view and writes exactly through the
+output view; the sanitizer must come back clean. This pins down that the
+recorder + checker understand every shipped pattern — a pattern whose
+observed footprint the checker mis-derives would flag these kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.datum import Matrix, Vector
+from repro.core.grid import Grid
+from repro.core.task import Kernel
+from repro.device_api.views import (
+    BlockView,
+    DynamicOutputView,
+    FullView,
+    ReductiveStaticView,
+    StructuredInjectiveView,
+    UnstructuredInjectiveView,
+    WindowView,
+)
+from repro.patterns import (
+    Adjacency,
+    Block1D,
+    Block2D,
+    Block2DTransposed,
+    BlockColumnStriped,
+    BlockStriped,
+    InjectiveColumnStriped,
+    InjectiveStriped,
+    IrregularInput,
+    IrregularOutput,
+    Permutation,
+    ReductiveDynamic,
+    ReductiveStatic,
+    Replicated,
+    StructuredInjective,
+    TraversalBFS,
+    TraversalDFS,
+    UnstructuredInjective,
+    Window1D,
+    Window2D,
+)
+from repro.sanitize import sanitize_task
+
+N = 16
+
+
+def read_via(view) -> None:
+    """Exercise the view's read path the conforming way."""
+    if isinstance(view, WindowView):
+        view.center()
+        for d in range(view.center_rect.ndim):
+            if view.radius[d] > 0:
+                offs = [0] * view.center_rect.ndim
+                offs[d] = view.radius[d]
+                view.offset(*offs)
+    elif isinstance(view, BlockView):
+        view.stripe
+    elif isinstance(view, FullView):
+        view.array
+    else:  # pragma: no cover - new view type must be added here
+        raise AssertionError(f"unhandled input view {type(view).__name__}")
+
+
+def write_via(view, ctx) -> None:
+    """Exercise the view's write path the conforming way."""
+    if isinstance(view, StructuredInjectiveView):
+        view.write(np.ones(view.array.shape, view.array.dtype))
+        view.commit()
+    elif isinstance(view, ReductiveStaticView):
+        if view.container.op == "max":
+            view.max_at(np.zeros(1, np.int64), np.ones(1))
+        else:
+            view.add_at(np.zeros(1, np.int64))
+        view.commit()
+    elif isinstance(view, DynamicOutputView):
+        view.append(np.ones(1, view.duplicate.dtype)
+                    if hasattr(view, "duplicate")
+                    else np.ones(1))
+    elif isinstance(view, UnstructuredInjectiveView):
+        view.scatter(np.array([ctx.device]), np.ones(1))
+    else:  # pragma: no cover - new view type must be added here
+        raise AssertionError(f"unhandled output view {type(view).__name__}")
+
+
+def pairing_kernel() -> Kernel:
+    def body(ctx):
+        vin, vout = ctx.views
+        read_via(vin)
+        write_via(vout, ctx)
+
+    return Kernel("pairing", func=body)
+
+
+def mat(name):
+    return Matrix(N, N, np.float32, name)
+
+
+def vec(name):
+    return Vector(N, np.float32, name)
+
+
+# Pairings grouped by the work shape both containers must accept.
+# 2-D work over an N x N matrix:
+INPUTS_2D = [
+    lambda: Window2D(mat("i"), 1),
+    lambda: Block2D(mat("i")),
+    lambda: Block2DTransposed(mat("i")),
+    lambda: Adjacency(mat("i")),
+    lambda: Replicated(mat("i")),
+    lambda: TraversalBFS(mat("i")),
+    lambda: TraversalDFS(mat("i")),
+    lambda: Permutation(mat("i")),
+    lambda: IrregularInput(mat("i")),
+]
+OUTPUTS_2D = [
+    lambda: StructuredInjective(mat("o")),
+    lambda: UnstructuredInjective(mat("o")),
+]
+
+# 1-D work over length-N vectors (plus row/column stripes of a matrix):
+INPUTS_1D = [
+    lambda: Window1D(vec("i"), 1),
+    lambda: Block1D(vec("i")),
+    lambda: BlockStriped(mat("i")),
+    lambda: BlockColumnStriped(mat("i")),
+]
+OUTPUTS_1D = [
+    lambda: InjectiveStriped(mat("o")),
+    lambda: InjectiveColumnStriped(mat("o")),
+    lambda: ReductiveStatic(vec("o")),
+    lambda: ReductiveStatic(vec("o"), op="max"),
+    lambda: ReductiveDynamic(vec("o")),
+    lambda: IrregularOutput(vec("o")),
+    lambda: UnstructuredInjective(vec("o")),
+]
+
+
+def _id(factory):
+    return type(factory()).__name__
+
+
+@pytest.mark.parametrize("make_out", OUTPUTS_2D, ids=_id)
+@pytest.mark.parametrize("make_in", INPUTS_2D, ids=_id)
+@pytest.mark.parametrize("segments", [1, 3])
+def test_2d_pairings_clean(make_in, make_out, segments):
+    report = sanitize_task(
+        pairing_kernel(), make_in(), make_out(),
+        grid=Grid((N, N)), segments=segments,
+    )
+    assert report.clean, report.errors
+
+
+@pytest.mark.parametrize("make_out", OUTPUTS_1D, ids=_id)
+@pytest.mark.parametrize("make_in", INPUTS_1D, ids=_id)
+@pytest.mark.parametrize("segments", [1, 3])
+def test_1d_pairings_clean(make_in, make_out, segments):
+    report = sanitize_task(
+        pairing_kernel(), make_in(), make_out(),
+        grid=Grid((N,), block0=1), segments=segments,
+    )
+    assert report.clean, report.errors

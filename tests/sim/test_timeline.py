@@ -6,7 +6,7 @@ from repro.core import Matrix, Scheduler
 from repro.hardware import GTX_780, HOST
 from repro.kernels.game_of_life import gol_containers, make_gol_kernel
 from repro.sim import SimNode
-from repro.sim.timeline import render_timeline, utilization
+from repro.sim.timeline import _lanes_of, render_timeline, utilization
 from repro.sim.trace import Trace, TraceRecord
 
 
@@ -17,6 +17,38 @@ def make_trace():
     t.add(TraceRecord("memcpy", "d2h", HOST, 5e-3, 8e-3, nbytes=64, src=0))
     t.add(TraceRecord("host", "agg", HOST, 8e-3, 9e-3))
     return t
+
+
+class TestLanes:
+    def test_event_records_have_a_lane(self):
+        """Regression: "event"-kind records used to fall through lane
+        classification."""
+        assert _lanes_of(TraceRecord("event", "sync", 2, 0.0, 1.0)) == (
+            "gpu2.events",
+        )
+        assert _lanes_of(TraceRecord("event", "barrier", HOST, 0.0, 1.0)) == (
+            "host",
+        )
+
+    def test_d2d_memcpy_occupies_both_engines(self):
+        """Regression: d2d copies were attributed only to the source's
+        copy-out engine, leaving the destination's copy-in idle."""
+        rec = TraceRecord("memcpy", "d2d", 1, 0.0, 1e-3, nbytes=64, src=0)
+        assert set(_lanes_of(rec)) == {"gpu0.copy-out", "gpu1.copy-in"}
+
+    def test_render_shows_d2d_on_both_lanes(self):
+        t = Trace()
+        t.add(TraceRecord("memcpy", "d2d", 1, 0.0, 1e-3, nbytes=64, src=0))
+        out = render_timeline(t, width=60)
+        assert "gpu0.copy-out" in out
+        assert "gpu1.copy-in" in out
+
+    def test_utilization_counts_d2d_on_both_engines(self):
+        t = Trace()
+        t.add(TraceRecord("memcpy", "d2d", 1, 0.0, 1e-3, nbytes=64, src=0))
+        u = utilization(t)
+        assert u["gpu0.copy-out"] == 1.0
+        assert u["gpu1.copy-in"] == 1.0
 
 
 class TestRenderTimeline:

@@ -7,8 +7,10 @@ import numpy as np
 
 from repro.core import Matrix, Scheduler
 from repro.hardware import GTX_780
+from repro.hardware.topology import HOST
 from repro.kernels.game_of_life import gol_containers, make_gol_kernel
 from repro.sim import SimNode
+from repro.sim.trace import Trace, TraceRecord
 from repro.sim.trace_export import to_chrome_trace, write_chrome_trace
 
 
@@ -24,6 +26,43 @@ def run_small():
     return node
 
 
+def run_two_steps():
+    """Two GoL steps so halo exchanges move device-to-device."""
+    node = SimNode(GTX_780, 2, functional=True)
+    sched = Scheduler(node)
+    a = Matrix(32, 32, np.int32, "A").bind(np.ones((32, 32), np.int32))
+    b = Matrix(32, 32, np.int32, "B").bind(np.zeros((32, 32), np.int32))
+    k = make_gol_kernel()
+    sched.analyze_call(k, *gol_containers(a, b))
+    sched.analyze_call(k, *gol_containers(b, a))
+    sched.invoke(k, *gol_containers(a, b))
+    sched.invoke(k, *gol_containers(b, a))
+    sched.gather(a)
+    return node
+
+
+def _d2d(trace):
+    return [
+        r
+        for r in trace
+        if r.kind == "memcpy" and r.src is not None
+        and r.src != HOST and r.device != HOST
+    ]
+
+
+def all_kinds_trace() -> Trace:
+    """A synthetic trace holding every documented record kind."""
+    t = Trace()
+    t.add(TraceRecord("kernel", "k", 0, 0.0, 1.0))
+    t.add(TraceRecord("memcpy", "h2d", 0, 1.0, 2.0, nbytes=64, src=HOST))
+    t.add(TraceRecord("memcpy", "d2h", HOST, 2.0, 3.0, nbytes=64, src=0))
+    t.add(TraceRecord("memcpy", "d2d", 1, 3.0, 4.0, nbytes=64, src=0))
+    t.add(TraceRecord("host", "agg", HOST, 4.0, 5.0))
+    t.add(TraceRecord("event", "sync", 0, 5.0, 5.5))
+    t.add(TraceRecord("event", "barrier", HOST, 5.5, 6.0))
+    return t
+
+
 class TestChromeTrace:
     def test_structure(self):
         node = run_small()
@@ -32,7 +71,9 @@ class TestChromeTrace:
         events = obj["traceEvents"]
         complete = [e for e in events if e["ph"] == "X"]
         meta = [e for e in events if e["ph"] == "M"]
-        assert len(complete) == len(node.trace)
+        # d2d copies appear on both the source copy-out and destination
+        # copy-in lanes, so they contribute two complete events each.
+        assert len(complete) == len(node.trace) + len(_d2d(node.trace))
         assert meta, "thread name metadata expected"
         for e in complete:
             assert e["dur"] > 0
@@ -50,7 +91,7 @@ class TestChromeTrace:
         assert "gpu0.compute" in names
         assert "gpu1.compute" in names
 
-    def test_copy_events_carry_bytes_and_src(self):
+    def test_copy_events_carry_bytes_and_endpoints(self):
         node = run_small()
         obj = to_chrome_trace(node.trace)
         copies = [
@@ -62,6 +103,70 @@ class TestChromeTrace:
         for e in copies:
             assert e["args"]["bytes"] > 0
             assert "src" in e["args"]
+            assert "dst" in e["args"]
+
+    def test_all_record_kinds_export(self):
+        """Regression: exporting an "event"-kind record used to raise
+        ValueError; all four documented kinds must round-trip."""
+        obj = to_chrome_trace(all_kinds_trace())
+        complete = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        # 7 records, one of which is d2d and doubles.
+        assert len(complete) == 8
+        cats = {e["cat"] for e in complete}
+        assert cats == {"kernel", "memcpy", "host", "event"}
+
+    def test_event_records_land_on_event_lanes(self):
+        obj = to_chrome_trace(all_kinds_trace())
+        tid_names = {
+            e["tid"]: e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M"
+        }
+        lanes = {
+            tid_names[e["tid"]]
+            for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "event"
+        }
+        assert lanes == {"gpu0.events", "host"}
+
+    def test_d2d_copy_appears_on_both_lanes(self):
+        node = run_two_steps()
+        d2d = _d2d(node.trace)
+        assert d2d, "expected device-to-device halo copies"
+        obj = to_chrome_trace(node.trace)
+        tid_names = {
+            e["tid"]: e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M"
+        }
+        for rec in d2d:
+            lanes = {
+                tid_names[e["tid"]]
+                for e in obj["traceEvents"]
+                if e["ph"] == "X"
+                and e["cat"] == "memcpy"
+                and e["name"] == rec.label
+                and e["ts"] == rec.start / 1e-6
+            }
+            assert f"gpu{rec.src}.copy-out" in lanes
+            assert f"gpu{rec.device}.copy-in" in lanes
+
+    def test_d2d_args_name_both_endpoints(self):
+        node = run_two_steps()
+        d2d = _d2d(node.trace)
+        assert d2d
+        obj = to_chrome_trace(node.trace)
+        rec = d2d[0]
+        matching = [
+            e
+            for e in obj["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "memcpy"
+            and e["name"] == rec.label and e["ts"] == rec.start / 1e-6
+        ]
+        assert len(matching) == 2
+        for e in matching:
+            assert e["args"]["src"] == f"gpu{rec.src}"
+            assert e["args"]["dst"] == f"gpu{rec.device}"
 
     def test_json_serializable_roundtrip(self):
         node = run_small()
