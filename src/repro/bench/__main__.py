@@ -29,6 +29,11 @@ from repro.bench.overhead import (
     overhead_report,
     write_overhead_json,
 )
+from repro.bench.pressure import (
+    measure_pressure,
+    pressure_report,
+    write_pressure_json,
+)
 from repro.bench.reporting import fmt_table
 from repro.bench.sanitize import (
     measure_sanitize,
@@ -178,6 +183,19 @@ def main(argv: list[str] | None = None) -> int:
         help="output path for --faults results (default: %(default)s)",
     )
     parser.add_argument(
+        "--pressure",
+        action="store_true",
+        help="measure graceful degradation under device-memory pressure "
+        "(capacity clamped to 1.0/0.6/0.3/0.1x of the in-core working "
+        "set) and write BENCH_pressure.json",
+    )
+    parser.add_argument(
+        "--pressure-json",
+        default="BENCH_pressure.json",
+        metavar="PATH",
+        help="output path for --pressure results (default: %(default)s)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="measure the sanitizer's functional-mode overhead (recording "
@@ -204,6 +222,12 @@ def main(argv: list[str] | None = None) -> int:
         print(faults_report(results))
         write_faults_json(results, args.faults_json)
         print(f"wrote {args.faults_json}")
+        return 0
+    if args.pressure:
+        results = measure_pressure()
+        print(pressure_report(results))
+        write_pressure_json(results, args.pressure_json)
+        print(f"wrote {args.pressure_json}")
         return 0
     if args.sanitize:
         results = measure_sanitize()

@@ -256,6 +256,71 @@ class LocationMonitor:
                     break
         return found + host
 
+    # -- memory pressure (DESIGN.md §10) ---------------------------------------
+    def has_partial_on(self, datum: "Datum", device: int) -> bool:
+        """Whether the device holds an unaggregated partial of the datum.
+
+        Partials are never evictable and never salvageable by a plain copy:
+        moving one to the host without running its aggregation operator
+        would corrupt the datum (Algorithm 2 lines 15-17).
+        """
+        st = self._st(datum)
+        return st.agg_mode is not Aggregation.NONE and device in st.agg_sources
+
+    def evictable(self, datum: "Datum", device: int) -> bool:
+        """Whether the device's instances of the datum can be freed without
+        losing data: every resident region must also be up to date at some
+        *other* location (the eviction-safety invariant of DESIGN.md §10).
+
+        A sole ``last_output`` copy is therefore never evictable directly —
+        the scheduler must gather it to the host first (:meth:`sole_pieces`).
+        Pending-aggregation partials are never evictable at all.
+        """
+        st = self._st(datum)
+        if self.has_partial_on(datum, device):
+            return False
+        insts = st.up_to_date.get(device)
+        if not insts:
+            # Nothing the monitor knows about lives here; freeing the buffer
+            # loses no tracked data (e.g. an input staging copy already
+            # superseded everywhere).
+            return True
+        elsewhere = [
+            i.rect
+            for loc, others in st.up_to_date.items()
+            if loc != device
+            for i in others
+        ]
+        return all(not inst.rect.subtract_all(elsewhere) for inst in insts)
+
+    def sole_pieces(
+        self, datum: "Datum", device: int
+    ) -> list[tuple[Rect, Optional[Event]]]:
+        """Regions of the datum that are up to date *only* on ``device``,
+        with their producer events — what a salvage pass must copy to the
+        host before the device's buffer may be freed."""
+        st = self._st(datum)
+        out: list[tuple[Rect, Optional[Event]]] = []
+        for inst in st.up_to_date.get(device, []):
+            elsewhere = [
+                i.rect
+                for loc, others in st.up_to_date.items()
+                if loc != device
+                for i in others
+            ]
+            for piece in inst.rect.subtract_all(elsewhere):
+                out.append((piece, inst.event))
+        return out
+
+    def drop_location(self, datum: "Datum", device: int) -> None:
+        """Forget the device's instances of the datum (its buffer was
+        evicted). Caller must have established evictability (or salvaged the
+        sole pieces) first — this is bookkeeping, not a safety check."""
+        st = self._st(datum)
+        st.up_to_date.pop(device, None)
+        st.pending_reads.pop(device, None)
+        st.sid = -1
+
     def invalidate_for_recovery(self, dead: Iterable[int]) -> None:
         """Purge state a fault made untrue: instances on ``dead`` devices
         (their memory is gone) and instances whose producer event never

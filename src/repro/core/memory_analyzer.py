@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import AnalysisError
+from repro.errors import AllocationError, AnalysisError
 from repro.core.task import Task
 from repro.patterns.base import InputContainer, OutputContainer
 from repro.sim.memory import DeviceBuffer
@@ -103,6 +103,9 @@ class MemoryAnalyzer:
                 device, box, datum.dtype
             )
             self._buffers[key] = buf
+        # LRU stamp: requesting a buffer is the "use" that eviction
+        # ordering (DESIGN.md §10) is relative to.
+        self.node.devices[device].memory.touch(buf)
         return buf
 
     def check_within(self, datum: "Datum", device: int, rect: Rect) -> None:
@@ -120,7 +123,10 @@ class MemoryAnalyzer:
             )
 
     def ensure(
-        self, task: Task, devices: tuple[int, ...] | None = None
+        self,
+        task: Task,
+        devices: tuple[int, ...] | None = None,
+        oom_handler=None,
     ) -> None:
         """Analyze a task at invocation time, growing any live allocation
         whose bounding box expanded (the §8 "automated memory analysis"
@@ -128,19 +134,67 @@ class MemoryAnalyzer:
         surviving devices). Growth reallocates and preserves existing
         contents; it trades Fig. 3's allocate-once guarantee for
         convenience.
+
+        ``oom_handler(datum, device, exc)`` is consulted on a genuine
+        out-of-memory failure while growing (DESIGN.md §10): return True to
+        retry the grow after the handler freed memory, False to skip the
+        grow (the handler evicted this very buffer; it will be re-staged
+        lazily), anything else must raise.
         """
         self.analyze(task, devices)
         for key, buf in list(self._buffers.items()):
-            box = self._boxes.get(key)
-            if box is None or buf.rect.contains(box):
-                continue
-            did, device = key
-            memory = self.node.devices[device].memory
-            grown = memory.allocate(device, box, buf.dtype)
-            if grown.data is not None and buf.data is not None:
-                grown.view(buf.rect)[...] = buf.data
-            memory.free(buf)
-            self._buffers[key] = grown
+            while True:
+                if self._buffers.get(key) is not buf:
+                    # Evicted by the oom_handler while an earlier buffer in
+                    # this snapshot was being grown; it will be re-staged
+                    # lazily — growing its freed carcass would resurrect it
+                    # empty.
+                    break
+                box = self._boxes.get(key)
+                if box is None or buf.rect.contains(box):
+                    break
+                did, device = key
+                memory = self.node.devices[device].memory
+                try:
+                    grown = memory.allocate(device, box, buf.dtype)
+                except AllocationError as e:
+                    if e.injected or oom_handler is None:
+                        raise
+                    if oom_handler(self._datums[did], device, e):
+                        # Handler made room without touching this buffer;
+                        # retry unless it was evicted out from under us.
+                        if self._buffers.get(key) is not buf:
+                            break
+                        continue
+                    break
+                if grown.data is not None and buf.data is not None:
+                    grown.view(buf.rect)[...] = buf.data
+                memory.free(buf)
+                self._buffers[key] = grown
+                break
+
+    def evict(self, datum: "Datum", device: int) -> int:
+        """Free the datum's buffer on the device, keeping the analyzed box
+        (the buffer is re-allocated lazily on next :meth:`buffer`). Returns
+        the bytes released. Safety (no sole copy lost) is the caller's
+        responsibility — see ``LocationMonitor.evictable``.
+        """
+        buf = self._buffers.pop((id(datum), device), None)
+        if buf is None:
+            return 0
+        self.node.devices[device].memory.free(buf)
+        return buf.nbytes
+
+    def buffers_on(self, device: int) -> list[tuple["Datum", DeviceBuffer]]:
+        """Live (datum, buffer) pairs on a device — eviction candidates."""
+        return [
+            (self._datums[did], buf)
+            for (did, dev), buf in self._buffers.items()
+            if dev == device
+        ]
+
+    def has_buffer(self, datum: "Datum", device: int) -> bool:
+        return (id(datum), device) in self._buffers
 
     def drop_device(self, device: int) -> None:
         """Forget all boxes and buffers on a permanently-failed device.

@@ -156,6 +156,13 @@ class TaskPlan:
     #: fingerprints for it would be pure overhead.
     memoize: bool = False
     replays: int = 0
+    #: Out-of-core chunk plans per device (DESIGN.md §10). Pressure state is
+    #: deliberately NOT part of the cache key: every replay attempts the
+    #: in-core path first and falls into chunking only when the allocation
+    #: actually fails, so a cached plan self-heals when memory frees up; a
+    #: cached chunk plan is revalidated against the device's *current*
+    #: ``free_bytes`` before reuse and rebuilt when stale.
+    chunk_plans: dict[int, "ChunkPlan"] = field(default_factory=dict)
 
 
 #: Upper bound on memoized copy decisions per plan. Steady-state iterative
@@ -221,6 +228,189 @@ def build_plan(task: "Task", devices: "int | tuple[int, ...]", analyzer=None,
         active=active,
         device_plans=device_plans,
         consumer_rects=consumer_rects,
+    )
+
+
+@dataclass(frozen=True)
+class ChunkStep:
+    """One sub-segment of a device's work under out-of-core replay."""
+
+    work_rect: Rect
+    #: Input requirements for this chunk, aligned with ``task.inputs``.
+    input_reqs: tuple[Requirement, ...]
+    #: Owned output rects for this chunk, aligned with ``task.outputs``.
+    output_rects: tuple[Rect, ...]
+
+
+@dataclass
+class ChunkPlan:
+    """Out-of-core execution plan for one device (DESIGN.md §10 stage 2).
+
+    The device's block range is split along the outermost grid dimension
+    into ``num_chunks`` block-aligned sub-segments whose staging footprint
+    fits the byte budget the escalation left free. Staging uses fixed
+    *slot pools*: ``slots`` interchangeable buffers per rotating container
+    (2 = double-buffered, overlapping chunk i's copy-out with chunk i+1's
+    compute on the dual copy engines; 1 = serialized fallback), plus one
+    buffer per chunk-invariant ("persistent") input that is copied in once.
+    Duplicated outputs are not staged at all — they accumulate across
+    chunks in the analyzer's regular per-device buffer.
+    """
+
+    device: int
+    num_chunks: int
+    slots: int
+    steps: tuple[ChunkStep, ...]
+    #: Aligned with ``task.inputs``: True = chunk-invariant, copied once.
+    persistent_in: tuple[bool, ...]
+    #: Aligned with ``task.inputs``: pool shape (per-dim max over chunks
+    #: for rotating inputs; the invariant box for persistent ones).
+    in_pool_shapes: tuple[tuple[int, ...], ...]
+    #: Aligned with ``task.outputs``: pool shape, or None for duplicated
+    #: outputs (they live in the analyzer's buffer, outside the pools).
+    out_pool_shapes: tuple[tuple[int, ...] | None, ...]
+    #: Total staging bytes: persistent pools + slots x rotating set.
+    footprint: int
+
+
+def _split_chunks(work_rect: Rect, block0: int, k: int) -> list[Rect]:
+    """Split ``work_rect`` along dim 0 into ``k`` block-aligned pieces.
+
+    Block rows are distributed as evenly as possible (first ``nb % k``
+    chunks get one extra row of blocks); every boundary except the last is
+    a multiple of ``block0`` from the rect's start, matching how
+    ``Grid.partition`` aligns device boundaries.
+    """
+    lo, hi = work_rect[0].begin, work_rect[0].end
+    nb = -((lo - hi) // block0)  # ceil((hi - lo) / block0)
+    base, extra = divmod(nb, k)
+    out: list[Rect] = []
+    cursor = lo
+    for j in range(k):
+        rows = base + (1 if j < extra else 0)
+        end = min(cursor + rows * block0, hi)
+        out.append(Rect((cursor, end), *work_rect.intervals[1:]))
+        cursor = end
+    return out
+
+
+def build_chunk_plan(
+    task: "Task",
+    device: int,
+    work_rect: Rect,
+    budget: int,
+    capacity: int,
+) -> ChunkPlan:
+    """Find the smallest chunk count whose staging footprint fits ``budget``.
+
+    Tries K = 2, 4, 8, ... up to one chunk per block row, preferring 2
+    staging slots (double-buffered pipeline) and falling back to 1 before
+    growing K further. Raises :class:`~repro.errors.CapacityError` — naming
+    the datum that dominates the irreducible footprint — when even maximal
+    chunking with a single slot does not fit.
+    """
+    from repro.errors import CapacityError
+
+    inputs = task.inputs
+    outputs = task.outputs
+    work_shape = task.grid.shape
+    block0 = task.grid.block0
+    lo, hi = work_rect[0].begin, work_rect[0].end
+    nb = -((lo - hi) // block0)
+
+    def measure(k: int):
+        steps = []
+        for rect in _split_chunks(work_rect, block0, k):
+            reqs = tuple(c.required(work_shape, rect) for c in inputs)
+            owned = tuple(c.owned(work_shape, rect) for c in outputs)
+            steps.append(ChunkStep(rect, reqs, owned))
+        persistent = tuple(
+            all(
+                s.input_reqs[i].virtual == steps[0].input_reqs[i].virtual
+                for s in steps
+            )
+            for i in range(len(inputs))
+        )
+        in_shapes = []
+        contrib: list[tuple[int, str]] = []  # (bytes toward footprint, name)
+        persistent_bytes = 0
+        per_set = 0
+        for i, c in enumerate(inputs):
+            shape = tuple(
+                max(s.input_reqs[i].virtual.shape[d] for s in steps)
+                for d in range(c.datum.ndim)
+            )
+            in_shapes.append(shape)
+            nbytes = 1
+            for n in shape:
+                nbytes *= n
+            nbytes *= c.datum.dtype.itemsize
+            if persistent[i]:
+                persistent_bytes += nbytes
+                contrib.append((nbytes, c.datum.name))
+            else:
+                per_set += nbytes
+                contrib.append((nbytes, c.datum.name))
+        out_shapes: list[tuple[int, ...] | None] = []
+        for j, c in enumerate(outputs):
+            if c.duplicated:
+                out_shapes.append(None)  # analyzer buffer, not staged
+                continue
+            shape = tuple(
+                max(s.output_rects[j].shape[d] for s in steps)
+                for d in range(c.datum.ndim)
+            )
+            out_shapes.append(shape)
+            nbytes = 1
+            for n in shape:
+                nbytes *= n
+            nbytes *= c.datum.dtype.itemsize
+            per_set += nbytes
+            contrib.append((nbytes, c.datum.name))
+        return steps, persistent, in_shapes, out_shapes, \
+            persistent_bytes, per_set, contrib
+
+    ks: list[int] = []
+    k = 2
+    while k < nb:
+        ks.append(k)
+        k *= 2
+    if nb >= 2:
+        ks.append(nb)
+    else:
+        # A single block row cannot be split further; measure it anyway so
+        # the CapacityError reports the true irreducible floor.
+        ks.append(1)
+    best_floor = None
+    for k in ks:
+        (steps, persistent, in_shapes, out_shapes,
+         persistent_bytes, per_set, contrib) = measure(k)
+        for slots in (2, 1):
+            eff_slots = min(slots, k)
+            footprint = persistent_bytes + eff_slots * per_set
+            if footprint <= budget:
+                return ChunkPlan(
+                    device=device,
+                    num_chunks=k,
+                    slots=eff_slots,
+                    steps=tuple(steps),
+                    persistent_in=persistent,
+                    in_pool_shapes=tuple(in_shapes),
+                    out_pool_shapes=tuple(out_shapes),
+                    footprint=footprint,
+                )
+        if k == ks[-1]:
+            best_floor = (persistent_bytes + per_set, contrib)
+    required, contrib = best_floor if best_floor is not None else (0, [])
+    worst = max(contrib, default=(0, "?"))
+    raise CapacityError(
+        f"device {device}: irreducible out-of-core footprint {required} B "
+        f"exceeds budget {budget} B (capacity {capacity} B); dominated by "
+        f"datum {worst[1]!r} ({worst[0]} B per chunk)",
+        datum=worst[1],
+        required=required,
+        capacity=capacity,
+        device=device,
     )
 
 

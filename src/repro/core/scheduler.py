@@ -43,8 +43,11 @@ from repro.core.location_monitor import CopyOp, LocationMonitor
 from repro.core.memory_analyzer import MemoryAnalyzer
 from repro.core.plan import (
     COPY_MEMO_LIMIT,
+    ChunkPlan,
+    ChunkStep,
     PlanCache,
     TaskPlan,
+    build_chunk_plan,
     build_plan,
     freeze_constants,
 )
@@ -53,6 +56,7 @@ from repro.device_api.context import KernelContext
 from repro.device_api.views import make_view
 from repro.errors import (
     AllocationError,
+    CapacityError,
     DeviceFault,
     SchedulingError,
     TransientTransferError,
@@ -62,10 +66,19 @@ from repro.hardware.topology import HOST
 from repro.patterns.base import Aggregation, InputContainer, OutputContainer
 from repro.patterns.output_patterns import combine
 from repro.sim.commands import Event, EventWait
+from repro.sim.memory import DeviceBuffer
+from repro.sim.trace import TraceRecord
 from repro.utils.rect import Rect
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.node import SimNode
+
+
+class _RescheduleError(Exception):
+    """Internal control flow: a settle inside an in-progress replay
+    recovered from a fault (retiring a device), so the replay's plan is
+    stale — abort it and reschedule against the new alive set. Never
+    escapes the scheduler."""
 
 
 @dataclass
@@ -73,12 +86,19 @@ class _TransferContext:
     """Provenance attached to a segment-copy Memcpy (``cmd.origin``) so a
     transient fault on it can be retried from an alternate replica.
     Aggregation/reduce-scatter transfers carry no context and are retried
-    over the same route."""
+    over the same route.
+
+    ``payload_factory(op) -> payload`` overrides the default
+    analyzer-buffer payload when the copy's destination is not the
+    analyzer's allocation (chunk staging buffers, DESIGN.md §10): a retry
+    from an alternate replica must rebuild the payload against the same
+    staging destination."""
 
     datum: Optional[Datum]
     op: Optional[CopyOp]
     done_event: Optional[Event]
     attempt: int = 0
+    payload_factory: Any = None
 
 
 @dataclass
@@ -173,6 +193,13 @@ class Scheduler:
         #: ordered resubmission after a permanent failure; pruned of
         #: completed entries after each successful wait.
         self._log: list = []
+        #: token -> (device, pool buffers) for in-flight out-of-core chunk
+        #: replays (DESIGN.md §10). Pools normally free themselves via a
+        #: deferred command at the end of the chunk sequence; device
+        #: retirement clears all streams, so _retire_device force-frees
+        #: whatever is still registered here.
+        self._live_chunk_pools: dict[int, tuple[int, list[DeviceBuffer]]] = {}
+        self._pool_tokens = 0
 
     @property
     def alive_devices(self) -> tuple[int, ...]:
@@ -336,13 +363,18 @@ class Scheduler:
         uncached baseline share the replay, so both emit identical command
         sequences). An *injected* allocation failure retires the device —
         a device that cannot allocate cannot take new work — and the task
-        is rescheduled over the survivors; genuine capacity overflows
-        propagate (shrinking the device set only enlarges per-device
-        shares, so retirement could never help)."""
+        is rescheduled over the survivors. Genuine capacity overflows are
+        absorbed by the replay's escalation ladder (eviction, then
+        out-of-core chunking, DESIGN.md §10); only a
+        :class:`~repro.errors.CapacityError` — an irreducible footprint —
+        propagates, since shrinking the device set only enlarges
+        per-device shares and could never help."""
         while True:
             try:
                 plan = self._lookup_or_build(task)
                 return self._replay(task, plan)
+            except _RescheduleError:
+                continue  # settle-time recovery changed the alive set
             except AllocationError as e:
                 if not e.injected:
                     raise
@@ -394,12 +426,25 @@ class Scheduler:
             if monitor.needs_aggregation(c.datum):
                 self._resolve_aggregation(c.datum, plan.consumer_rects[i])
 
+        # DESIGN.md §10 pre-flight: make every active device's working set
+        # resident, escalating evict -> out-of-core chunking when device
+        # memory is oversubscribed. With ample capacity this is exactly the
+        # allocation pass the in-core path always ran (buffers allocate on
+        # first use and are merely re-touched afterwards).
+        chunked: dict[int, ChunkPlan] = {}
+        for d in active:
+            cp = self._prepare_device(task, plan, d)
+            if cp is not None:
+                chunked[d] = cp
+
         # Lines 3-12: allocation and copy planning per device (the
         # segmentation rects come precomputed from the plan; only the
         # location-monitor copy computation depends on current residency).
         kernel_waits: dict[int, list[Event]] = {d: [] for d in active}
         copy_memo = plan.copy_memo if plan.memoize else None
         for d in active:
+            if d in chunked:
+                continue
             dp = dplans[d]
             waits = kernel_waits[d]
             for i, (c, req) in enumerate(zip(inputs, dp.input_reqs)):
@@ -439,23 +484,28 @@ class Scheduler:
                 if c.duplicated:
                     self._enqueue_clear(task, c, d, waits)
 
-        # Lines 14-21: queue kernels, record completion events. On a
-        # recovery resubmission the caller passes the original handle: its
-        # events are replaced in place so application-held references stay
-        # waitable.
-        if handle is None:
-            handle = TaskHandle(task, submitted_at=node.host_time)
-            self.handles.append(handle)
-            self._log.append(handle)
-        else:
-            handle.events.clear()
+        # Lines 14-21: queue kernels, record completion events. Chunked
+        # devices replay their whole alloc->copy-in->kernel->copy-out
+        # sequence here; their completion event is the end of the chunk
+        # pipeline (last copy-out + pool release).
         durations = self._durations(task, plan)
         num_active = len(active)
         # One race pool per replay: payloads deposit their recorders here
         # as they execute; the last kernel of the task runs the
         # cross-device checks over the full pool.
         race_pool: dict[int, Any] | None = {} if self.sanitize else None
+        new_events: list[Event] = []
+        dev_events: dict[int, Event] = {}
         for d in active:
+            if d in chunked:
+                done_ev, last_kev = self._replay_chunked(
+                    task, plan, chunked[d], num_active
+                )
+                new_events.append(done_ev)
+                # The last chunk kernel is the producer of any duplicated
+                # partial and the WAR anchor for this device.
+                dev_events[d] = last_kev
+                continue
             stream = self._compute[d]
             for ev in kernel_waits[d]:
                 node.wait_event(stream, ev)
@@ -465,13 +515,18 @@ class Scheduler:
             node.launch_kernel(
                 stream, durations[d], payload, label=f"{task.name}@gpu{d}"
             )
-            handle.events.append(
-                node.record_event(stream, f"{task.name}@gpu{d}")
-            )
-        dev_events = dict(zip(active, handle.events))
+            ev = node.record_event(stream, f"{task.name}@gpu{d}")
+            new_events.append(ev)
+            dev_events[d] = ev
 
         # Monitor updates: written segments / pending partials / reads.
+        # Chunked devices already did their own bookkeeping per chunk
+        # (reads at the copy sources, writes landed on the host) — except
+        # for duplicated partials, which accumulate in the device-resident
+        # buffer like the in-core path.
         for d in active:
+            if d in chunked:
+                continue
             for c in inputs:
                 monitor.mark_read(c.datum, d, dev_events[d])
         for i, c in enumerate(outputs):
@@ -479,10 +534,24 @@ class Scheduler:
                 monitor.mark_partial(c.datum, c.aggregation, dev_events)
             else:
                 for d in active:
+                    if d in chunked:
+                        continue
                     monitor.mark_written(
                         c.datum, d, dplans[d].output_rects[i], dev_events[d]
                     )
 
+        # The handle is created/updated only once the replay has fully
+        # committed: if a settle-time recovery aborts the replay midway,
+        # a first-time task is simply rescheduled (it was never logged)
+        # and a resubmitted one keeps its old, unrecorded events — either
+        # way nothing is silently marked complete.
+        if handle is None:
+            handle = TaskHandle(task, submitted_at=node.host_time)
+            self.handles.append(handle)
+            self._log.append(handle)
+            handle.events.extend(new_events)
+        else:
+            handle.events[:] = new_events
         return handle
 
     def _durations(self, task: Task, plan: TaskPlan) -> dict[int, float]:
@@ -513,6 +582,572 @@ class Scheduler:
         if key is not None:
             plan.durations[key] = durations
         return durations
+
+    # -- memory pressure (DESIGN.md §10) --------------------------------------------
+    def _settle(self) -> None:
+        """Drain every queued command before mutating residency.
+
+        In-flight copy payloads resolve the analyzer's buffers at dispatch
+        time; evicting under them would read freed carcasses. Faults
+        surfacing during the drain are handled exactly as in ``wait_all``.
+        """
+        while True:
+            try:
+                self.node.run()
+            except TransientTransferError as f:
+                self._retry_transfer(f)
+            except DeviceFault as f:
+                self._recover(f.device, f.time)
+            else:
+                return
+
+    def _alloc_task_buffers(self, task: Task, device: int) -> None:
+        """Allocate (or re-touch) every task buffer on a device, in the
+        same input-then-output order the in-core planning loop always
+        used, so FaultPlan nth-allocation numbering is unchanged on the
+        ample-capacity path."""
+        for c in task.inputs:
+            self.analyzer.buffer(c.datum, device)
+        for c in task.outputs:
+            self.analyzer.buffer(c.datum, device)
+
+    def _prepare_device(
+        self, task: Task, plan: TaskPlan, device: int
+    ) -> Optional[ChunkPlan]:
+        """Make one device's working set resident, escalating through the
+        degradation ladder (DESIGN.md §10):
+
+        0. in-core: allocate the analyzed boxes (ample-capacity fast path);
+        1. evict cold replicas LRU-first — first only safely-evictable ones
+           (every byte also up to date on the host or a peer), then sole
+           copies after salvaging them to the host;
+        2. out-of-core: evict the task's own staged buffers too and replay
+           this device's share in chunks through fixed staging pools;
+        3. an irreducible single-chunk footprint raises
+           :class:`~repro.errors.CapacityError` (from ``build_chunk_plan``).
+
+        Returns the chunk plan for stage 2, or None for the in-core path.
+        """
+        analyzer = self.analyzer
+        monitor = self.monitor
+        node = self.node
+        memory = node.devices[device].memory
+        try:
+            self._alloc_task_buffers(task, device)
+            return None
+        except AllocationError as e:
+            if e.injected:
+                raise
+        # Queued copies may still reference buffers about to be evicted;
+        # drain them first. The drain can itself hit a fault and retire a
+        # device, invalidating this replay's plan — abort and reschedule.
+        self._settle()
+        if any(dev not in self._alive for dev in plan.active):
+            raise _RescheduleError
+        task_dids = {id(c.datum) for c in task.containers}
+        for salvage in (False, True):
+            while True:
+                victims = [
+                    (datum, buf)
+                    for datum, buf in analyzer.buffers_on(device)
+                    if id(datum) not in task_dids
+                    and not monitor.has_partial_on(datum, device)
+                    and (salvage or monitor.evictable(datum, device))
+                ]
+                if not victims:
+                    break
+                victims.sort(key=lambda v: (v[1].last_use, v[0].name))
+                self._evict_datum(victims[0][0], device, salvage=salvage)
+                try:
+                    self._alloc_task_buffers(task, device)
+                    return None
+                except AllocationError as e:
+                    if e.injected:
+                        raise
+        # Stage 2: the task's own staged inputs/outputs are streamed per
+        # chunk instead of held whole; only duplicated outputs stay
+        # resident (chunk kernels accumulate into them in place), and
+        # unaggregated partials are never evicted.
+        for c in task.containers:
+            dup = isinstance(c, OutputContainer) and c.duplicated
+            if (
+                not dup
+                and analyzer.has_buffer(c.datum, device)
+                and not monitor.has_partial_on(c.datum, device)
+            ):
+                self._evict_datum(c.datum, device, salvage=True)
+        for c in task.outputs:
+            if not c.duplicated:
+                continue
+            try:
+                analyzer.buffer(c.datum, device)
+            except AllocationError as e:
+                if e.injected:
+                    raise
+                box = analyzer.box(c.datum, device)
+                required = box.size * c.datum.dtype.itemsize
+                raise CapacityError(
+                    f"device {device}: duplicated output {c.datum.name!r} "
+                    f"needs {required} B resident across all chunks, but "
+                    f"only {memory.free_bytes} B of {memory.capacity} B "
+                    "can be freed",
+                    datum=c.datum.name,
+                    required=required,
+                    capacity=memory.capacity,
+                    device=device,
+                ) from e
+        budget = memory.free_bytes
+        cp = plan.chunk_plans.get(device)
+        if cp is None or cp.footprint > budget:
+            cp = build_chunk_plan(
+                task, device, plan.device_plans[device].work_rect,
+                budget, memory.capacity,
+            )
+            plan.chunk_plans[device] = cp
+        node.trace.add(TraceRecord(
+            kind="event",
+            label=(
+                f"chunk-plan:{task.name}@gpu{device}:"
+                f"{cp.num_chunks}x{cp.slots}"
+            ),
+            device=device, start=node.time, end=node.time,
+        ))
+        return cp
+
+    def _evict_datum(self, datum: Datum, device: int, salvage: bool) -> None:
+        """Evict one datum's replica from a device, optionally salvaging
+        sole pieces to the host first, and leave an ``evict:`` event in the
+        trace."""
+        node = self.node
+        if salvage:
+            self._salvage(datum, device)
+        freed = self.analyzer.evict(datum, device)
+        self.monitor.drop_location(datum, device)
+        node.trace.add(TraceRecord(
+            kind="event",
+            label=f"evict:{datum.name}@gpu{device}",
+            device=device, start=node.time, end=node.time, nbytes=freed,
+        ))
+
+    def _salvage(self, datum: Datum, device: int) -> None:
+        """Copy sole up-to-date pieces (no replica anywhere else) to the
+        host before eviction. Algorithm 2's correctness hinges on never
+        losing a last-output instance; the eviction ladder upholds the same
+        invariant by gathering before freeing. The functional payload
+        snapshots the data eagerly — the buffer is freed before the queued
+        copy executes in simulated time."""
+        node = self.node
+        monitor = self.monitor
+        pieces = monitor.sole_pieces(datum, device)
+        if not pieces:
+            return
+        stream = self._copy_out[device]
+        for wev in monitor.take_war_events(datum, HOST):
+            node.wait_event(stream, wev)
+        buf = self.analyzer.buffer(datum, device)
+        for piece, pev in pieces:
+            if piece.empty:
+                continue
+            payload = None
+            if node.functional:
+                virt = locate_virtual(buf, piece, datum.shape)
+                arr = buf.view(virt).copy()
+
+                def payload(piece=piece, arr=arr):
+                    datum.host[piece.slices()] = arr
+            if pev is not None and not pev.recorded:
+                node.wait_event(stream, pev)
+            node.memcpy(
+                stream,
+                src=device,
+                dst=HOST,
+                nbytes=piece.size * datum.dtype.itemsize,
+                payload=payload,
+                label=f"salvage:{datum.name}:{device}->host",
+            )
+            ev = node.record_event(stream, f"salvage:{datum.name}:{device}")
+            monitor.mark_copied(datum, HOST, piece, ev)
+
+    def _recovery_oom(
+        self, datum: Datum, device: int, exc: AllocationError
+    ) -> bool:
+        """``oom_handler`` for post-retirement re-analysis: survivors'
+        boxes grow to absorb the dead device's share and may no longer
+        fit. Evict the coldest foreign replica and retry the growth
+        (return True); with nothing foreign left, drop the growing
+        datum's own buffer — salvaging sole pieces — so it re-stages
+        lazily at next use (return False)."""
+        monitor = self.monitor
+        candidates = [
+            (dat, buf)
+            for dat, buf in self.analyzer.buffers_on(device)
+            if dat is not datum and not monitor.has_partial_on(dat, device)
+        ]
+        candidates.sort(key=lambda v: (v[1].last_use, v[0].name))
+        for dat, _ in candidates:
+            if monitor.evictable(dat, device):
+                self._evict_datum(dat, device, salvage=False)
+                return True
+        if candidates:
+            self._evict_datum(candidates[0][0], device, salvage=True)
+            return True
+        if self.analyzer.has_buffer(datum, device):
+            self._evict_datum(datum, device, salvage=True)
+        return False
+
+    def _pool_slice(
+        self, device: int, pool: DeviceBuffer, rect: Rect, dtype
+    ) -> DeviceBuffer:
+        """A zero-cost staging alias over a pool slab: a DeviceBuffer whose
+        rect is one chunk's box, backed by a view of the slab's array. Not
+        an allocation — pools are the only chunk-path allocations, keeping
+        FaultPlan nth-allocation numbering stable across chunk counts."""
+        data = None
+        if pool.data is not None:
+            data = pool.data[tuple(slice(0, n) for n in rect.shape)]
+        return DeviceBuffer(device, rect, dtype, data)
+
+    def _replay_chunked(
+        self, task: Task, plan: TaskPlan, cp: ChunkPlan, num_active: int
+    ) -> tuple[Event, Event]:
+        """Out-of-core replay of one device's share (DESIGN.md §10 stage
+        2): alloc -> copy-in -> kernel -> copy-out/free per chunk. With two
+        staging slots, chunk i's copy-out overlaps chunk i+1's copy-in and
+        compute on the dual copy engines (the cuda-style double-buffered
+        pipeline). Returns ``(done_event, last_kernel_event)`` — the former
+        ends the whole pipeline (last copy-out + pool release), the latter
+        is the producer event for duplicated partials.
+        """
+        node = self.node
+        monitor = self.monitor
+        analyzer = self.analyzer
+        d = cp.device
+        mem = node.devices[d].memory
+        cout = self._copy_out[d]
+        comp = self._compute[d]
+        dp = plan.device_plans[d]
+        inputs = task.inputs
+        outputs = task.outputs
+
+        # Register the pool set *before* carving it out: an injected
+        # allocation fault mid-pool must not leak the slabs already
+        # allocated when retirement clears the streams (and with them the
+        # deferred free below).
+        self._pool_tokens += 1
+        token = self._pool_tokens
+        pools: list[DeviceBuffer] = []
+        self._live_chunk_pools[token] = (d, pools)
+
+        eff_slots = min(cp.slots, cp.num_chunks)
+        in_pools: list[list[DeviceBuffer]] = []
+        for i, c in enumerate(inputs):
+            if cp.persistent_in[i]:
+                rect = cp.steps[0].input_reqs[i].virtual
+                buf = mem.allocate(d, rect, c.datum.dtype)
+                pools.append(buf)
+                in_pools.append([buf])
+            else:
+                slabs = []
+                for _ in range(eff_slots):
+                    buf = mem.allocate(
+                        d, Rect.from_shape(cp.in_pool_shapes[i]), c.datum.dtype
+                    )
+                    pools.append(buf)
+                    slabs.append(buf)
+                in_pools.append(slabs)
+        out_pools: list[Optional[list[DeviceBuffer]]] = []
+        for o, c in enumerate(outputs):
+            shape = cp.out_pool_shapes[o]
+            if shape is None:
+                out_pools.append(None)  # duplicated: analyzer-resident
+                continue
+            slabs = []
+            for _ in range(eff_slots):
+                buf = mem.allocate(d, Rect.from_shape(shape), c.datum.dtype)
+                pools.append(buf)
+                slabs.append(buf)
+            out_pools.append(slabs)
+
+        # Chunk-invariant inputs are staged once, before the first chunk.
+        persist_events: list[Event] = []
+        for i, c in enumerate(inputs):
+            if cp.persistent_in[i]:
+                persist_events += self._chunk_in(
+                    c.datum, d, cp.steps[0].input_reqs[i],
+                    in_pools[i][0], dp.peers, [],
+                )
+
+        # Duplicated outputs accumulate in the resident buffer across all
+        # chunks: zero them once up front (after in-flight readers drain).
+        # Non-duplicated outputs land on the host; their WAR events gate
+        # the first copy-out.
+        host_war: list[Event] = []
+        for o, c in enumerate(outputs):
+            if out_pools[o] is None:
+                war = list(monitor.take_war_events(c.datum, d))
+                self._enqueue_clear(task, c, d, war)
+            else:
+                host_war += monitor.take_war_events(c.datum, HOST)
+        for wev in host_war:
+            node.wait_event(cout, wev)
+
+        slot_kernel_ev: list[Optional[Event]] = [None] * eff_slots
+        slot_out_ev: list[Optional[Event]] = [None] * eff_slots
+        last_kev: Event = None  # type: ignore[assignment]
+        for jn, step in enumerate(cp.steps):
+            s = jn % eff_slots
+            # In-slot WAR: the slab's previous kernel must finish before
+            # its arrays are overwritten by this chunk's copy-ins.
+            slot_waits = (
+                [slot_kernel_ev[s]] if slot_kernel_ev[s] is not None else []
+            )
+            in_events: list[Event] = []
+            tmp_ins: list[DeviceBuffer] = []
+            for i, c in enumerate(inputs):
+                if cp.persistent_in[i]:
+                    tmp_ins.append(in_pools[i][0])
+                    continue
+                req = step.input_reqs[i]
+                tmp = self._pool_slice(
+                    d, in_pools[i][s], req.virtual, c.datum.dtype
+                )
+                in_events += self._chunk_in(
+                    c.datum, d, req, tmp, dp.peers, slot_waits
+                )
+                tmp_ins.append(tmp)
+            tmp_outs: list[DeviceBuffer] = []
+            for o, c in enumerate(outputs):
+                if out_pools[o] is None:
+                    tmp_outs.append(analyzer.buffer(c.datum, d))
+                else:
+                    tmp_outs.append(self._pool_slice(
+                        d, out_pools[o][s], step.output_rects[o],
+                        c.datum.dtype,
+                    ))
+            waits = list(in_events)
+            if jn == 0:
+                # Later chunks inherit this ordering from the in-order
+                # compute stream.
+                waits += persist_events
+            if slot_out_ev[s] is not None:
+                # Out-slot WAR: the slab's previous copy-out must land
+                # before this chunk's kernel overwrites it.
+                waits.append(slot_out_ev[s])
+            for wev in waits:
+                node.wait_event(comp, wev)
+            label = f"{task.name}@gpu{d}#chunk{jn + 1}/{cp.num_chunks}"
+            node.launch_kernel(
+                comp,
+                self._chunk_duration(task, d, step.work_rect),
+                self._chunk_kernel_payload(
+                    task, d, step, tmp_ins, tmp_outs, num_active
+                ),
+                label=label,
+            )
+            kev = node.record_event(comp, label)
+            slot_kernel_ev[s] = kev
+            last_kev = kev
+            oev: Optional[Event] = None
+            for o, c in enumerate(outputs):
+                if out_pools[o] is None:
+                    continue
+                owned = step.output_rects[o]
+                if owned.empty:
+                    continue
+                node.wait_event(cout, kev)
+                payload = None
+                if node.functional:
+                    tmp = tmp_outs[o]
+
+                    def payload(datum=c.datum, owned=owned, tmp=tmp):
+                        datum.host[owned.slices()] = tmp.view(owned)
+                node.memcpy(
+                    cout,
+                    src=d,
+                    dst=HOST,
+                    nbytes=owned.size * c.datum.dtype.itemsize,
+                    payload=payload,
+                    label=f"chunk-out:{c.datum.name}:{d}->host#{jn + 1}",
+                )
+                oev = node.record_event(
+                    cout, f"chunk-out:{c.datum.name}:{d}#{jn + 1}"
+                )
+                monitor.mark_written(c.datum, HOST, owned, oev)
+            if oev is not None:
+                slot_out_ev[s] = oev
+
+        # Release the pools once the last kernel and every copy-out have
+        # retired (the copy-out stream is in order; the zero-byte transfer
+        # is pure bookkeeping). Device retirement clears streams, so
+        # _retire_device force-frees whatever is still registered.
+        node.wait_event(cout, last_kev)
+
+        def free_pools(token=token, mem=mem):
+            entry = self._live_chunk_pools.pop(token, None)
+            if entry is not None:
+                for b in entry[1]:
+                    mem.free(b)
+
+        node.memcpy(
+            cout, src=d, dst=HOST, nbytes=0, payload=free_pools,
+            label=f"chunk-free:{task.name}@gpu{d}",
+        )
+        done = node.record_event(cout, f"{task.name}@gpu{d}#done")
+        return done, last_kev
+
+    def _chunk_in(
+        self,
+        datum: Datum,
+        device: int,
+        req,
+        tmp: DeviceBuffer,
+        peers: list[int],
+        slot_waits: list[Event],
+    ) -> list[Event]:
+        """Stage one chunk-input requirement into a staging buffer; returns
+        the copies' completion events. The device's own replica was evicted
+        in stage 2, so Algorithm 2 sources from peers/host. The staging
+        slab is transient and deliberately *not* marked as a replica."""
+        node = self.node
+        monitor = self.monitor
+        events: list[Event] = []
+        for virt, act in req.pieces:
+            if act.empty:
+                continue
+            off = tuple(v - a for v, a in zip(virt.begin, act.begin))
+            ops = monitor.compute_copies(datum, [act], device, prefer=peers)
+            for op in ops:
+                factory = self._chunk_in_factory(datum, tmp, off)
+                if op.src == HOST:
+                    stream = self._copy_in[device]
+                else:
+                    stream = self._copy_out[op.src]
+                for wev in slot_waits:
+                    node.wait_event(stream, wev)
+                if op.wait is not None:
+                    node.wait_event(stream, op.wait)
+                payload = factory(op) if node.functional else None
+                label = f"chunk-in:{datum.name}:{op.src}->{device}"
+                cmd = node.memcpy(
+                    stream,
+                    src=op.src,
+                    dst=device,
+                    nbytes=op.actual.size * datum.dtype.itemsize,
+                    payload=payload,
+                    label=label,
+                )
+                ev = node.record_event(stream, label)
+                cmd.origin = _TransferContext(
+                    datum, op, ev, payload_factory=factory
+                )
+                monitor.mark_read(datum, op.src, ev)
+                events.append(ev)
+        return events
+
+    def _chunk_in_factory(self, datum: Datum, tmp: DeviceBuffer, off):
+        """Payload factory writing a copy's data into a staging buffer
+        (also used by transient-fault retries, which must rebuild the
+        payload for an alternate source against the *same* destination)."""
+        analyzer = self.analyzer
+
+        def factory(op: CopyOp):
+            def payload() -> None:
+                if op.src == HOST:
+                    src_arr = datum.host[op.actual.slices()]
+                else:
+                    sbuf = analyzer.buffer(datum, op.src)
+                    virt = locate_virtual(sbuf, op.actual, datum.shape)
+                    src_arr = sbuf.view(virt)
+                tmp.view(op.actual.shift(off))[...] = src_arr
+
+            return payload
+
+        return factory
+
+    def _chunk_duration(
+        self, task: Task, device: int, work_rect: Rect
+    ) -> float:
+        """Kernel cost model over one chunk's (smaller) work rect."""
+        dev = self.node.devices[device]
+        return task.kernel.duration(CostContext(
+            work_rect=work_rect,
+            grid=task.grid,
+            containers=task.containers,
+            constants=task.constants,
+            spec=dev.spec,
+            calib=dev.calib,
+        ))
+
+    def _chunk_kernel_payload(
+        self,
+        task: Task,
+        device: int,
+        step: ChunkStep,
+        tmp_ins: list[DeviceBuffer],
+        tmp_outs: list[DeviceBuffer],
+        num_active: int,
+    ):
+        """Kernel payload over staging buffers. Chunk kernels run without a
+        sanitizer recorder: the conformance checks need whole-segment
+        recorders, which a chunked device cannot provide (documented
+        limitation, DESIGN.md §10)."""
+        if not self.node.functional or task.kernel.func is None:
+            return None
+        if task.kernel.raw:
+            from repro.core.unmodified import RoutineContext
+
+            def payload() -> None:
+                params: list = []
+                segments: list[Rect] = []
+                ii = oi = 0
+                for c in task.containers:
+                    if isinstance(c, InputContainer):
+                        seg = step.input_reqs[ii].virtual
+                        buf = tmp_ins[ii]
+                        ii += 1
+                    else:
+                        seg = step.output_rects[oi]
+                        buf = tmp_outs[oi]
+                        oi += 1
+                    params.append(buf.view(seg))
+                    segments.append(seg)
+                ctx = RoutineContext(
+                    device=device,
+                    num_devices=num_active,
+                    parameters=tuple(params),
+                    container_segments=tuple(segments),
+                    constants=task.constants,
+                    context=task.kernel.context,
+                )
+                task.kernel.func(ctx)
+
+            return payload
+
+        def payload() -> None:
+            views = []
+            ii = oi = 0
+            for i, c in enumerate(task.containers):
+                if isinstance(c, InputContainer):
+                    buf = tmp_ins[ii]
+                    ii += 1
+                else:
+                    buf = tmp_outs[oi]
+                    oi += 1
+                views.append(make_view(
+                    c, buf, task.grid.shape, step.work_rect,
+                    recorder=None, index=i,
+                ))
+            ctx = KernelContext(
+                device=device,
+                num_devices=num_active,
+                grid=task.grid,
+                work_rect=step.work_rect,
+                views=tuple(views),
+                constants=task.constants,
+            )
+            task.kernel.func(ctx)
+
+        return payload
 
     # -- helpers -------------------------------------------------------------------
     def _peers(self, device: int) -> list[int]:
@@ -900,10 +1535,15 @@ class Scheduler:
         src, src_ev = alt
         new_op = CopyOp(src, op.dst, op.actual, src_ev)
         ctx.op = new_op
-        payload = (
-            self._copy_payload(ctx.datum, new_op)
-            if self.node.functional else None
-        )
+        payload = None
+        if self.node.functional:
+            # Chunk-staging copies rebuild their payload against the same
+            # staging destination; regular copies target the analyzer's
+            # buffer.
+            if ctx.payload_factory is not None:
+                payload = ctx.payload_factory(new_op)
+            else:
+                payload = self._copy_payload(ctx.datum, new_op)
         replacement = type(cmd)(
             label=f"retry:{cmd.label}",
             payload=payload,
@@ -963,15 +1603,27 @@ class Scheduler:
         for s in node.streams:
             s.commands.clear()
         node.host_time = max(node.host_time, at_time)
+        # Chunk staging pools free themselves through a deferred command
+        # the stream purge just destroyed — force-free every registered
+        # pool set (on the dead device this is accounting hygiene only).
+        for token, (dev, bufs) in list(self._live_chunk_pools.items()):
+            mem = node.devices[dev].memory
+            for b in bufs:
+                mem.free(b)
+            del self._live_chunk_pools[token]
         self.monitor.invalidate_for_recovery((device,))
         self.plans.invalidate_device(device)
         self._peer_cache.clear()
         self.analyzer.drop_device(device)
         # Re-segmenting over the survivors grows their requirement boxes;
         # re-analyze every declared task so allocations are resized before
-        # resubmission (growth preserves surviving contents).
+        # resubmission (growth preserves surviving contents). The grown
+        # boxes may no longer fit next to evictable leftovers — the OOM
+        # handler frees those rather than failing the recovery.
         for t in self._analyzed:
-            self.analyzer.ensure(t, self._alive)
+            self.analyzer.ensure(
+                t, self._alive, oom_handler=self._recovery_oom
+            )
 
     def _resubmit(self) -> None:
         """Re-issue incomplete tasks and gathers in submission order."""
@@ -984,6 +1636,11 @@ class Scheduler:
                 try:
                     plan = self._lookup_or_build(task)
                     self._replay(task, plan, handle=entry)
+                except _RescheduleError:
+                    # A settle inside the replay retired another device;
+                    # the nested recovery already resubmitted every
+                    # incomplete entry over the new alive set.
+                    return
                 except SchedulingError as e:
                     # A needed input segment has no surviving replica: the
                     # fault destroyed data that was never checkpointed.
@@ -1037,12 +1694,19 @@ class Scheduler:
             )
             if not writes:
                 continue
-            try:
-                plan = self._lookup_or_build(task)
-                self._replay(task, plan, handle=entry)
-            except SchedulingError:
-                return False
-            return True
+            while True:
+                try:
+                    plan = self._lookup_or_build(task)
+                    self._replay(task, plan, handle=entry)
+                except _RescheduleError:
+                    # Nested recovery shrank the alive set mid-replay; the
+                    # producer (complete in the log, so skipped by the
+                    # nested resubmission) still needs this recompute —
+                    # retry it over the survivors.
+                    continue
+                except SchedulingError:
+                    return False
+                return True
         return False
 
     def _prune_log(self) -> None:

@@ -49,6 +49,38 @@ class AllocationError(MapsError):
         self.injected = injected
 
 
+class CapacityError(AllocationError):
+    """Device memory is oversubscribed beyond what graceful degradation can
+    absorb (DESIGN.md §10).
+
+    Raised only after the escalation ladder is exhausted: replica eviction
+    could not make room and even maximal chunking (one thread-block row
+    group per chunk) leaves an irreducible footprint — e.g. a full
+    Traversal/``Block2DTransposed`` input every chunk must hold — that
+    exceeds the device's capacity.
+
+    Attributes:
+        datum: Name of the datum dominating the irreducible footprint.
+        required: Smallest achievable footprint in bytes (staging for the
+            most aggressive chunking that is still semantically possible).
+        capacity: The device's total memory capacity in bytes.
+        device: Device index (inherited from :class:`AllocationError`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        datum: str | None = None,
+        required: int = 0,
+        capacity: int = 0,
+        device: int | None = None,
+    ):
+        super().__init__(message, device=device, injected=False)
+        self.datum = datum
+        self.required = required
+        self.capacity = capacity
+
+
 class SchedulingError(MapsError):
     """Scheduler invariant violated (bad task, unknown handle, ...)."""
 

@@ -210,11 +210,12 @@ class SimNode:
         return self.run()
 
     def memory_report(self) -> dict[int, dict[str, int]]:
-        """Per-device memory accounting (used, peak, allocation calls)."""
+        """Per-device memory accounting (used, peak, free, alloc calls)."""
         return {
             d.index: {
                 "used": d.memory.used,
                 "peak": d.memory.peak,
+                "free": d.memory.free_bytes,
                 "alloc_calls": d.memory.alloc_calls,
             }
             for d in self.devices
