@@ -49,12 +49,16 @@ from repro.core.unmodified import RoutineContext, make_routine
 from repro.errors import (
     AllocationError,
     AnalysisError,
+    CapacityError,
     DeadlockError,
+    DeviceError,
     DeviceFault,
     MapsError,
     PatternMismatchError,
     SchedulingError,
     SimulationError,
+    StragglerAlarm,
+    StragglerTimeoutError,
     TransientTransferError,
     UnrecoverableError,
 )
@@ -114,10 +118,14 @@ __all__ = [
     "PatternMismatchError",
     "AnalysisError",
     "AllocationError",
+    "CapacityError",
     "SchedulingError",
     "SimulationError",
     "DeadlockError",
+    "DeviceError",
     "DeviceFault",
+    "StragglerAlarm",
+    "StragglerTimeoutError",
     "TransientTransferError",
     "UnrecoverableError",
     "FaultPlan",

@@ -40,6 +40,11 @@ from repro.bench.sanitize import (
     sanitize_report,
     write_sanitize_json,
 )
+from repro.bench.stragglers import (
+    measure_stragglers,
+    stragglers_report,
+    write_stragglers_json,
+)
 from repro.hardware import GTX_780, PAPER_GPUS
 
 
@@ -196,6 +201,19 @@ def main(argv: list[str] | None = None) -> int:
         help="output path for --pressure results (default: %(default)s)",
     )
     parser.add_argument(
+        "--stragglers",
+        action="store_true",
+        help="measure straggler mitigation (device 1 computing 1.5x/2x/4x "
+        "slower, plus a transient scenario; unmitigated vs mitigated) and "
+        "write BENCH_stragglers.json",
+    )
+    parser.add_argument(
+        "--stragglers-json",
+        default="BENCH_stragglers.json",
+        metavar="PATH",
+        help="output path for --stragglers results (default: %(default)s)",
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help="measure the sanitizer's functional-mode overhead (recording "
@@ -228,6 +246,12 @@ def main(argv: list[str] | None = None) -> int:
         print(pressure_report(results))
         write_pressure_json(results, args.pressure_json)
         print(f"wrote {args.pressure_json}")
+        return 0
+    if args.stragglers:
+        results = measure_stragglers()
+        print(stragglers_report(results))
+        write_stragglers_json(results, args.stragglers_json)
+        print(f"wrote {args.stragglers_json}")
         return 0
     if args.sanitize:
         results = measure_sanitize()

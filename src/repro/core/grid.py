@@ -60,10 +60,41 @@ class Grid:
             raise ValueError("need at least one device")
         nb = self.num_blocks0
         base, extra = divmod(nb, num_devices)
+        counts = [base + (1 if d < extra else 0) for d in range(num_devices)]
+        return self._rects_from_counts(counts)
+
+    def partition_weighted(self, weights: Sequence[float]) -> list[Rect]:
+        """Thread-block split along dimension 0 proportional to per-device
+        ``weights`` (observed relative throughput, DESIGN.md §11).
+
+        Block rows are apportioned by the largest-remainder method — floor
+        of each device's proportional share, leftovers to the largest
+        fractional parts, ties to the lower device index — which is
+        deterministic and degenerates to :meth:`partition` for equal
+        weights. A device may receive zero rows (empty rect).
+        """
+        if not weights:
+            raise ValueError("need at least one device")
+        if any(w < 0 for w in weights):
+            raise ValueError(f"weights must be >= 0, got {list(weights)}")
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ValueError("at least one weight must be positive")
+        nb = self.num_blocks0
+        raw = [nb * w / total for w in weights]
+        counts = [int(r) for r in raw]
+        leftover = nb - sum(counts)
+        order = sorted(
+            range(len(weights)), key=lambda d: (counts[d] - raw[d], d)
+        )
+        for d in order[:leftover]:
+            counts[d] += 1
+        return self._rects_from_counts(counts)
+
+    def _rects_from_counts(self, counts: Sequence[int]) -> list[Rect]:
         rects = []
         start = 0
-        for d in range(num_devices):
-            count = base + (1 if d < extra else 0)
+        for count in counts:
             b0 = min(start * self.block0, self.shape[0])
             e0 = min((start + count) * self.block0, self.shape[0])
             start += count

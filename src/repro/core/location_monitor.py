@@ -256,6 +256,27 @@ class LocationMonitor:
                     break
         return found + host
 
+    def ready_replicas(
+        self,
+        datum: "Datum",
+        actual: Rect,
+        exclude: Iterable[int] = (),
+        dead: Iterable[int] = (),
+    ) -> list[tuple[int, Optional[Event]]]:
+        """Like :meth:`replicas`, but only instances whose producer event
+        has already recorded, on locations not in ``dead``.
+
+        A yet-unrecorded producer may itself (transitively) wait on the
+        consumer the caller is about to re-route, and waiting on it would
+        deadlock — so transfer retries, hedged transfers and speculative
+        re-execution (DESIGN.md §11) all draw from this restricted set.
+        """
+        return [
+            (loc, ev)
+            for loc, ev in self.replicas(datum, actual, exclude)
+            if (ev is None or ev.recorded) and loc not in dead
+        ]
+
     # -- memory pressure (DESIGN.md §10) ---------------------------------------
     def has_partial_on(self, datum: "Datum", device: int) -> bool:
         """Whether the device holds an unaggregated partial of the datum.

@@ -43,19 +43,27 @@ class MemoryAnalyzer:
 
     # -- analysis -------------------------------------------------------------
     def analyze(
-        self, task: Task, devices: tuple[int, ...] | None = None
+        self,
+        task: Task,
+        devices: tuple[int, ...] | None = None,
+        weights: tuple[int, ...] | None = None,
     ) -> None:
         """Fold one task's per-device requirements into the boxes.
 
         ``devices`` is the alive device set the task is segmented across
-        (default: all of the node's devices). Must be called (via
-        ``Scheduler.AnalyzeCall``) before any dependent invocation;
+        (default: all of the node's devices); ``weights`` selects the
+        ratio-aware split of the straggler feedback loop (DESIGN.md §11)
+        and must match the segmentation the plan will use. Must be called
+        (via ``Scheduler.AnalyzeCall``) before any dependent invocation;
         invoking an unanalyzed task raises
         :class:`~repro.errors.AnalysisError`.
         """
         if devices is None:
             devices = tuple(range(self.node.num_gpus))
-        partition = task.grid.partition(len(devices))
+        if weights is None:
+            partition = task.grid.partition(len(devices))
+        else:
+            partition = task.grid.partition_weighted(weights)
         for device, work_rect in zip(devices, partition):
             if work_rect.empty:
                 continue
@@ -127,6 +135,7 @@ class MemoryAnalyzer:
         task: Task,
         devices: tuple[int, ...] | None = None,
         oom_handler=None,
+        weights: tuple[int, ...] | None = None,
     ) -> None:
         """Analyze a task at invocation time, growing any live allocation
         whose bounding box expanded (the §8 "automated memory analysis"
@@ -141,7 +150,11 @@ class MemoryAnalyzer:
         grow (the handler evicted this very buffer; it will be re-staged
         lazily), anything else must raise.
         """
-        self.analyze(task, devices)
+        self.analyze(task, devices, weights=weights)
+        self._grow_buffers(oom_handler)
+
+    def _grow_buffers(self, oom_handler=None) -> None:
+        """Grow every live buffer whose analyzed box expanded."""
         for key, buf in list(self._buffers.items()):
             while True:
                 if self._buffers.get(key) is not buf:
@@ -172,6 +185,29 @@ class MemoryAnalyzer:
                 memory.free(buf)
                 self._buffers[key] = grown
                 break
+
+    def absorb(self, datum: "Datum", device: int, rect: Rect) -> None:
+        """Widen the (datum, device) box to cover ``rect`` and grow any
+        live buffer accordingly (contents preserved).
+
+        Used by speculative segment re-execution (DESIGN.md §11): the
+        alternate device must hold the lagging device's inputs and outputs
+        before it can recompute that segment. Raises
+        :class:`~repro.errors.AllocationError` when the device cannot fit
+        the widened box — the caller abandons the speculation.
+        """
+        self._merge(datum, device, rect)
+        key = (id(datum), device)
+        buf = self._buffers.get(key)
+        box = self._boxes[key]
+        if buf is None or buf.rect.contains(box):
+            return
+        memory = self.node.devices[device].memory
+        grown = memory.allocate(device, box, buf.dtype)
+        if grown.data is not None and buf.data is not None:
+            grown.view(buf.rect)[...] = buf.data
+        memory.free(buf)
+        self._buffers[key] = grown
 
     def evict(self, datum: "Datum", device: int) -> int:
         """Free the datum's buffer on the device, keeping the analyzed box

@@ -79,15 +79,29 @@ def _device_tuple(devices: "int | tuple[int, ...]") -> tuple[int, ...]:
     return tuple(devices)
 
 
-def task_signature(task: "Task", devices: "int | tuple[int, ...]") -> tuple:
-    """The plan-cache key for one task submission (see module docstring)."""
-    return (
+def task_signature(
+    task: "Task",
+    devices: "int | tuple[int, ...]",
+    weights: "tuple[int, ...] | None" = None,
+) -> tuple:
+    """The plan-cache key for one task submission (see module docstring).
+
+    ``weights`` is the quantized per-device throughput-ratio vector the
+    straggler-feedback loop segments by (DESIGN.md §11); it is part of the
+    key, so plans built for a different observed ratio are re-keyed, never
+    replayed — a plan cached under the even split (``weights=None``) is
+    re-hit as soon as the node heals.
+    """
+    sig = (
         id(task.kernel),
         task.grid.shape,
         task.grid.block0,
         _device_tuple(devices),
         tuple(container_signature(c) for c in task.containers),
     )
+    if weights is not None:
+        sig += (tuple(weights),)
+    return sig
 
 
 def freeze_constants(constants: Mapping[str, Any]) -> tuple | None:
@@ -173,24 +187,30 @@ COPY_MEMO_LIMIT = 512
 
 
 def build_plan(task: "Task", devices: "int | tuple[int, ...]", analyzer=None,
-               peers_of=None) -> TaskPlan:
+               peers_of=None, weights=None) -> TaskPlan:
     """Compute a task's invocation plan (the slow path, run once per
     signature).
 
     ``devices`` is the alive device set the work is segmented across (an
     int means the first N devices). Pure geometry: partitions the grid and
     evaluates every container's ``required``/``owned`` rects per active
-    device. When ``analyzer`` is given, each rect is validated against the
-    analyzed allocation boxes (``check_within``) so replays can skip
-    re-validation. No commands are enqueued and no monitor state is
-    touched.
+    device. With ``weights`` (the quantized observed-throughput ratio
+    vector, aligned with ``devices``), the grid is split proportionally
+    instead of evenly — the ratio-aware segmenter of the straggler
+    feedback loop (DESIGN.md §11). When ``analyzer`` is given, each rect
+    is validated against the analyzed allocation boxes (``check_within``)
+    so replays can skip re-validation. No commands are enqueued and no
+    monitor state is touched.
     """
     devices = _device_tuple(devices)
     try:
-        signature = task_signature(task, devices)
+        signature = task_signature(task, devices, weights)
     except Uncacheable:
         signature = ()  # plan still usable once; callers won't store it
-    partition = task.grid.partition(len(devices))
+    if weights is None:
+        partition = task.grid.partition(len(devices))
+    else:
+        partition = task.grid.partition_weighted(weights)
     active = tuple(
         d for d, w in zip(devices, partition) if not w.empty
     )
@@ -433,14 +453,17 @@ class PlanCache:
         return len(self._plans)
 
     def lookup(
-        self, task: "Task", devices: "int | tuple[int, ...]"
+        self,
+        task: "Task",
+        devices: "int | tuple[int, ...]",
+        weights: "tuple[int, ...] | None" = None,
     ) -> TaskPlan | None:
         """The cached plan for ``task``'s signature, or None."""
         if not self.enabled:
             self.misses += 1
             return None
         try:
-            key = task_signature(task, devices)
+            key = task_signature(task, devices, weights)
         except Uncacheable:
             self.bypasses += 1
             return None

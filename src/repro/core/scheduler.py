@@ -59,13 +59,15 @@ from repro.errors import (
     CapacityError,
     DeviceFault,
     SchedulingError,
+    StragglerAlarm,
+    StragglerTimeoutError,
     TransientTransferError,
     UnrecoverableError,
 )
 from repro.hardware.topology import HOST
 from repro.patterns.base import Aggregation, InputContainer, OutputContainer
 from repro.patterns.output_patterns import combine
-from repro.sim.commands import Event, EventWait
+from repro.sim.commands import Event, EventRecord, EventWait
 from repro.sim.memory import DeviceBuffer
 from repro.sim.trace import TraceRecord
 from repro.utils.rect import Rect
@@ -99,6 +101,26 @@ class _TransferContext:
     done_event: Optional[Event]
     attempt: int = 0
     payload_factory: Any = None
+    #: Set once the straggler watchdog alarmed on this copy; a hedged or
+    #: declined transfer runs to completion without re-alarming.
+    alarmed: bool = False
+
+
+@dataclass
+class _KernelOrigin:
+    """Provenance attached to a per-segment KernelLaunch (``cmd.origin``)
+    when straggler mitigation is on, so the watchdog's
+    :class:`~repro.errors.StragglerAlarm` carries enough context to
+    speculatively re-execute the segment on an idle device (DESIGN.md
+    §11). ``dev_events`` is the replay's shared device -> completion-event
+    map (fully populated before any wait can alarm)."""
+
+    task: Task
+    plan: TaskPlan
+    device: int
+    dev_events: dict
+    num_active: int
+    alarmed: bool = False
 
 
 @dataclass
@@ -200,6 +222,24 @@ class Scheduler:
         #: whatever is still registered here.
         self._live_chunk_pools: dict[int, tuple[int, list[DeviceBuffer]]] = {}
         self._pool_tokens = 0
+        # Straggler mitigation (DESIGN.md §11) — strictly opt-in via
+        # FaultPlan.mitigate_stragglers; with it off, no observer is
+        # installed, no origin provenance is attached, and the scheduler's
+        # command stream is byte-identical to a build without this feature.
+        fp = node.faults
+        self._mitigation = fp is not None and fp.mitigate_stragglers
+        #: device -> EWMA of observed/calibrated kernel duration ratio.
+        self._ewma_c: dict[int, float] = {}
+        #: (src, dst) -> EWMA of observed/calibrated transfer ratio
+        #: (diagnostics; deliberately not folded into segment weights, as
+        #: a degraded shared link would taint healthy endpoints).
+        self._ewma_t: dict[tuple[int, int], float] = {}
+        #: Current quantized throughput weights (None = even split).
+        self._weights: tuple[int, ...] | None = None
+        #: device -> dedicated speculation stream (created lazily).
+        self._spec_streams: dict[int, Any] = {}
+        if self._mitigation:
+            node.engine.observer = self._observe
 
     @property
     def alive_devices(self) -> tuple[int, ...]:
@@ -218,7 +258,8 @@ class Scheduler:
         per-device allocations (§4.2). Accepts the same parameters as
         :meth:`invoke`."""
         task = Task(kernel, containers, grid, constants)
-        self.analyzer.analyze(task, self._alive)
+        self._refresh_weights()
+        self.analyzer.analyze(task, self._alive, weights=self._weights)
         self._analyzed.append(task)
         self.node.host_advance(self.node.interconnect.scheduler_container_overhead)
         return task
@@ -320,6 +361,8 @@ class Scheduler:
                 t = self.node.run()
             except TransientTransferError as f:
                 self._retry_transfer(f)
+            except StragglerAlarm as a:
+                self._mitigate(a)
             except DeviceFault as f:
                 self._recover(f.device, f.time)
             else:
@@ -349,6 +392,8 @@ class Scheduler:
                 return self.node.run_until(handle.events)
             except TransientTransferError as f:
                 self._retry_transfer(f)
+            except StragglerAlarm as a:
+                self._mitigate(a)
             except DeviceFault as f:
                 self._recover(f.device, f.time)
 
@@ -381,16 +426,18 @@ class Scheduler:
                 self._recover(e.device, self.node.time)
 
     def _lookup_or_build(self, task: Task) -> TaskPlan:
-        plan = self.plans.lookup(task, self._alive)
+        self._refresh_weights()
+        plan = self.plans.lookup(task, self._alive, weights=self._weights)
         if plan is None:
             # Slow path: runs once per task signature (or every time with
             # the cache disabled). The implicit analysis must precede plan
             # construction, which validates rects against analyzed boxes.
             if self.auto_analyze:
-                self.analyzer.ensure(task, self._alive)
+                self.analyzer.ensure(task, self._alive, weights=self._weights)
             plan = build_plan(
                 task, self._alive,
                 analyzer=self.analyzer, peers_of=self._peers,
+                weights=self._weights,
             )
             if not plan.active:
                 raise SchedulingError(f"task {task.name} has an empty grid")
@@ -512,10 +559,16 @@ class Scheduler:
             payload = self._kernel_payload(
                 task, d, dplans[d].work_rect, num_active, race_pool
             )
-            node.launch_kernel(
+            kcmd = node.launch_kernel(
                 stream, durations[d], payload, label=f"{task.name}@gpu{d}"
             )
             ev = node.record_event(stream, f"{task.name}@gpu{d}")
+            if self._mitigation:
+                # dev_events is shared by reference; it is fully populated
+                # before any wait can surface an alarm for this replay.
+                kcmd.origin = _KernelOrigin(
+                    task, plan, d, dev_events, num_active
+                )
             new_events.append(ev)
             dev_events[d] = ev
 
@@ -583,6 +636,62 @@ class Scheduler:
             plan.durations[key] = durations
         return durations
 
+    # -- straggler feedback (DESIGN.md §11) -----------------------------------------
+    def _observe(
+        self, kind: str, where, nominal: float, actual: float
+    ) -> None:
+        """Engine dispatch hook: fold one observed/calibrated duration
+        ratio into the per-device (kernel) or per-route (transfer) EWMA.
+        Runs in simulated-dispatch order, so the estimate stream — and
+        everything derived from it — is deterministic under a fixed seed.
+        """
+        if nominal <= 0.0:
+            return
+        ratio = actual / nominal
+        a = self.node.faults.ewma_alpha
+        table = self._ewma_c if kind == "kernel" else self._ewma_t
+        prev = table.get(where)
+        table[where] = ratio if prev is None else prev + a * (ratio - prev)
+
+    def _current_weights(self) -> tuple[int, ...] | None:
+        """Quantized per-device throughput weights from the compute EWMA.
+
+        Returns None — the even-split default, byte-identical to a run
+        without mitigation — until observed throughput diverges from the
+        calibration by more than ``rebalance_threshold``. Weights are
+        relative speeds (1/slowdown) quantized to integers in 1..16 so the
+        plan-cache key stays stable across jittery estimates and re-hits
+        the even-split plans after a transient straggler heals.
+        """
+        if not self._mitigation:
+            return None
+        fp = self.node.faults
+        slowdowns = [max(self._ewma_c.get(d, 1.0), 1e-9) for d in self._alive]
+        if max(slowdowns) < 1.0 + fp.rebalance_threshold:
+            return None
+        speeds = [1.0 / s for s in slowdowns]
+        m = max(speeds)
+        q = tuple(max(1, round(16.0 * sp / m)) for sp in speeds)
+        if len(set(q)) == 1:
+            return None
+        return q
+
+    def _refresh_weights(self) -> None:
+        """Re-derive segment weights from the EWMAs; on change, re-analyze
+        every declared task under the new split so allocations cover the
+        shifted segments before the next plan build (growth preserves
+        contents, exactly as after fault recovery)."""
+        if not self._mitigation:
+            return
+        w = self._current_weights()
+        if w == self._weights:
+            return
+        self._weights = w
+        for t in self._analyzed:
+            self.analyzer.ensure(
+                t, self._alive, oom_handler=self._recovery_oom, weights=w
+            )
+
     # -- memory pressure (DESIGN.md §10) --------------------------------------------
     def _settle(self) -> None:
         """Drain every queued command before mutating residency.
@@ -596,6 +705,8 @@ class Scheduler:
                 self.node.run()
             except TransientTransferError as f:
                 self._retry_transfer(f)
+            except StragglerAlarm as a:
+                self._mitigate(a)
             except DeviceFault as f:
                 self._recover(f.device, f.time)
             else:
@@ -1164,13 +1275,18 @@ class Scheduler:
             self._peer_cache[device] = peers
         return peers
 
-    def _enqueue_copy(self, datum: Datum, op: CopyOp) -> Event:
-        """Queue one segment copy on the appropriate copy stream."""
+    def _enqueue_copy(
+        self, datum: Datum, op: CopyOp, stream=None
+    ) -> Event:
+        """Queue one segment copy on the appropriate copy stream (or an
+        explicit ``stream`` — speculation routes its staging and commit
+        copies through a dedicated stream, see :meth:`_spec_stream`)."""
         node = self.node
-        if op.src == HOST:
-            stream = self._copy_in[op.dst]
-        else:
-            stream = self._copy_out[op.src]
+        if stream is None:
+            if op.src == HOST:
+                stream = self._copy_in[op.dst]
+            else:
+                stream = self._copy_out[op.src]
         if op.wait is not None:
             node.wait_event(stream, op.wait)
         nbytes = op.actual.size * datum.dtype.itemsize
@@ -1488,6 +1604,321 @@ class Scheduler:
         return hev
 
     # -- fault recovery (DESIGN.md §8) ---------------------------------------------
+    # -- straggler mitigation (DESIGN.md §11) -----------------------------------
+    def _mitigate(self, alarm: StragglerAlarm) -> None:
+        """React to a watchdog alarm: speculatively re-execute a lagging
+        kernel segment on an idle device, or hedge a transfer stuck behind
+        a degraded route from an alternate replica.
+
+        The host notices at the watchdog deadline, so the host clock is
+        advanced there first — every mitigation command submitted below
+        carries the deadline as its ``earliest_start`` (recovery does the
+        same with the fault time).
+        """
+        node = self.node
+        node.host_time = max(node.host_time, alarm.time)
+        # The projection itself is a throughput observation: a speculated
+        # (cancelled) kernel never dispatches, so without this the
+        # feedback loop would never learn about the straggler it keeps
+        # paying to work around.
+        if alarm.kind == "kernel":
+            self._observe(
+                "kernel", alarm.device, alarm.nominal,
+                alarm.projected_end - alarm.start,
+            )
+            self._speculate_kernel(alarm)
+        else:
+            cmd = alarm.command
+            self._observe(
+                "memcpy", (cmd.src, cmd.dst), alarm.nominal,
+                alarm.projected_end - alarm.start,
+            )
+            self._hedge_transfer(alarm)
+
+    def _run_slow(self, alarm: StragglerAlarm) -> None:
+        """Decline mitigation: re-queue the popped command untouched. Its
+        origin is marked alarmed, so it runs (slowly) to completion, and
+        its timeline is exactly what an unmitigated run would produce."""
+        alarm.stream.commands.appendleft(alarm.command)
+
+    def _spec_stream(self, device: int):
+        """A dedicated per-device stream for speculative re-execution.
+
+        Speculation commands must not queue behind unrelated work on the
+        device's regular streams: an already-queued copy there may wait on
+        the very completion event whose recording the speculation gates
+        (the commit publication), which would deadlock the stream."""
+        s = self._spec_streams.get(device)
+        if s is None:
+            s = self.node.new_stream(device, "spec", f"gpu{device}.spec")
+            self._spec_streams[device] = s
+        return s
+
+    def _pick_alternate(
+        self, alarm: StragglerAlarm
+    ) -> Optional[tuple[int, float]]:
+        """The device to re-execute a lagging segment on, with the time it
+        is (estimated to be) free.
+
+        Eligible peers are alive, active in the same plan, and have
+        nothing queued on their compute stream beyond their own segment:
+        later queued work was planned without knowledge of the speculation
+        and could clobber the staged inputs. A peer whose own segment is
+        still in flight is usable — the watchdog alarm surfaces at
+        dispatch, which is earlier in dispatch order than the peers'
+        completions even though the modelled reaction time (the deadline)
+        is later — with its completion estimated from the plan's
+        calibrated duration. Earliest-free wins; ties go to the lowest
+        device index."""
+        origin = alarm.command.origin
+        node = self.node
+        durations = self._durations(origin.task, origin.plan)
+        cands = []
+        for o in origin.plan.active:
+            if o == origin.device or o not in self._alive \
+                    or o in node.engine.dead:
+                continue
+            ev = origin.dev_events.get(o)
+            if ev is None:
+                continue
+            cmds = self._compute[o].commands
+            if ev.recorded:
+                if cmds:
+                    continue
+                done = ev.recorded_at
+            else:
+                if not cmds or not (
+                    isinstance(cmds[-1], EventRecord)
+                    and cmds[-1].event is ev
+                ):
+                    continue
+                done = alarm.start + durations[o] * max(
+                    1.0, self._ewma_c.get(o, 1.0)
+                )
+            cands.append((done, o))
+        if not cands:
+            return None
+        done, alt = min(cands)
+        return alt, done
+
+    def _estimate_speculation(
+        self, alarm: StragglerAlarm, alt: int, alt_ready: float,
+        staging: list,
+    ) -> float:
+        """Deterministic completion estimate of re-executing the slow
+        segment on ``alt``: staging the missing inputs, the kernel at the
+        alternate's calibrated (EWMA-corrected) speed, and the commit
+        copies back to the slow device — serialized, as the speculation
+        stream runs them in order. Compared by the caller against letting
+        the straggler run to ``alarm.projected_end``."""
+        topo = self.node.topology
+        origin = alarm.command.origin
+        dp = origin.plan.device_plans[origin.device]
+        t = max(alarm.time, alt_ready)
+        for datum, op in staging:
+            nbytes = op.actual.size * datum.dtype.itemsize
+            t += topo.transfer_time(nbytes, topo.path(op.src, alt)) \
+                * self._ewma_t.get((op.src, alt), 1.0)
+        t += self._chunk_duration(origin.task, alt, dp.work_rect) \
+            * max(1.0, self._ewma_c.get(alt, 1.0))
+        back = self._ewma_t.get((alt, origin.device), 1.0)
+        for i, c in enumerate(origin.task.outputs):
+            rect = dp.output_rects[i]
+            if rect.empty:
+                continue
+            nbytes = rect.size * c.datum.dtype.itemsize
+            t += topo.transfer_time(
+                nbytes, topo.path(alt, origin.device)
+            ) * back
+        return t
+
+    def _speculate_kernel(self, alarm: StragglerAlarm) -> None:
+        """Re-execute a lagging kernel segment on an idle device,
+        first-complete-wins (DESIGN.md §11).
+
+        Commit-copy protocol: the alternate recomputes the slow device's
+        exact segment (same work rect, same ``num_devices`` — bit-identical
+        arithmetic), publishes its outputs in the location monitor
+        (retracting the slow device's optimistic submit-time instances),
+        then copies them into the slow device's buffer. The slow stream's
+        still-queued completion EventRecord is gated on the commit, so
+        already-queued downstream consumers — which wait on that event and
+        whose payloads are bound to the slow device's buffer — stay
+        correct in both data and time; the task handle's events never
+        change. The loser kernel is dropped (its writes were purely
+        simulated-future, so there is nothing to discard)."""
+        node = self.node
+        fp = node.faults
+        monitor = self.monitor
+        origin = alarm.command.origin
+        task, plan, d = origin.task, origin.plan, origin.device
+        dp = plan.device_plans[d]
+        picked = self._pick_alternate(alarm)
+        if (
+            picked is None
+            or fp.speculations_fired >= fp.max_speculations
+            or self.sanitize
+            or any(c.duplicated for c in task.outputs)
+            or any(
+                o.datum is i.datum for o in task.outputs for i in task.inputs
+            )
+        ):
+            # No idle healthy device, budget exhausted, or the task is
+            # outside speculation's envelope (duplicated partials would
+            # double-count; in-place datums could cycle the commit
+            # publication; sanitize-mode race pools need every segment's
+            # recorder): let the straggler run.
+            self._run_slow(alarm)
+            return
+        alt, alt_ready = picked
+        # Staging plan (pure): input pieces the alternate is missing.
+        staging: list[tuple[Datum, CopyOp]] = []
+        for c, req in zip(task.inputs, dp.input_reqs):
+            for op in monitor.compute_copies(
+                c.datum, [a for _, a in req.pieces], alt,
+                prefer=self._peers(alt),
+            ):
+                staging.append((c.datum, op))
+        if any(op.wait is not None and not op.wait.recorded
+               for _, op in staging):
+            # An unrecorded staging producer may transitively wait on this
+            # very segment's completion event — speculating could deadlock.
+            self._run_slow(alarm)
+            return
+        if self._estimate_speculation(alarm, alt, alt_ready, staging) \
+                >= alarm.projected_end:
+            self._run_slow(alarm)
+            return
+        # Grow the alternate's boxes/buffers to cover the slow segment
+        # before touching any shared state: a genuine OOM abandons the
+        # speculation cleanly; an injected one retires the device (the
+        # standard allocation-fault path).
+        try:
+            for c in task.inputs:
+                rect = c.required(task.grid.shape, dp.work_rect).virtual
+                self.analyzer.absorb(c.datum, alt, rect)
+            for i, c in enumerate(task.outputs):
+                self.analyzer.absorb(c.datum, alt, dp.output_rects[i])
+            for c in task.containers:
+                self.analyzer.buffer(c.datum, alt)
+        except AllocationError as e:
+            self._run_slow(alarm)
+            if e.injected:
+                self._recover(e.device, node.time)
+            return
+        fp.speculations_fired += 1
+        stream = self._spec_stream(alt)
+        # Serialize the speculation after the alternate's own segment:
+        # data-wise the two touch disjoint regions, but the explicit wait
+        # keeps the alternate's own completion — which downstream
+        # consumers depend on — first in line for its compute engine.
+        node.wait_event(stream, origin.dev_events[alt])
+        for datum, op in staging:
+            self._enqueue_copy(datum, op, stream=stream)
+        payload = self._kernel_payload(
+            task, alt, dp.work_rect, origin.num_active, None
+        )
+        label = f"spec:{task.name}@gpu{alt}"
+        node.launch_kernel(
+            stream, self._chunk_duration(task, alt, dp.work_rect), payload,
+            label=label,
+        )
+        skev = node.record_event(stream, label)
+        for c in task.inputs:
+            monitor.mark_read(c.datum, alt, skev)
+        commit_evs = []
+        for i, c in enumerate(task.outputs):
+            rect = dp.output_rects[i]
+            if rect.empty:
+                continue
+            monitor.mark_written(c.datum, alt, rect, skev)
+            commit_evs.append(self._enqueue_copy(
+                c.datum, CopyOp(alt, d, rect, skev), stream=stream
+            ))
+        # Gate the slow stream's queued completion EventRecord on the
+        # commit: the event publishes once the buffer is truly up to date.
+        for ev in commit_evs:
+            alarm.stream.commands.appendleft(EventWait(
+                label=f"wait:{ev.label}",
+                earliest_start=alarm.time,
+                event=ev,
+            ))
+
+    def _hedge_transfer(self, alarm: StragglerAlarm) -> None:
+        """Re-route a transfer stuck behind a degraded link: once the
+        hedging deadline passes, re-issue it from an alternate ready
+        replica (DESIGN.md §11). With no alternate (or no budget) the slow
+        transfer runs to completion; with neither, the typed
+        :class:`~repro.errors.StragglerTimeoutError` tells the application
+        the route is degraded beyond the mitigation budget."""
+        node = self.node
+        fp = node.faults
+        cmd, stream = alarm.command, alarm.stream
+        ctx = cmd.origin
+        op = ctx.op if ctx is not None else None
+        alt = None
+        if op is not None:
+            ready = self.monitor.ready_replicas(
+                ctx.datum, op.actual, exclude=(op.src,),
+                dead=node.engine.dead,
+            )
+            if ready:
+                alt = ready[0]
+        has_budget = fp.hedges_fired < fp.max_speculations
+        if alt is None and not has_budget:
+            raise StragglerTimeoutError(
+                f"transfer {cmd.label!r} projected "
+                f"{alarm.projected_end - alarm.start:.3g}s against "
+                f"{alarm.nominal:.3g}s calibrated; no alternate replica "
+                "exists and the mitigation budget is exhausted",
+                device=alarm.device,
+                time=alarm.time,
+            ) from alarm
+        if alt is not None:
+            # Hedge only when the reroute beats the degraded route's
+            # projection (deterministic estimate, like speculation): the
+            # alternate starts at the hedging deadline and may itself be
+            # running over calibration.
+            topo = node.topology
+            est = alarm.time + topo.transfer_time(
+                cmd.nbytes, topo.path(alt[0], op.dst, cmd.pageable)
+            ) * self._ewma_t.get((alt[0], op.dst), 1.0)
+            if est >= alarm.projected_end:
+                alt = None
+        if alt is None or not has_budget:
+            self._run_slow(alarm)
+            return
+        fp.hedges_fired += 1
+        src, src_ev = alt
+        new_op = CopyOp(src, op.dst, op.actual, src_ev)
+        ctx.op = new_op
+        payload = None
+        if node.functional:
+            if ctx.payload_factory is not None:
+                payload = ctx.payload_factory(new_op)
+            else:
+                payload = self._copy_payload(ctx.datum, new_op)
+        replacement = type(cmd)(
+            label=f"hedge:{cmd.label}",
+            payload=payload,
+            earliest_start=max(cmd.earliest_start, alarm.time),
+            src=src,
+            dst=op.dst,
+            nbytes=cmd.nbytes,
+            pageable=cmd.pageable,
+            extra_latency=cmd.extra_latency,
+            origin=ctx,
+        )
+        stream.commands.appendleft(replacement)
+        if src_ev is not None:
+            stream.commands.appendleft(EventWait(
+                label=f"wait:{src_ev.label}",
+                earliest_start=replacement.earliest_start,
+                event=src_ev,
+            ))
+            if ctx.done_event is not None:
+                self.monitor.mark_read(ctx.datum, src, ctx.done_event)
+
     def _retry_transfer(self, fault: TransientTransferError) -> None:
         """Re-queue a transiently-faulted memcpy after a capped exponential
         backoff in simulated time.
@@ -1516,18 +1947,15 @@ class Scheduler:
         op = ctx.op
         alt = None
         if op is not None:
-            # Only replicas whose producer already ran are eligible: a
-            # yet-unrecorded producer may itself (transitively) wait on
-            # this copy's completion event, and waiting on it would
-            # deadlock. The original route needs no such care — its source
-            # dependency was satisfied before the first attempt.
-            for loc, ev in self.monitor.replicas(
-                ctx.datum, op.actual, exclude=(op.src,)
-            ):
-                if (ev is None or ev.recorded) and \
-                        loc not in self.node.engine.dead:
-                    alt = (loc, ev)
-                    break
+            # Only ready replicas are eligible (see
+            # LocationMonitor.ready_replicas). The original route needs no
+            # such care — its source dependency was satisfied before the
+            # first attempt.
+            ready = self.monitor.ready_replicas(
+                ctx.datum, op.actual, exclude=(op.src,),
+                dead=self.node.engine.dead,
+            )
+            alt = ready[0] if ready else None
         if alt is None:
             cmd.earliest_start = max(cmd.earliest_start, not_before)
             stream.commands.appendleft(cmd)
@@ -1615,6 +2043,12 @@ class Scheduler:
         self.plans.invalidate_device(device)
         self._peer_cache.clear()
         self.analyzer.drop_device(device)
+        # Straggler feedback mentioning the dead device is meaningless
+        # now; re-derive segment weights over the survivors.
+        self._ewma_c.pop(device, None)
+        for key in [k for k in self._ewma_t if device in k]:
+            del self._ewma_t[key]
+        self._weights = self._current_weights()
         # Re-segmenting over the survivors grows their requirement boxes;
         # re-analyze every declared task so allocations are resized before
         # resubmission (growth preserves surviving contents). The grown
@@ -1622,7 +2056,8 @@ class Scheduler:
         # handler frees those rather than failing the recovery.
         for t in self._analyzed:
             self.analyzer.ensure(
-                t, self._alive, oom_handler=self._recovery_oom
+                t, self._alive, oom_handler=self._recovery_oom,
+                weights=self._weights,
             )
 
     def _resubmit(self) -> None:

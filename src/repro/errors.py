@@ -142,6 +142,76 @@ class TransientTransferError(DeviceFault):
         super().__init__(message, **kwargs)
 
 
+class StragglerAlarm(SimulationError):
+    """The progress watchdog fired: a command's projected completion
+    exceeds ``patience`` times its calibrated duration (DESIGN.md §11).
+
+    Raised by the engine at dispatch, *before* the command's functional
+    payload runs — like :class:`DeviceFault`, the command is popped and
+    nothing else has moved, so the scheduler can mitigate (speculatively
+    re-execute the segment elsewhere, hedge the transfer from an alternate
+    replica, or simply re-queue the command and pay the slowdown) and call
+    the engine again. Only ever raised when the fault plan enables
+    mitigation (``FaultPlan.mitigate_stragglers``); it never escapes the
+    scheduler's wait loops.
+
+    Attributes:
+        device: The lagging device.
+        time: The watchdog deadline, ``start + patience * nominal`` —
+            mitigation actions cannot begin before this simulated time.
+        start: The command's would-be dispatch time.
+        nominal: The command's calibrated (un-stretched) duration.
+        projected_end: ``start + stretched duration`` — when the command
+            would complete if left alone (the watchdog's throughput
+            estimate of the degraded device, exact in simulation).
+        command: The command that was about to dispatch (already popped).
+        stream: The stream it was popped from.
+        kind: ``"kernel"`` or ``"transfer"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        device: int | None = None,
+        time: float = 0.0,
+        start: float = 0.0,
+        nominal: float = 0.0,
+        projected_end: float = 0.0,
+        command=None,
+        stream=None,
+        kind: str = "kernel",
+    ):
+        super().__init__(message)
+        self.device = device
+        self.time = time
+        self.start = start
+        self.nominal = nominal
+        self.projected_end = projected_end
+        self.command = command
+        self.stream = stream
+        self.kind = kind
+
+
+class StragglerTimeoutError(SimulationError):
+    """Straggler mitigation gave up on a transfer stuck behind a degraded
+    link: no alternate replica/route exists and the straggler budget
+    (``FaultPlan.max_speculations``) is exhausted (DESIGN.md §11). The
+    application should treat this like an unrecoverable timeout.
+
+    Attributes:
+        device: The degraded device the transfer was pinned to.
+        time: Simulated time of the watchdog deadline that gave up.
+    """
+
+    def __init__(
+        self, message: str, device: int | None = None, time: float = 0.0
+    ):
+        super().__init__(message)
+        self.device = device
+        self.time = time
+
+
 class UnrecoverableError(MapsError):
     """Fault recovery is impossible: no valid replica of a needed segment
     survives (or the last device failed). The application must restart

@@ -43,6 +43,10 @@ class KernelLaunch(Command):
     """A kernel execution on a device's compute engine."""
 
     duration: float = 0.0
+    #: Scheduler-attached provenance (task/segment context) so the
+    #: straggler watchdog can speculatively re-execute a lagging segment
+    #: on another device (DESIGN.md §11). Opaque to the engine.
+    origin: Any = None
 
 
 @dataclass(eq=False, slots=True)

@@ -42,6 +42,7 @@ from repro.errors import (
     DeadlockError,
     DeviceFault,
     SimulationError,
+    StragglerAlarm,
     TransientTransferError,
 )
 from repro.hardware.topology import HOST, NodeTopology, PathSegment
@@ -85,6 +86,11 @@ class Engine:
         self._channel_busy: dict[tuple[int, int], float] = {}
         self.now = 0.0
         self.commands_executed = 0
+        #: Optional throughput observer ``(kind, where, nominal, actual)``
+        #: called at every kernel/memcpy dispatch — the scheduler's EWMA
+        #: feedback loop (DESIGN.md §11). ``where`` is the device for
+        #: kernels, the ``(src, dst)`` pair for transfers.
+        self.observer = None
 
     def _check_dead(
         self, device: int, start: float, cmd: Command, stream: Stream
@@ -229,9 +235,37 @@ class Engine:
             self._check_dead(stream.device, start, cmd, stream)
             duration = cmd.duration
             if self.faults is not None:
-                duration *= self.faults.compute_factor(stream.device)
+                factor = self.faults.compute_factor(stream.device, start)
+                if (
+                    factor >= self.faults.watchdog_patience
+                    and self.faults.mitigate_stragglers
+                    and not getattr(cmd.origin, "alarmed", True)
+                ):
+                    # Progress watchdog (DESIGN.md §11): the kernel's
+                    # projected completion blows the deadline. Like other
+                    # injected faults, the alarm fires before resources
+                    # are occupied or the payload runs — the command is
+                    # popped, nothing else moved — and each command alarms
+                    # at most once (a re-queued loser runs to completion).
+                    cmd.origin.alarmed = True
+                    self.commands_executed -= 1
+                    raise StragglerAlarm(
+                        f"kernel {cmd.label!r} projected {factor:.3g}x over "
+                        f"its calibrated duration at t={start:.6g}",
+                        device=stream.device,
+                        time=start + self.faults.watchdog_patience * duration,
+                        start=start,
+                        nominal=duration,
+                        projected_end=start + factor * duration,
+                        command=cmd,
+                        stream=stream,
+                        kind="kernel",
+                    )
+                duration *= factor
             end = start + duration
             dev.compute.occupy(start, end)
+            if self.observer is not None:
+                self.observer("kernel", stream.device, cmd.duration, duration)
             self._finish(stream, cmd, "kernel", stream.device, start, end)
             return cmd
 
@@ -251,6 +285,36 @@ class Engine:
                 + cmd.extra_latency
             )
             if self.faults is not None:
+                factor = self.faults.transfer_factor(cmd.src, cmd.dst, start)
+                if (
+                    factor >= self.faults.hedge_patience
+                    and self.faults.mitigate_stragglers
+                    and not getattr(cmd.origin, "alarmed", True)
+                ):
+                    # Hedged-transfer watchdog (DESIGN.md §11). Raised
+                    # *before* the stateful transfer_faults_now draw — an
+                    # alarmed attempt never dispatched, so the per-link
+                    # fault counters advance only on the re-dispatch.
+                    cmd.origin.alarmed = True
+                    self.commands_executed -= 1
+                    slow = cmd.src
+                    if self.faults.transfer_factor(
+                        cmd.dst, cmd.dst, start
+                    ) > self.faults.transfer_factor(cmd.src, cmd.src, start):
+                        slow = cmd.dst
+                    raise StragglerAlarm(
+                        f"transfer {cmd.label!r} ({cmd.src}->{cmd.dst}) "
+                        f"projected {factor:.3g}x over its calibrated "
+                        f"duration at t={start:.6g}",
+                        device=slow,
+                        time=start + self.faults.hedge_patience * duration,
+                        start=start,
+                        nominal=duration,
+                        projected_end=start + factor * duration,
+                        command=cmd,
+                        stream=stream,
+                        kind="transfer",
+                    )
                 if self.faults.transfer_faults_now(cmd.src, cmd.dst):
                     # The failed attempt occupies nothing: the error is
                     # detected at start; the retry backoff (simulated
@@ -264,7 +328,12 @@ class Engine:
                         command=cmd,
                         stream=stream,
                     )
-                duration *= self.faults.transfer_factor(cmd.src, cmd.dst)
+                nominal = duration
+                duration *= factor
+                if self.observer is not None:
+                    self.observer(
+                        "memcpy", (cmd.src, cmd.dst), nominal, duration
+                    )
             end = start + duration
             for e in engines:
                 e.occupy(start, end)

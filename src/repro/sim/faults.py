@@ -78,11 +78,20 @@ class AllocFailure:
 class Straggler:
     """Per-device degradation: kernel durations are multiplied by
     ``compute_factor``; transfers touching the device take
-    ``bandwidth_factor`` times longer. Factors must be >= 1."""
+    ``bandwidth_factor`` times longer. Factors must be >= 1.
+
+    ``start``/``end`` bound the degradation's onset window in simulated
+    seconds (half-open, ``start <= t < end``); the defaults cover the
+    whole run, ``end=None`` means "never heals". Transient slowdowns —
+    thermal throttling that clears, a congested link that recovers — are
+    modelled by a finite window; commands dispatched outside it run at
+    full speed."""
 
     device: int
     compute_factor: float = 1.0
     bandwidth_factor: float = 1.0
+    start: float = 0.0
+    end: float | None = None
 
 
 class FaultPlan:
@@ -102,6 +111,28 @@ class FaultPlan:
         retry_cap: Upper bound on a single backoff interval.
         max_retries: Retries per logical transfer before the scheduler
             gives up with :class:`~repro.errors.UnrecoverableError`.
+        mitigate_stragglers: Enable straggler mitigation (DESIGN.md §11):
+            throughput-feedback rebalancing, the progress watchdog with
+            speculative segment re-execution, and hedged transfers. Off
+            by default — stragglers then only stretch the timeline, which
+            is the baseline the mitigation is measured against.
+        watchdog_patience: Deadline factor of the progress watchdog: a
+            kernel whose projected duration exceeds ``patience`` times its
+            calibrated duration raises
+            :class:`~repro.errors.StragglerAlarm` at dispatch, with the
+            deadline ``start + patience * nominal`` as the earliest time
+            mitigation may act.
+        hedge_patience: Same deadline factor for transfers stuck behind a
+            degraded link (hedged-copy path).
+        max_speculations: Straggler budget — total speculative kernel
+            re-executions plus hedged transfers per run. A transfer alarm
+            with no alternate replica *and* an exhausted budget raises
+            :class:`~repro.errors.StragglerTimeoutError`.
+        rebalance_threshold: Minimum observed slowdown (EWMA) divergence
+            before future submissions are re-segmented proportionally to
+            observed throughput (0.25 = rebalance past 1.25x).
+        ewma_alpha: Weight of the newest observation in the scheduler's
+            per-device throughput EWMA.
     """
 
     def __init__(
@@ -115,6 +146,12 @@ class FaultPlan:
         retry_base: float = 1e-5,
         retry_cap: float = 1e-3,
         max_retries: int = 8,
+        mitigate_stragglers: bool = False,
+        watchdog_patience: float = 2.0,
+        hedge_patience: float = 2.0,
+        max_speculations: int = 8,
+        rebalance_threshold: float = 0.25,
+        ewma_alpha: float = 0.8,
     ):
         self.seed = seed
         self.rng = random.Random(seed)
@@ -127,20 +164,41 @@ class FaultPlan:
         self.retry_base = float(retry_base)
         self.retry_cap = float(retry_cap)
         self.max_retries = int(max_retries)
-        self._compute_factor: dict[int, float] = {}
-        self._bandwidth_factor: dict[int, float] = {}
+        self.mitigate_stragglers = bool(mitigate_stragglers)
+        self.watchdog_patience = float(watchdog_patience)
+        self.hedge_patience = float(hedge_patience)
+        self.max_speculations = int(max_speculations)
+        self.rebalance_threshold = float(rebalance_threshold)
+        self.ewma_alpha = float(ewma_alpha)
+        if self.watchdog_patience < 1.0 or self.hedge_patience < 1.0:
+            raise ValueError("straggler patience factors must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        #: device -> onset-windowed degradation entries
+        #: ``(start, end, compute_factor, bandwidth_factor)``.
+        self._stragglers: dict[
+            int, list[tuple[float, float | None, float, float]]
+        ] = {}
         for s in stragglers or []:
             if s.compute_factor < 1.0 or s.bandwidth_factor < 1.0:
                 raise ValueError(
                     f"straggler factors must be >= 1, got {s}"
                 )
-            self._compute_factor[s.device] = s.compute_factor
-            self._bandwidth_factor[s.device] = s.bandwidth_factor
+            if s.end is not None and s.start > s.end:
+                raise ValueError(
+                    f"straggler onset window must have start <= end, got {s}"
+                )
+            self._stragglers.setdefault(s.device, []).append(
+                (s.start, s.end, s.compute_factor, s.bandwidth_factor)
+            )
         #: Per-(src, dst) count of dispatched transfers, for `nth` matching.
         self._link_counts: dict[tuple[int | None, int | None], int] = {}
         #: Diagnostics, also used by `repro.bench --faults` reports.
         self.transfer_faults_fired = 0
         self.alloc_faults_fired = 0
+        #: Mitigation diagnostics (`repro.bench --stragglers` reports).
+        self.speculations_fired = 0
+        self.hedges_fired = 0
 
     # -- permanent failures --------------------------------------------------
     def failure_times(self) -> dict[int, float]:
@@ -152,14 +210,30 @@ class FaultPlan:
         return times
 
     # -- stragglers ----------------------------------------------------------
-    def compute_factor(self, device: int) -> float:
-        return self._compute_factor.get(device, 1.0)
+    def _factor(self, device: int, now: float | None, idx: int) -> float:
+        """Worst active degradation factor (``idx`` selects compute vs
+        bandwidth). ``now=None`` ignores onset windows and returns the
+        worst factor the device ever has (conservative; also the legacy
+        whole-run behaviour for windowless stragglers)."""
+        worst = 1.0
+        for start, end, *factors in self._stragglers.get(device, ()):
+            if now is not None and (
+                now < start or (end is not None and now >= end)
+            ):
+                continue
+            worst = max(worst, factors[idx])
+        return worst
 
-    def transfer_factor(self, src: int, dst: int) -> float:
+    def compute_factor(self, device: int, now: float | None = None) -> float:
+        return self._factor(device, now, 0)
+
+    def transfer_factor(
+        self, src: int, dst: int, now: float | None = None
+    ) -> float:
         """Slowdown of a transfer: the worse of the two endpoints."""
         return max(
-            self._bandwidth_factor.get(src, 1.0),
-            self._bandwidth_factor.get(dst, 1.0),
+            self._factor(src, now, 1),
+            self._factor(dst, now, 1),
         )
 
     # -- transient transfer faults -------------------------------------------

@@ -42,8 +42,28 @@ class TestPublicApi:
         assert issubclass(repro.PatternMismatchError, repro.MapsError)
         assert issubclass(repro.AnalysisError, repro.MapsError)
         assert issubclass(repro.AllocationError, repro.MapsError)
+        assert issubclass(repro.CapacityError, repro.AllocationError)
         assert issubclass(repro.SchedulingError, repro.MapsError)
         assert issubclass(repro.SimulationError, repro.MapsError)
+        assert issubclass(repro.DeviceError, repro.SimulationError)
+        assert issubclass(repro.StragglerTimeoutError, repro.SimulationError)
+
+    def test_every_error_class_is_reexported(self):
+        """Regression: CapacityError/DeviceError were once missing from
+        ``repro.__init__`` — every MapsError subclass defined in
+        ``repro.errors`` must appear in ``repro.__all__`` and resolve to
+        the same class."""
+        import inspect
+
+        import repro.errors as errors
+
+        for name, obj in vars(errors).items():
+            if not inspect.isclass(obj) or obj.__module__ != "repro.errors":
+                continue
+            if not issubclass(obj, errors.MapsError):
+                continue
+            assert name in repro.__all__, f"{name} missing from __all__"
+            assert getattr(repro, name) is obj, name
 
     def test_paper_gpus_tuple(self):
         assert len(repro.PAPER_GPUS) == 3
