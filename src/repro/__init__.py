@@ -53,6 +53,7 @@ from repro.errors import (
     DeadlockError,
     DeviceError,
     DeviceFault,
+    GraphCaptureError,
     MapsError,
     PatternMismatchError,
     SchedulingError,
@@ -120,6 +121,7 @@ __all__ = [
     "AllocationError",
     "CapacityError",
     "SchedulingError",
+    "GraphCaptureError",
     "SimulationError",
     "DeadlockError",
     "DeviceError",

@@ -176,6 +176,15 @@ def main(argv: list[str] | None = None) -> int:
         help="output path for --overhead results (default: %(default)s)",
     )
     parser.add_argument(
+        "--graph-floor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --overhead: fail unless every workload's iteration-graph "
+        "replay speedup over the cached scheduler reaches this factor "
+        "(CI regression gate)",
+    )
+    parser.add_argument(
         "--faults",
         action="store_true",
         help="measure fault-injection recovery overhead (permanent / "
@@ -230,7 +239,7 @@ def main(argv: list[str] | None = None) -> int:
         print("\n".join(sorted(EXPERIMENTS)))
         return 0
     if args.overhead:
-        results = measure_overhead()
+        results = measure_overhead(graph_floor=args.graph_floor)
         print(overhead_report(results))
         write_overhead_json(results, args.overhead_json)
         print(f"wrote {args.overhead_json}")

@@ -54,8 +54,14 @@ def run_gol(
     size: int = PAPER_SIZE,
     iters: int = 10,
     variant: str = "maps_ilp",
+    use_graph: bool = False,
 ) -> float:
-    """Steady-state seconds per Game-of-Life tick over MAPS-Multi."""
+    """Steady-state seconds per Game-of-Life tick over MAPS-Multi.
+
+    With ``use_graph`` the steady-state loop is captured once as an
+    iteration graph (DESIGN.md §12) and replayed as a macro-command —
+    same simulated timeline, an order of magnitude less host work.
+    """
     node = SimNode(spec, num_gpus, functional=False)
     sched = Scheduler(node)
     a = Matrix(size, size, np.int32, "A")
@@ -67,9 +73,23 @@ def run_gol(
     sched.invoke(kernel, *gol_containers(a, b, variant))
     sched.wait_all()
     t0 = node.time
-    for i in range(iters):
-        src, dst = (b, a) if i % 2 == 0 else (a, b)
-        sched.invoke(kernel, *gol_containers(src, dst, variant))
+    if use_graph and iters >= 3:
+        # Tick 0 (eager) finishes distributing B; ticks 1-2 are then one
+        # steady-state ping-pong period — capture it, replay the rest,
+        # finish any odd tick eagerly.
+        sched.invoke(kernel, *gol_containers(b, a, variant))
+        periods, extra = divmod(iters - 3, 2)
+        with sched.capture() as g:
+            sched.invoke(kernel, *gol_containers(a, b, variant))
+            sched.invoke(kernel, *gol_containers(b, a, variant))
+        if periods:
+            g.launch(periods)
+        for i in range(extra):
+            sched.invoke(kernel, *gol_containers(a, b, variant))
+    else:
+        for i in range(iters):
+            src, dst = (b, a) if i % 2 == 0 else (a, b)
+            sched.invoke(kernel, *gol_containers(src, dst, variant))
     sched.wait_all()
     return (node.time - t0) / iters
 
@@ -97,6 +117,7 @@ def run_histogram(
     size: int = PAPER_SIZE,
     bins: int = PAPER_BINS,
     iters: int = 10,
+    use_graph: bool = False,
 ) -> float:
     """Seconds per 256-bin histogram of a resident size^2 8-bit image,
     including the partial-result aggregation."""
@@ -125,8 +146,16 @@ def run_histogram(
     # The measured loop is kernel throughput (§5.1: the histogram requires
     # no inter-GPU communication); the 1 KiB partial aggregation happens
     # once at the end and is amortized.
-    for _ in range(iters):
-        invoke(kernel, *containers, grid=grid)
+    if use_graph and iters >= 1:
+        # Every invocation is identical (no ping-pong): the period is a
+        # single invoke.
+        with sched.capture() as g:
+            invoke(kernel, *containers, grid=grid)
+        if iters > 1:
+            g.launch(iters - 1)
+    else:
+        for _ in range(iters):
+            invoke(kernel, *containers, grid=grid)
     sched.gather(hist)
     return (node.time - t0) / iters
 
@@ -144,6 +173,7 @@ def run_gemm_chain(
     num_gpus: int,
     size: int = PAPER_SIZE,
     chain: int = 10,
+    use_graph: bool = False,
 ) -> float:
     """Steady-state seconds per multiplication in a chain
     X_{i+1} = X_i @ B of size^2 matrices (the §5.4 workload), running
@@ -160,9 +190,22 @@ def run_gemm_chain(
     sched.invoke_unmodified(gemm, *sgemm_containers(x, b, y))
     sched.wait_all()
     t0 = node.time
-    for i in range(chain):
-        src, dst = (y, x) if i % 2 == 0 else (x, y)
-        sched.invoke_unmodified(gemm, *sgemm_containers(src, b, dst))
+    if use_graph and chain >= 3:
+        # Multiplication 0 (eager) finishes distributing the second
+        # operand; 1-2 are then one steady-state period.
+        sched.invoke_unmodified(gemm, *sgemm_containers(y, b, x))
+        periods, extra = divmod(chain - 3, 2)
+        with sched.capture() as g:
+            sched.invoke_unmodified(gemm, *sgemm_containers(x, b, y))
+            sched.invoke_unmodified(gemm, *sgemm_containers(y, b, x))
+        if periods:
+            g.launch(periods)
+        for i in range(extra):
+            sched.invoke_unmodified(gemm, *sgemm_containers(x, b, y))
+    else:
+        for i in range(chain):
+            src, dst = (y, x) if i % 2 == 0 else (x, y)
+            sched.invoke_unmodified(gemm, *sgemm_containers(src, b, dst))
     sched.wait_all()
     return (node.time - t0) / chain
 

@@ -17,6 +17,15 @@ honest "recompute everything per invocation" scheduler.
 Both modes must produce identical simulated timelines and identical
 command streams; the benchmark asserts this (``sim_time`` and
 ``commands`` equality) rather than trusting it.
+
+On top of the cached scheduler, a third rung measures iteration-graph
+replay (DESIGN.md §12): one steady-state period of each workload is
+captured with ``sched.capture()`` and the remaining iterations are
+replayed with ``graph.launch(n)`` as a single macro-command. Because the
+capture boundaries insert drain barriers that an uninterrupted eager loop
+would not have, the graph run is checked bit-for-bit against a "twin" —
+an eager cached run with ``wait_all`` calls at exactly the capture/launch
+points — rather than against the plain cached run.
 """
 
 from __future__ import annotations
@@ -45,10 +54,14 @@ ITERS = 100
 REPEATS = 3
 NUM_GPUS = 4
 
+#: Measurement modes, cheapest host path last. ``twin`` is the eager
+#: bit-identity reference for ``graph`` (same wait_all sync structure).
+MODES = ("uncached", "cached", "twin", "graph")
 
-def _run_gol(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
+
+def _run_gol(mode: str, spec: GPUSpec, size: int, iters: int) -> dict:
     node = SimNode(spec, NUM_GPUS, functional=False)
-    sched = Scheduler(node, plan_cache=plan_cache)
+    sched = Scheduler(node, plan_cache=mode != "uncached")
     kernel = make_gol_kernel()
     a = Matrix(size, size, np.uint8, "gol_a")
     b = Matrix(size, size, np.uint8, "gol_b")
@@ -56,20 +69,48 @@ def _run_gol(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
     sched.analyze_call(kernel, *gol_containers(b, a))
     sched.invoke(kernel, *gol_containers(a, b))  # warm-up distribution
     sched.wait_all()
-    cur, nxt = b, a
+    graph = None
+    # Tick 0 still distributes the second board; ticks 1-2 are the first
+    # steady-state ping-pong period, so that is what graph mode captures.
+    periods, extra = divmod(iters - 3, 2)
     t0 = time.perf_counter()
-    for _ in range(iters):
-        sched.invoke(kernel, *gol_containers(cur, nxt))
-        cur, nxt = nxt, cur
+    if mode == "graph":
+        sched.invoke(kernel, *gol_containers(b, a))
+        with sched.capture() as graph:
+            sched.invoke(kernel, *gol_containers(a, b))
+            sched.invoke(kernel, *gol_containers(b, a))
+        if periods:
+            graph.launch(periods)
+        for _ in range(extra):
+            sched.invoke(kernel, *gol_containers(a, b))
+    elif mode == "twin":
+        sched.invoke(kernel, *gol_containers(b, a))
+        sched.wait_all()  # begin_batch drain
+        sched.invoke(kernel, *gol_containers(a, b))
+        sched.invoke(kernel, *gol_containers(b, a))
+        sched.wait_all()  # end_batch drain
+        cur, nxt = a, b
+        for _ in range(2 * periods):
+            sched.invoke(kernel, *gol_containers(cur, nxt))
+            cur, nxt = nxt, cur
+        if periods:
+            sched.wait_all()  # launch drain
+        for _ in range(extra):
+            sched.invoke(kernel, *gol_containers(a, b))
+    else:
+        cur, nxt = b, a
+        for _ in range(iters):
+            sched.invoke(kernel, *gol_containers(cur, nxt))
+            cur, nxt = nxt, cur
     t1 = time.perf_counter()
     sched.wait_all()
     t2 = time.perf_counter()
-    return _result(node, sched, t1 - t0, t2 - t1)
+    return _result(node, sched, t1 - t0, t2 - t1, graph)
 
 
-def _run_histogram(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
+def _run_histogram(mode: str, spec: GPUSpec, size: int, iters: int) -> dict:
     node = SimNode(spec, NUM_GPUS, functional=False)
-    sched = Scheduler(node, plan_cache=plan_cache)
+    sched = Scheduler(node, plan_cache=mode != "uncached")
     kernel = make_histogram_kernel("maps")
     image = Matrix(size, size, np.uint8, "image")
     hist = Vector(256, np.int32, "hist")
@@ -78,19 +119,36 @@ def _run_histogram(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> di
     sched.analyze_call(kernel, *containers, grid=grid)
     sched.invoke(kernel, *containers, grid=grid)  # warm-up distribution
     sched.wait_all()
+    graph = None
     t0 = time.perf_counter()
-    for _ in range(iters):
+    if mode == "graph":
+        # Every invocation is identical (no ping-pong): the period is a
+        # single invoke.
+        with sched.capture() as graph:
+            sched.invoke(kernel, *containers, grid=grid)
+        if iters > 1:
+            graph.launch(iters - 1)
+    elif mode == "twin":
+        sched.wait_all()  # begin_batch drain (no-op here)
         sched.invoke(kernel, *containers, grid=grid)
+        sched.wait_all()  # end_batch drain
+        for _ in range(iters - 1):
+            sched.invoke(kernel, *containers, grid=grid)
+        if iters > 1:
+            sched.wait_all()  # launch drain
+    else:
+        for _ in range(iters):
+            sched.invoke(kernel, *containers, grid=grid)
     t1 = time.perf_counter()
     sched.gather(hist)
     sched.wait_all()
     t2 = time.perf_counter()
-    return _result(node, sched, t1 - t0, t2 - t1)
+    return _result(node, sched, t1 - t0, t2 - t1, graph)
 
 
-def _run_sgemm(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
+def _run_sgemm(mode: str, spec: GPUSpec, size: int, iters: int) -> dict:
     node = SimNode(spec, NUM_GPUS, functional=False)
-    sched = Scheduler(node, plan_cache=plan_cache)
+    sched = Scheduler(node, plan_cache=mode != "uncached")
     gemm = make_sgemm_routine()
     bmat = Matrix(size, size, np.float32, "B")
     x = Matrix(size, size, np.float32, "X")
@@ -99,19 +157,53 @@ def _run_sgemm(plan_cache: bool, spec: GPUSpec, size: int, iters: int) -> dict:
     sched.analyze_call(gemm, *sgemm_containers(y, bmat, x))
     sched.invoke_unmodified(gemm, *sgemm_containers(x, bmat, y))  # warm-up
     sched.wait_all()
-    cur, nxt = y, x
+    graph = None
+    # Multiplication 0 still distributes the Y stripes; 1-2 are the first
+    # steady-state ping-pong period.
+    periods, extra = divmod(iters - 3, 2)
     t0 = time.perf_counter()
-    for _ in range(iters):
-        sched.invoke_unmodified(gemm, *sgemm_containers(cur, bmat, nxt))
-        cur, nxt = nxt, cur
+    if mode == "graph":
+        sched.invoke_unmodified(gemm, *sgemm_containers(y, bmat, x))
+        with sched.capture() as graph:
+            sched.invoke_unmodified(gemm, *sgemm_containers(x, bmat, y))
+            sched.invoke_unmodified(gemm, *sgemm_containers(y, bmat, x))
+        if periods:
+            graph.launch(periods)
+        for _ in range(extra):
+            sched.invoke_unmodified(gemm, *sgemm_containers(x, bmat, y))
+    elif mode == "twin":
+        sched.invoke_unmodified(gemm, *sgemm_containers(y, bmat, x))
+        sched.wait_all()  # begin_batch drain
+        sched.invoke_unmodified(gemm, *sgemm_containers(x, bmat, y))
+        sched.invoke_unmodified(gemm, *sgemm_containers(y, bmat, x))
+        sched.wait_all()  # end_batch drain
+        cur, nxt = x, y
+        for _ in range(2 * periods):
+            sched.invoke_unmodified(gemm, *sgemm_containers(cur, bmat, nxt))
+            cur, nxt = nxt, cur
+        if periods:
+            sched.wait_all()  # launch drain
+        for _ in range(extra):
+            sched.invoke_unmodified(gemm, *sgemm_containers(x, bmat, y))
+    else:
+        cur, nxt = y, x
+        for _ in range(iters):
+            sched.invoke_unmodified(gemm, *sgemm_containers(cur, bmat, nxt))
+            cur, nxt = nxt, cur
     t1 = time.perf_counter()
     sched.wait_all()
     t2 = time.perf_counter()
-    return _result(node, sched, t1 - t0, t2 - t1)
+    return _result(node, sched, t1 - t0, t2 - t1, graph)
 
 
-def _result(node: SimNode, sched: Scheduler, submit: float, drain: float) -> dict:
-    return {
+def _result(
+    node: SimNode,
+    sched: Scheduler,
+    submit: float,
+    drain: float,
+    graph=None,
+) -> dict:
+    out = {
         "submit_s": submit,
         "drain_s": drain,
         "sim_time": node.time,
@@ -122,21 +214,36 @@ def _result(node: SimNode, sched: Scheduler, submit: float, drain: float) -> dic
             "misses": sched.monitor.transition_misses,
         },
     }
+    if graph is not None:
+        out["graph"] = {
+            "replayable": graph.replayable,
+            "reason": graph.reason,
+            "launches": graph.launches,
+            "fast_launches": graph.fast_launches,
+            "replayed_laps": graph.replayed_laps,
+        }
+    return out
 
 
-WORKLOADS: dict[str, Callable[[bool, GPUSpec, int, int], dict]] = {
+WORKLOADS: dict[str, Callable[[str, GPUSpec, int, int], dict]] = {
     "game_of_life": _run_gol,
     "histogram": _run_histogram,
     "sgemm_chain": _run_sgemm,
 }
 
 
-def _best_of(fn, plan_cache, spec, size, iters, repeats):
-    """Repeat a workload run, keeping the lowest submit wall-clock."""
+def _total(r: dict) -> float:
+    return r["submit_s"] + r["drain_s"]
+
+
+def _best_of(fn, mode, spec, size, iters, repeats, key=None):
+    """Repeat a workload run, keeping the lowest wall-clock under ``key``
+    (default: submission time)."""
+    key = key or (lambda r: r["submit_s"])
     best = None
     for _ in range(repeats):
-        r = fn(plan_cache, spec, size, iters)
-        if best is None or r["submit_s"] < best["submit_s"]:
+        r = fn(mode, spec, size, iters)
+        if best is None or key(r) < key(best):
             best = r
     return best
 
@@ -146,24 +253,39 @@ def measure_overhead(
     size: int = PAPER_SIZE,
     iters: int = ITERS,
     repeats: int = REPEATS,
+    graph_floor: float | None = None,
 ) -> dict:
-    """Run every workload cached and uncached; return the result tree.
+    """Run every workload uncached / cached / graph-replayed; return the
+    result tree.
 
     Raises :class:`AssertionError` if a cached run's simulated time or
-    command count diverges from its uncached baseline — plan replay must
-    be a pure wall-clock optimization.
+    command count diverges from its uncached baseline, or a graph run's
+    from its eager twin — plan replay and graph replay must both be pure
+    wall-clock optimizations. With ``graph_floor`` set, additionally
+    asserts that every workload's graph-replay speedup over the cached
+    scheduler (total wall-clock, submit + drain) reaches the floor.
     """
+    if iters < 5:
+        raise ValueError("need iters >= 5 to capture a steady-state period")
     results: dict = {
         "spec": spec.name,
         "num_gpus": NUM_GPUS,
         "size": size,
         "iters": iters,
         "repeats": repeats,
+        "graph_floor": graph_floor,
         "workloads": {},
     }
     for name, fn in WORKLOADS.items():
-        uncached = _best_of(fn, False, spec, size, iters, repeats)
-        cached = _best_of(fn, True, spec, size, iters, repeats)
+        uncached = _best_of(fn, "uncached", spec, size, iters, repeats)
+        cached = _best_of(fn, "cached", spec, size, iters, repeats)
+        # The twin is only the graph's bit-identity reference; one run.
+        twin = fn("twin", spec, size, iters)
+        # Graph submission and drain interleave inside launch(); rank
+        # repeats by total wall-clock.
+        graph = _best_of(
+            fn, "graph", spec, size, iters, repeats, key=_total
+        )
         assert cached["sim_time"] == uncached["sim_time"], (
             f"{name}: plan cache changed simulated time "
             f"({cached['sim_time']} != {uncached['sim_time']})"
@@ -172,12 +294,37 @@ def measure_overhead(
             f"{name}: plan cache changed the command count "
             f"({cached['commands']} != {uncached['commands']})"
         )
+        assert graph["graph"]["replayable"], (
+            f"{name}: capture not replayable: {graph['graph']['reason']}"
+        )
+        assert graph["graph"]["fast_launches"] == graph["graph"]["launches"], (
+            f"{name}: graph launch fell back to eager replay"
+        )
+        assert graph["plan_cache"]["graph_hits"] > 0, (
+            f"{name}: graph replay did not count any graph_hits"
+        )
+        assert graph["sim_time"] == twin["sim_time"], (
+            f"{name}: graph replay changed simulated time "
+            f"({graph['sim_time']} != {twin['sim_time']})"
+        )
+        assert graph["commands"] == twin["commands"], (
+            f"{name}: graph replay changed the command count "
+            f"({graph['commands']} != {twin['commands']})"
+        )
+        replay_speedup = _total(cached) / _total(graph)
+        if graph_floor is not None:
+            assert replay_speedup >= graph_floor, (
+                f"{name}: graph replay speedup {replay_speedup:.2f}x "
+                f"under the floor {graph_floor:.2f}x"
+            )
         results["workloads"][name] = {
             "uncached": uncached,
             "cached": cached,
+            "twin": twin,
+            "graph": graph,
             "submit_speedup": uncached["submit_s"] / cached["submit_s"],
-            "total_speedup": (uncached["submit_s"] + uncached["drain_s"])
-            / (cached["submit_s"] + cached["drain_s"]),
+            "total_speedup": _total(uncached) / _total(cached),
+            "replay_speedup": replay_speedup,
         }
     return results
 
@@ -193,17 +340,28 @@ def overhead_report(results: dict) -> str:
                 f"{r['cached']['submit_s'] * 1e3:.1f} ms",
                 f"{r['submit_speedup']:.2f}x",
                 f"{r['total_speedup']:.2f}x",
+                f"{_total(r['graph']) * 1e3:.1f} ms",
+                f"{r['replay_speedup']:.2f}x",
                 str(r["cached"]["commands"]),
             ]
         )
     title = (
         f"Host-path overhead: {results['iters']} invocations, "
         f"{results['size']}^2, {results['num_gpus']}x {results['spec']} "
-        "(plan cache off vs on)"
+        "(plan cache off vs on vs iteration-graph replay)"
     )
     return fmt_table(
         title,
-        ["workload", "uncached", "cached", "speedup", "total", "commands"],
+        [
+            "workload",
+            "uncached",
+            "cached",
+            "speedup",
+            "total",
+            "iteration_graph",
+            "replay",
+            "commands",
+        ],
         rows,
     )
 

@@ -120,6 +120,11 @@ class LocationMonitor:
         #: Memoized-transition replays vs. slow-path mutations (diagnostics).
         self.transition_hits = 0
         self.transition_misses = 0
+        #: Iteration-graph capture hook (DESIGN.md §12): while set, every
+        #: ``take_war_events`` call logs its ``(id(datum), loc)`` key, so
+        #: graph finalization can tell pending-read lists that were
+        #: *replaced* during the captured period from lists that only grew.
+        self.war_log: set[tuple[int, int]] | None = None
 
     # -- state access ------------------------------------------------------
     def _st(self, datum: "Datum") -> _DatumState:
@@ -568,6 +573,8 @@ class LocationMonitor:
 
     def take_war_events(self, datum: "Datum", loc: int) -> list[Event]:
         """Events a writer at ``loc`` must wait for (consumes them)."""
+        if self.war_log is not None:
+            self.war_log.add((id(datum), loc))
         return self._st(datum).pending_reads.pop(loc, [])
 
     def mark_written(

@@ -448,6 +448,9 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.bypasses = 0
+        #: Invocations satisfied by iteration-graph replay (DESIGN.md §12)
+        #: without even a cache lookup — the macro-command fast path.
+        self.graph_hits = 0
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -502,4 +505,5 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "bypasses": self.bypasses,
+            "graph_hits": self.graph_hits,
         }

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.core.buffers import locate_virtual, locate_virtual_all
 from repro.core.datum import Datum
+from repro.core.graph import GraphRecorder, IterationGraph, snapshot_monitor
 from repro.core.grid import Grid
 from repro.core.location_monitor import CopyOp, LocationMonitor
 from repro.core.memory_analyzer import MemoryAnalyzer
@@ -58,6 +59,7 @@ from repro.errors import (
     AllocationError,
     CapacityError,
     DeviceFault,
+    GraphCaptureError,
     SchedulingError,
     StragglerAlarm,
     StragglerTimeoutError,
@@ -240,6 +242,15 @@ class Scheduler:
         self._spec_streams: dict[int, Any] = {}
         if self._mitigation:
             node.engine.observer = self._observe
+        # Iteration-graph capture & replay (DESIGN.md §12). The generation
+        # counter is bumped by every steady-state-breaking transition
+        # (weight rebalance, device retirement, replica eviction, chunk
+        # planning); captured graphs are valid for one generation only.
+        self._graph_generation = 0
+        self._capture: IterationGraph | None = None
+        self._capture_rec: GraphRecorder | None = None
+        self._capture_entry: dict[int, tuple] | None = None
+        self._capture_gen0 = 0
 
     @property
     def alive_devices(self) -> tuple[int, ...]:
@@ -257,6 +268,7 @@ class Scheduler:
         """Forward-declare a task so the memory analyzer can size
         per-device allocations (§4.2). Accepts the same parameters as
         :meth:`invoke`."""
+        self._no_capture("analyze_call")
         task = Task(kernel, containers, grid, constants)
         self._refresh_weights()
         self.analyzer.analyze(task, self._alive, weights=self._weights)
@@ -272,6 +284,10 @@ class Scheduler:
         constants: Mapping[str, Any] | None = None,
     ) -> TaskHandle:
         """Schedule and queue a task (Algorithm 1). Returns a handle."""
+        if self._capture is not None:
+            self._capture.calls.append(
+                (False, kernel, containers, grid, constants)
+            )
         task = Task(kernel, containers, grid, constants)
         return self._schedule(task)
 
@@ -290,12 +306,17 @@ class Scheduler:
                 f"{routine.name!r} is not an unmodified routine; build it "
                 "with make_routine()"
             )
+        if self._capture is not None:
+            self._capture.calls.append(
+                (True, routine, containers, grid, constants)
+            )
         task = Task(routine, containers, grid, constants)
         return self._schedule(task)
 
     def gather_async(self, datum: Datum) -> None:
         """Queue the transfers (and aggregation) bringing ``datum`` back
         into its bound host buffer."""
+        self._no_capture("gather")
         events = self._gather_events(datum, None)
         self._log.append(_GatherRecord(datum, None, events))
 
@@ -308,6 +329,7 @@ class Scheduler:
         """Queue the transfers bringing only ``region`` of ``datum`` up to
         date on the host (used e.g. for inter-node halo exchange in the
         cluster extension). Reductive datums must be gathered whole."""
+        self._no_capture("gather_region")
         self._check_region(datum, region)
         events = self._gather_events(datum, region)
         self._log.append(_GatherRecord(datum, region, events))
@@ -333,6 +355,7 @@ class Scheduler:
         """The application overwrote ``region`` of the bound host buffer
         (e.g. received remote halo rows): device-resident copies of that
         region are stale; the rest stays valid."""
+        self._no_capture("mark_host_region_dirty")
         self._check_region(datum, region)
         self.monitor.mark_written(datum, HOST, region, None)
 
@@ -356,6 +379,7 @@ class Scheduler:
         """Run the simulation until every queued command has executed;
         returns the simulated time. Injected faults are recovered from
         here (see module docstring)."""
+        self._no_capture("wait_all")
         while True:
             try:
                 t = self.node.run()
@@ -380,6 +404,7 @@ class Scheduler:
         ``wait_all``. The host clock advances to the task's completion
         time, as the calling host thread blocks until then.
         """
+        self._no_capture("wait")
         if handle is None or not isinstance(handle, TaskHandle) \
                 or handle.task is None:
             raise SchedulingError("invalid task handle")
@@ -400,7 +425,109 @@ class Scheduler:
     def mark_host_dirty(self, datum: Datum) -> None:
         """Tell the framework the bound host buffer was modified by the
         application, invalidating device-resident instances."""
+        self._no_capture("mark_host_dirty")
         self.monitor.mark_host_dirty(datum)
+
+    # -- iteration graphs (DESIGN.md §12) ---------------------------------------
+    def _no_capture(self, what: str) -> None:
+        if self._capture is not None:
+            raise GraphCaptureError(
+                f"{what} is not allowed while an iteration-graph capture "
+                "is recording: a captured period must be pure steady-state "
+                "submission (invoke/invoke_unmodified only)"
+            )
+
+    def begin_batch(self) -> IterationGraph:
+        """Start capturing one steady-state period into an
+        :class:`~repro.core.graph.IterationGraph`.
+
+        Drains all outstanding work first (the capture must start from a
+        quiescent node), then records every command the following
+        ``invoke``/``invoke_unmodified`` calls produce until
+        :meth:`end_batch`. Requires the plan cache (the capture records
+        *resolved* plans) and is unavailable in sanitize mode (the
+        sanitizer must observe every eager dispatch).
+        """
+        if self._capture is not None:
+            raise GraphCaptureError("an iteration-graph capture is already "
+                                    "recording (captures do not nest)")
+        if not self.plans.enabled:
+            raise GraphCaptureError(
+                "iteration-graph capture requires the plan cache "
+                "(Scheduler(plan_cache=True))"
+            )
+        if self.sanitize:
+            raise GraphCaptureError(
+                "iteration-graph capture is unavailable in sanitize mode"
+            )
+        self.wait_all()
+        graph = IterationGraph(self)
+        rec = GraphRecorder(self.node.host_time)
+        self._capture_entry = snapshot_monitor(self.monitor)
+        self._capture_gen0 = self._graph_generation
+        self.monitor.war_log = set()
+        for d in self.node.devices:
+            mem = d.memory
+            cls = type(mem)
+
+            def _touch(buf, _mem=mem, _cls=cls, _rec=rec):
+                _rec.touches.append((_mem, buf))
+                _cls.touch(_mem, buf)
+
+            mem.touch = _touch
+        self.node.graph_recorder = rec
+        self._capture = graph
+        self._capture_rec = rec
+        return graph
+
+    def submit_batch(self, calls) -> list[TaskHandle]:
+        """Invoke every ``(kernel, *containers)`` tuple of ``calls`` inside
+        the currently recording batch (list form of the capture API)."""
+        if self._capture is None:
+            raise GraphCaptureError(
+                "submit_batch requires an active capture (begin_batch)"
+            )
+        return [self.invoke(kernel, *rest) for kernel, *rest in calls]
+
+    def _uninstall_capture_hooks(self) -> None:
+        self.node.graph_recorder = None
+        self.monitor.war_log = None
+        for d in self.node.devices:
+            d.memory.__dict__.pop("touch", None)
+
+    def end_batch(self) -> IterationGraph:
+        """Stop recording, drain the captured period and compile it;
+        returns the (possibly fallback-only) :class:`IterationGraph`."""
+        if self._capture is None:
+            raise GraphCaptureError("no iteration-graph capture to end")
+        graph, rec = self._capture, self._capture_rec
+        entry, gen0 = self._capture_entry, self._capture_gen0
+        war_log = self.monitor.war_log or set()
+        self._uninstall_capture_hooks()
+        self._capture = None
+        self._capture_rec = None
+        self._capture_entry = None
+        h_submit_end = self.node.host_time
+        self.wait_all()
+        graph._finalize(rec, entry, war_log, h_submit_end, gen0)
+        return graph
+
+    def _abort_batch(self) -> None:
+        """Discard a recording capture (context-manager error path)."""
+        if self._capture is None:
+            return
+        graph = self._capture
+        self._uninstall_capture_hooks()
+        self._capture = None
+        self._capture_rec = None
+        self._capture_entry = None
+        graph._fail("capture aborted")
+
+    def capture(self) -> "_CaptureContext":
+        """``with sched.capture() as g:`` — batch-submission sugar around
+        :meth:`begin_batch`/:meth:`end_batch`; ``g`` is the
+        :class:`IterationGraph`, finalized when the block exits."""
+        return _CaptureContext(self)
 
     # -- Algorithm 1 ------------------------------------------------------------
     def _schedule(self, task: Task) -> TaskHandle:
@@ -686,6 +813,7 @@ class Scheduler:
         w = self._current_weights()
         if w == self._weights:
             return
+        self._graph_generation += 1
         self._weights = w
         for t in self._analyzed:
             self.analyzer.ensure(
@@ -823,6 +951,7 @@ class Scheduler:
             ),
             device=device, start=node.time, end=node.time,
         ))
+        self._graph_generation += 1
         return cp
 
     def _evict_datum(self, datum: Datum, device: int, salvage: bool) -> None:
@@ -830,6 +959,7 @@ class Scheduler:
         sole pieces to the host first, and leave an ``evict:`` event in the
         trace."""
         node = self.node
+        self._graph_generation += 1
         if salvage:
             self._salvage(datum, device)
         freed = self.analyzer.evict(datum, device)
@@ -2023,6 +2153,7 @@ class Scheduler:
                 "survive; restart from an application checkpoint"
             )
         self._alive = alive
+        self._graph_generation += 1
         node = self.node
         node.retire_device(device, at_time)
         # Abort everything in flight: queued commands reference dead
@@ -2164,3 +2295,22 @@ class Scheduler:
     GatherAsync = gather_async
     Wait = wait
     WaitAll = wait_all
+
+
+class _CaptureContext:
+    """Context manager of :meth:`Scheduler.capture`."""
+
+    def __init__(self, scheduler: Scheduler):
+        self._sched = scheduler
+        self.graph: IterationGraph | None = None
+
+    def __enter__(self) -> IterationGraph:
+        self.graph = self._sched.begin_batch()
+        return self.graph
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._sched.end_batch()
+        else:
+            self._sched._abort_batch()
+        return False

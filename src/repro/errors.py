@@ -85,6 +85,13 @@ class SchedulingError(MapsError):
     """Scheduler invariant violated (bad task, unknown handle, ...)."""
 
 
+class GraphCaptureError(SchedulingError):
+    """Iteration-graph capture misuse (DESIGN.md §12): nested captures,
+    captures without the plan cache, or a synchronizing call
+    (``wait``/``gather``/``analyze_call``/host-dirty marking) issued while
+    a capture is recording a steady-state period."""
+
+
 class SimulationError(MapsError):
     """Discrete-event simulator invariant violated (deadlock, bad command)."""
 

@@ -9,10 +9,20 @@ numpy computation — executed when the simulator dispatches the command.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 Payload = Optional[Callable[[], None]]
+
+#: Global event creation counter. Iteration-graph capture (DESIGN.md §12)
+#: uses the monotone sequence number to map an event reference in a
+#: recorded command stream onto "the same slot, one period earlier": a
+#: steady-state period creates the same events in the same order, so the
+#: event recorded k creations before the capture window corresponds to
+#: the captured slot E - k (E = events per period).
+_event_seqs = itertools.count()
+
 
 @dataclass(eq=False, slots=True)
 class Event:
@@ -21,6 +31,8 @@ class Event:
     label: str = ""
     #: Simulated time at which the event was recorded; None until executed.
     recorded_at: float | None = None
+    #: Monotone creation sequence number (see :data:`_event_seqs`).
+    seq: int = field(default_factory=_event_seqs.__next__)
 
     @property
     def recorded(self) -> bool:

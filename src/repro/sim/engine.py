@@ -56,7 +56,7 @@ from repro.sim.commands import (
 )
 from repro.sim.device import Device, EngineState
 from repro.sim.stream import Stream
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.faults import FaultPlan
@@ -84,6 +84,14 @@ class Engine:
         )
         self.host_engine = EngineState("host.compute")
         self._channel_busy: dict[tuple[int, int], float] = {}
+        #: (src, dst, pageable) -> (engines, path, channels): the per-route
+        #: resources of a memcpy. Devices and topology are fixed for the
+        #: engine's lifetime, so resolving a route once removes the
+        #: per-dispatch list/PathSegment construction from the hot path.
+        self._route_cache: dict[
+            tuple[int, int, bool],
+            tuple[tuple[EngineState, ...], list[PathSegment], tuple],
+        ] = {}
         self.now = 0.0
         self.commands_executed = 0
         #: Optional throughput observer ``(kind, where, nominal, actual)``
@@ -110,31 +118,25 @@ class Engine:
             )
 
     # -- resource helpers ----------------------------------------------------
-    def _channel_until(self, seg: PathSegment) -> float:
-        return self._channel_busy.get(seg.channel, 0.0)
-
-    def _occupy_path(
-        self, path: Iterable[PathSegment], start: float, nbytes: int
-    ) -> None:
-        """Pipelined (store-and-forward-free) occupancy: each link channel
-        is busy for the time *it* needs to stream the bytes, so a transfer
-        bottlenecked elsewhere doesn't monopolize fast shared links."""
-        lat = self.topology.calib.transfer_latency
-        for seg in path:
-            self._channel_busy[seg.channel] = (
-                start + lat + nbytes / seg.link.bandwidth
-            )
-
-    def _memcpy_resources(
-        self, cmd: Memcpy
-    ) -> tuple[list[EngineState], list[PathSegment]]:
-        engines: list[EngineState] = []
-        if cmd.src != HOST:
-            engines.append(self.devices[cmd.src].copy_out)
-        if cmd.dst != HOST:
-            engines.append(self.devices[cmd.dst].copy_in)
-        path = self.topology.path(cmd.src, cmd.dst, pageable=cmd.pageable)
-        return engines, path
+    def _route(
+        self, src: int, dst: int, pageable: bool
+    ) -> tuple[tuple[EngineState, ...], list[PathSegment], tuple]:
+        """Memoized per-route resources of a memcpy: the copy engines it
+        occupies, the link path it crosses, and the path's precomputed
+        channel keys (``PathSegment.channel`` builds a tuple per call)."""
+        key = (src, dst, pageable)
+        res = self._route_cache.get(key)
+        if res is None:
+            engines = []
+            if src != HOST:
+                engines.append(self.devices[src].copy_out)
+            if dst != HOST:
+                engines.append(self.devices[dst].copy_in)
+            path = self.topology.path(src, dst, pageable=pageable)
+            channels = tuple(seg.channel for seg in path)
+            res = (tuple(engines), path, channels)
+            self._route_cache[key] = res
+        return res
 
     # -- main loop -------------------------------------------------------------
     def run(
@@ -150,10 +152,10 @@ class Engine:
         commands stay queued for a subsequent ``run``. Without it, all
         queues are drained.
         """
-        until_events = None
+        until_set = None
         if until is not None:
-            until_events = [e for e in until if not e.recorded]
-            if not until_events:
+            until_set = {e for e in until if not e.recorded}
+            if not until_set:
                 # Everything asked for already happened (e.g. a recovery
                 # pass completed the events): leave later work queued.
                 return self.now
@@ -196,9 +198,13 @@ class Engine:
                     blocked -= len(woken)
                     for w in woken:
                         push(w)
-                if until_events is not None:
-                    until_events = [e for e in until_events if not e.recorded]
-                    if not until_events:
+                if until_set is not None:
+                    # Only an EventRecord dispatch can record an event, so
+                    # discarding the one just recorded is equivalent to
+                    # re-filtering the whole list — without the per-record
+                    # list rebuild.
+                    until_set.discard(cmd.event)
+                    if not until_set:
                         stopped_early = True
                         break
             push(stream)
@@ -211,6 +217,217 @@ class Engine:
             )
         self.now = max([self.now] + [s.cursor for s in streams])
         return self.now
+
+    # -- iteration-graph replay -------------------------------------------------
+    def run_graph(
+        self,
+        programs: list[tuple[Stream, list[tuple]]],
+        n: int,
+        ck_vals: list[float],
+        K: int,
+        E: int,
+        boundary_times: list[float],
+        const_times: list[float],
+    ) -> list[float | None]:
+        """Replay a compiled iteration graph for ``n`` laps (DESIGN.md §12).
+
+        ``programs`` pairs each captured stream with its pre-lowered opcode
+        list; every opcode carries the resolved resources (engine states,
+        channel keys, precomputed durations) so a replay dispatch touches no
+        command objects, allocates nothing per dispatch, and performs the
+        *same floating-point arithmetic in the same order* as the eager
+        path — replayed times are bit-identical to an uncaptured run.
+
+        Opcodes (first field selects):
+
+        * ``(0, ck, mode, a)`` — event wait. ``mode`` 0: same-lap slot
+          ``a``; 1: previous-lap slot ``a`` (lap 0 reads
+          ``boundary_times``); 2: pre-capture constant ``const_times[a]``.
+        * ``(1, ck, slot)`` — event record into slot ``slot``.
+        * ``(2, ck, engine, duration, label, payload, device)`` — kernel.
+        * ``(3, ck, engines, segchan, duration, label, payload, src, dst,
+          nbytes)`` — memcpy; ``segchan`` is ``((channel, nbytes/bw), ...)``.
+        * ``(4, ck, duration, label, payload)`` — host op.
+
+        ``ck_vals[lap * K + ck]`` is the host-time checkpoint (the eager
+        ``earliest_start``) for a command recorded after ``ck`` host
+        advances of its lap. Returns the flat ``n * E`` array of recorded
+        event times (lap-major); entry ``lap * E + slot`` is that lap's
+        recording of captured event ``slot``.
+        """
+        S = len(programs)
+        streams = [p[0] for p in programs]
+        progs = [p[1] for p in programs]
+        sids = [s.id for s in streams]
+        curs = [s.cursor for s in streams]
+        lens = [len(p) for p in progs]
+        laps = [0] * S
+        pcs = [0] * S
+        ev_time: list[float | None] = [None] * (n * E)
+        #: absolute slot index (lap * E + slot) -> stream indices parked on it
+        waiting: dict[int, list[int]] = {}
+        heap: list[tuple[float, int, int]] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        rows: list[tuple] = []
+        add_row = rows.append
+        busy = self._channel_busy
+        observer = self.observer
+        have_faults = self.faults is not None
+        host_engine = self.host_engine
+        lat = self.topology.calib.transfer_latency
+
+        def ready_of(si: int) -> float | None:
+            """Readiness of stream ``si``'s head opcode; None parks it."""
+            op = progs[si][pcs[si]]
+            lap = laps[si]
+            t = ck_vals[lap * K + op[1]]
+            c = curs[si]
+            if c > t:
+                t = c
+            if op[0] == 0:
+                mode = op[2]
+                a = op[3]
+                if mode == 0:
+                    key = lap * E + a
+                    e = ev_time[key]
+                elif mode == 1:
+                    if lap == 0:
+                        e = boundary_times[a]
+                        key = -1
+                    else:
+                        key = (lap - 1) * E + a
+                        e = ev_time[key]
+                else:
+                    e = const_times[a]
+                    key = -1
+                if e is None:
+                    waiting.setdefault(key, []).append(si)
+                    return None
+                if e > t:
+                    t = e
+            return t
+
+        for si in range(S):
+            if lens[si]:
+                r = ready_of(si)
+                if r is not None:
+                    push(heap, (r, sids[si], si))
+            else:
+                laps[si] = n
+
+        while heap:
+            ready, _, si = pop(heap)
+            prog = progs[si]
+            while True:
+                op = prog[pcs[si]]
+                code = op[0]
+                if code == 0:
+                    curs[si] = ready
+                elif code == 1:
+                    # EventRecord. Recording and waking in-line (without a
+                    # heap round-trip) is order-safe: the record's time is
+                    # unchanged, every wake it enables is pushed with a key
+                    # >= that time, and real commands always go through the
+                    # heap — so real-dispatch order still follows the keys.
+                    curs[si] = ready
+                    idx = laps[si] * E + op[2]
+                    ev_time[idx] = ready
+                    woken = waiting.pop(idx, None)
+                    if woken:
+                        for w in woken:
+                            r = ready_of(w)
+                            if r is not None:
+                                push(heap, (r, sids[w], w))
+                elif code == 2:
+                    es = op[2]
+                    start = es.busy_until
+                    if ready > start:
+                        start = ready
+                    dur = op[3]
+                    end = start + dur
+                    es.busy_until = end
+                    es.busy_time += end - start
+                    if observer is not None:
+                        observer("kernel", op[6], dur, dur)
+                    curs[si] = end
+                    if op[5] is not None:
+                        op[5]()
+                    add_row(("kernel", op[4], op[6], start, end, 0, None))
+                elif code == 3:
+                    start = ready
+                    for e in op[2]:
+                        if e.busy_until > start:
+                            start = e.busy_until
+                    segchan = op[3]
+                    for ch, _cost in segchan:
+                        t = busy.get(ch, 0.0)
+                        if t > start:
+                            start = t
+                    dur = op[4]
+                    if have_faults and observer is not None:
+                        observer("memcpy", (op[7], op[8]), dur, dur)
+                    end = start + dur
+                    for e in op[2]:
+                        e.busy_until = end
+                        e.busy_time += end - start
+                    base = start + lat
+                    for ch, cost in segchan:
+                        busy[ch] = base + cost
+                    curs[si] = end
+                    if op[6] is not None:
+                        op[6]()
+                    add_row(
+                        ("memcpy", op[5], op[8], start, end, op[9], op[7])
+                    )
+                else:
+                    start = host_engine.busy_until
+                    if ready > start:
+                        start = ready
+                    end = start + op[2]
+                    host_engine.busy_until = end
+                    host_engine.busy_time += end - start
+                    curs[si] = end
+                    if op[4] is not None:
+                        op[4]()
+                    add_row(("host", op[3], HOST, start, end, 0, None))
+
+                pc = pcs[si] + 1
+                if pc == lens[si]:
+                    pc = 0
+                    laps[si] += 1
+                    if laps[si] == n:
+                        pcs[si] = pc
+                        break
+                pcs[si] = pc
+                r = ready_of(si)
+                if r is None:
+                    break
+                if prog[pc][0] >= 2:
+                    push(heap, (r, sids[si], si))
+                    break
+                # Zero-duration wait/record head: consume in-line.
+                ready = r
+
+        if any(lap != n for lap in laps):
+            stuck = [
+                streams[si].label for si in range(S) if laps[si] != n
+            ]
+            raise DeadlockError(
+                f"iteration-graph replay deadlocked; stuck streams: {stuck}"
+            )
+        total = 0
+        for si in range(S):
+            streams[si].cursor = curs[si]
+            total += lens[si]
+        self.commands_executed += n * total
+        self.trace.add_batch(rows)
+        now = self.now
+        for c in curs:
+            if c > now:
+                now = c
+        self.now = now
+        return ev_time
 
     # -- dispatch ---------------------------------------------------------------
     def _dispatch(self, stream: Stream, ready: float) -> Command:
@@ -232,7 +449,8 @@ class Engine:
         if isinstance(cmd, KernelLaunch):
             dev = self.devices[stream.device]
             start = max(ready, dev.compute.busy_until)
-            self._check_dead(stream.device, start, cmd, stream)
+            if self.dead:
+                self._check_dead(stream.device, start, cmd, stream)
             duration = cmd.duration
             if self.faults is not None:
                 factor = self.faults.compute_factor(stream.device, start)
@@ -270,16 +488,23 @@ class Engine:
             return cmd
 
         if isinstance(cmd, Memcpy):
-            engines, path = self._memcpy_resources(cmd)
-            start = max(
-                [ready]
-                + [e.busy_until for e in engines]
-                + [self._channel_until(seg) for seg in path]
+            engines, path, channels = self._route(
+                cmd.src, cmd.dst, cmd.pageable
             )
-            if cmd.src != HOST:
-                self._check_dead(cmd.src, start, cmd, stream)
-            if cmd.dst != HOST:
-                self._check_dead(cmd.dst, start, cmd, stream)
+            start = ready
+            for e in engines:
+                if e.busy_until > start:
+                    start = e.busy_until
+            busy = self._channel_busy
+            for ch in channels:
+                t = busy.get(ch, 0.0)
+                if t > start:
+                    start = t
+            if self.dead:
+                if cmd.src != HOST:
+                    self._check_dead(cmd.src, start, cmd, stream)
+                if cmd.dst != HOST:
+                    self._check_dead(cmd.dst, start, cmd, stream)
             duration = (
                 self.topology.transfer_time(cmd.nbytes, path)
                 + cmd.extra_latency
@@ -337,7 +562,13 @@ class Engine:
             end = start + duration
             for e in engines:
                 e.occupy(start, end)
-            self._occupy_path(path, start, cmd.nbytes)
+            # Pipelined (store-and-forward-free) occupancy: each link
+            # channel is busy for the time *it* needs to stream the bytes,
+            # so a transfer bottlenecked elsewhere doesn't monopolize fast
+            # shared links.
+            base = start + self.topology.calib.transfer_latency
+            for seg, ch in zip(path, channels):
+                busy[ch] = base + cmd.nbytes / seg.link.bandwidth
             self._finish(
                 stream, cmd, "memcpy", cmd.dst, start, end,
                 nbytes=cmd.nbytes, src=cmd.src,
@@ -367,14 +598,4 @@ class Engine:
         stream.cursor = end
         if cmd.payload is not None:
             cmd.payload()
-        self.trace.add(
-            TraceRecord(
-                kind=kind,
-                label=cmd.label,
-                device=device,
-                start=start,
-                end=end,
-                nbytes=nbytes,
-                src=src,
-            )
-        )
+        self.trace.add_row(kind, cmd.label, device, start, end, nbytes, src)

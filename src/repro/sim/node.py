@@ -69,6 +69,10 @@ class SimNode:
         #: Host thread clock — the scheduler advances it to model host-side
         #: overhead; commands submitted after time t carry earliest_start=t.
         self.host_time = 0.0
+        #: Iteration-graph capture hook (DESIGN.md §12). While set, every
+        #: submitted command and host-clock advance is also reported to the
+        #: recorder; submission behaviour is otherwise unchanged.
+        self.graph_recorder = None
 
     # -- properties ------------------------------------------------------------
     @property
@@ -105,6 +109,8 @@ class SimNode:
     def host_advance(self, dt: float) -> None:
         """Advance the host thread clock by ``dt`` seconds of CPU work."""
         self.host_time += dt
+        if self.graph_recorder is not None:
+            self.graph_recorder.record_host(dt)
 
     # -- command submission ----------------------------------------------------
     def launch_kernel(
@@ -124,6 +130,8 @@ class SimNode:
             duration=total,
         )
         stream.enqueue(cmd)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record(stream, cmd)
         return cmd
 
     def memcpy(
@@ -148,23 +156,30 @@ class SimNode:
             extra_latency=extra_latency,
         )
         stream.enqueue(cmd)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record(stream, cmd)
         return cmd
 
     def record_event(self, stream: Stream, label: str = "") -> Event:
         event = Event(label=label)
-        stream.enqueue(
-            EventRecord(label=label, earliest_start=self.host_time, event=event)
+        cmd = EventRecord(
+            label=label, earliest_start=self.host_time, event=event
         )
+        stream.enqueue(cmd)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record(stream, cmd)
+            self.graph_recorder.record_event(event)
         return event
 
     def wait_event(self, stream: Stream, event: Event) -> None:
-        stream.enqueue(
-            EventWait(
-                label=f"wait:{event.label}",
-                earliest_start=self.host_time,
-                event=event,
-            )
+        cmd = EventWait(
+            label=f"wait:{event.label}",
+            earliest_start=self.host_time,
+            event=event,
         )
+        stream.enqueue(cmd)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record(stream, cmd)
 
     def host_op(
         self,
@@ -180,6 +195,8 @@ class SimNode:
             duration=duration,
         )
         stream.enqueue(cmd)
+        if self.graph_recorder is not None:
+            self.graph_recorder.record(stream, cmd)
         return cmd
 
     # -- execution ---------------------------------------------------------------

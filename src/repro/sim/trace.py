@@ -31,19 +31,62 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only list of trace records with query helpers."""
+    """An append-only list of trace records with query helpers.
+
+    Bulk producers (the iteration-graph replay fast path, DESIGN.md §12)
+    append *columnar* batches of record fields via :meth:`add_batch`;
+    they are materialized into :class:`TraceRecord` objects lazily, on
+    first read. A run that never inspects its trace — the common case for
+    timing benchmarks — then never pays the per-record construction cost,
+    while every reader still sees the full, ordered record list.
+    """
 
     def __init__(self) -> None:
-        self.records: list[TraceRecord] = []
+        self._records: list[TraceRecord] = []
+        #: Unmaterialized ``(kind, label, device, start, end, nbytes,
+        #: src)`` tuples appended after the records list.
+        self._pending: list[tuple] = []
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        if self._pending:
+            self._materialize()
+        return self._records
+
+    def _materialize(self) -> None:
+        append = self._records.append
+        for args in self._pending:
+            append(TraceRecord(*args))
+        self._pending.clear()
 
     def add(self, rec: TraceRecord) -> None:
-        self.records.append(rec)
+        if self._pending:
+            self._materialize()
+        self._records.append(rec)
+
+    def add_batch(self, rows: Iterable[tuple]) -> None:
+        """Append raw ``(kind, label, device, start, end, nbytes, src)``
+        tuples; they become :class:`TraceRecord` objects on first read."""
+        self._pending.extend(rows)
+
+    def add_row(
+        self,
+        kind: str,
+        label: str,
+        device: int,
+        start: float,
+        end: float,
+        nbytes: int = 0,
+        src: int | None = None,
+    ) -> None:
+        """Append one record as a raw row (lazy materialization)."""
+        self._pending.append((kind, label, device, start, end, nbytes, src))
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records) + len(self._pending)
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         return [r for r in self.records if r.kind == kind]
@@ -79,4 +122,5 @@ class Trace:
         )
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self._pending.clear()

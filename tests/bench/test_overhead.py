@@ -32,6 +32,38 @@ class TestMeasureOverhead:
             assert r["cached"]["plan_cache"]["hits"] > 0
             assert r["uncached"]["plan_cache"]["hits"] == 0
 
+    def test_graph_replay_bit_identical_to_twin(self):
+        results = small_results()
+        for r in results["workloads"].values():
+            g = r["graph"]
+            # measure_overhead asserts these too; re-check the recorded
+            # values for the JSON consumer's benefit.
+            assert g["sim_time"] == r["twin"]["sim_time"]
+            assert g["commands"] == r["twin"]["commands"]
+            assert g["graph"]["replayable"], g["graph"]["reason"]
+            assert g["graph"]["fast_launches"] == g["graph"]["launches"] >= 1
+
+    def test_graph_hits_trajectory(self):
+        results = small_results()
+        for name, r in results["workloads"].items():
+            # Only the graph run dispatches through the macro-command
+            # path; every replayed lap counts one hit per recorded call.
+            assert r["uncached"]["plan_cache"]["graph_hits"] == 0
+            assert r["cached"]["plan_cache"]["graph_hits"] == 0
+            assert r["twin"]["plan_cache"]["graph_hits"] == 0
+            g = r["graph"]
+            laps = g["graph"]["replayed_laps"]
+            assert laps >= 1
+            calls = 1 if name == "histogram" else 2
+            assert g["plan_cache"]["graph_hits"] == laps * calls
+            assert r["replay_speedup"] > 0
+
+    def test_graph_floor_enforced(self):
+        import pytest
+
+        with pytest.raises(AssertionError, match="under the floor"):
+            measure_overhead(size=128, iters=5, repeats=1, graph_floor=1e9)
+
     def test_report_and_json(self, tmp_path):
         results = small_results()
         text = overhead_report(results)

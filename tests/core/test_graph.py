@@ -1,0 +1,454 @@
+"""Iteration-graph capture & replay (DESIGN.md §12).
+
+The contract: ``graph.launch(n)`` re-dispatches a captured steady-state
+period as one macro-command with *bit-identical* simulated results —
+same sim_time, same command stream, same functional numerics — and when
+the frozen steady state no longer holds (weight rebalance, device
+retirement, eviction, active fault windows, eager interleaving) it
+transparently falls back to eager re-invocation, still bit-identically.
+
+Trace comparisons normalize task ids (``name#42`` → ``name``): ids are
+per-invocation serial numbers and legitimately differ between runs.
+"""
+
+import dataclasses
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import Matrix, Scheduler
+from repro.errors import GraphCaptureError
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import (
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.libs.cublas import make_sgemm_routine, sgemm_containers
+from repro.sim import DeviceFailure, FaultPlan, SimNode, Straggler
+
+N = 128
+GPUS = 4
+
+
+def norm_trace(node):
+    """Trace rows with per-invocation task ids stripped from labels."""
+    return [
+        (r.kind, re.sub(r"#\d+", "", r.label), r.device, r.start, r.end,
+         r.nbytes, r.src)
+        for r in node.trace
+    ]
+
+
+def gol_setup(faults=None, n=N, capacity=None, functional=True, seed=7):
+    spec = GTX_780 if capacity is None else dataclasses.replace(
+        GTX_780, global_memory_bytes=int(capacity)
+    )
+    node = SimNode(spec, GPUS, functional=functional, faults=faults)
+    sched = Scheduler(node)
+    a = Matrix(n, n, np.uint8, "A")
+    b = Matrix(n, n, np.uint8, "B")
+    if functional:
+        board = np.random.default_rng(seed).integers(
+            0, 2, (n, n), dtype=np.uint8
+        )
+        a.bind(board.copy())
+        b.bind(np.zeros_like(board))
+    kernel = make_gol_kernel()
+    ca, cb = gol_containers(a, b), gol_containers(b, a)
+    sched.analyze_call(kernel, *ca)
+    sched.analyze_call(kernel, *cb)
+    return node, sched, a, b, kernel, ca, cb
+
+
+def gol_expected(ticks, n=N, seed=7):
+    board = np.random.default_rng(seed).integers(0, 2, (n, n), dtype=np.uint8)
+    for _ in range(ticks):
+        board = gol_reference_step(board)
+    return board
+
+
+def run_gol_pairs(pairs, graph, faults=None, capacity=None, laps_between=0):
+    """``pairs`` ping-pong periods after a one-period warm-up.
+
+    graph=True: capture period 2, launch the rest. graph=False: the eager
+    twin — identical wait_all placement, every lap eager. Returns
+    (board, sim_time, trace_rows, graph_or_None, sched).
+    """
+    node, sched, a, b, kernel, ca, cb = gol_setup(
+        faults=faults, capacity=capacity
+    )
+    sched.invoke(kernel, *ca)
+    sched.invoke(kernel, *cb)  # warm-up period: distribution settles
+    sched.wait_all()
+    g = None
+    if graph:
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        g.launch(pairs - 2)
+    else:
+        sched.wait_all()  # begin_batch drain
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()  # end_batch drain
+        for _ in range(pairs - 2):
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        sched.wait_all()  # launch drain
+    sched.gather_async(a)
+    t = sched.wait_all()
+    return a.host.copy(), t, norm_trace(node), g, sched
+
+
+class TestCaptureReplay:
+    def test_gol_bit_identical(self):
+        pairs = 8
+        be, te, rowse, _, _ = run_gol_pairs(pairs, graph=False)
+        bg, tg, rowsg, g, sched = run_gol_pairs(pairs, graph=True)
+        assert g.replayable, g.reason
+        assert g.launches == g.fast_launches == 1
+        assert g.replayed_laps == pairs - 2
+        ref = gol_expected(2 * pairs)
+        assert np.array_equal(bg, ref)
+        assert np.array_equal(be, ref)
+        assert te == tg
+        assert rowse == rowsg
+
+    def test_sgemm_unmodified_bit_identical(self):
+        def run(graph, n=64, extra_periods=3):
+            node = SimNode(GTX_780, GPUS, functional=True)
+            sched = Scheduler(node)
+            rng = np.random.default_rng(3)
+            bmat = Matrix(n, n, np.float32, "B").bind(
+                (rng.standard_normal((n, n)) * 0.01).astype(np.float32)
+            )
+            x = Matrix(n, n, np.float32, "X").bind(
+                rng.standard_normal((n, n)).astype(np.float32)
+            )
+            y = Matrix(n, n, np.float32, "Y").bind(np.zeros((n, n), np.float32))
+            gemm = make_sgemm_routine()
+            cxy = sgemm_containers(x, bmat, y)
+            cyx = sgemm_containers(y, bmat, x)
+            sched.analyze_call(gemm, *cxy)
+            sched.analyze_call(gemm, *cyx)
+            sched.invoke_unmodified(gemm, *cxy)
+            sched.invoke_unmodified(gemm, *cyx)
+            sched.wait_all()
+            if graph:
+                with sched.capture() as g:
+                    sched.invoke_unmodified(gemm, *cxy)
+                    sched.invoke_unmodified(gemm, *cyx)
+                g.launch(extra_periods)
+                assert g.replayable, g.reason
+                assert g.fast_launches == 1
+            else:
+                sched.wait_all()
+                sched.invoke_unmodified(gemm, *cxy)
+                sched.invoke_unmodified(gemm, *cyx)
+                sched.wait_all()
+                for _ in range(extra_periods):
+                    sched.invoke_unmodified(gemm, *cxy)
+                    sched.invoke_unmodified(gemm, *cyx)
+            sched.gather_async(x)
+            t = sched.wait_all()
+            return x.host.copy(), t, norm_trace(node)
+
+        xe, te, rowse = run(False)
+        xg, tg, rowsg = run(True)
+        assert np.array_equal(xe, xg)
+        assert te == tg
+        assert rowse == rowsg
+
+    def test_consecutive_launches_stay_fast(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        g.launch(2)
+        g.launch(3)
+        assert g.launches == g.fast_launches == 2
+        assert g.replayed_laps == 5
+        sched.gather_async(a)
+        sched.wait_all()
+        assert np.array_equal(a.host, gol_expected(2 * 7))
+
+    def test_eager_interleave_falls_back_bit_identical(self):
+        # Eager invokes on the captured datums between launches demote
+        # subsequent launches to the (bit-identical) fallback path.
+        pairs = 9
+        be, te, rowse, _, _ = run_gol_pairs(pairs, graph=False)
+
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        g.launch(3)
+        sched.invoke(kernel, *ca)  # eager interleave
+        sched.invoke(kernel, *cb)
+        g.launch(3)  # falls back: eager laps broke the frozen state
+        assert g.launches == 2
+        assert g.fast_launches == 1
+        sched.gather_async(a)
+        sched.wait_all()
+        assert np.array_equal(a.host, gol_expected(2 * pairs))
+
+    def test_graph_hits_trajectory(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup(functional=False)
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        assert sched.plans.stats["graph_hits"] == 0
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        assert sched.plans.stats["graph_hits"] == 0  # capture is eager
+        g.launch(4)
+        hits = sched.plans.stats["graph_hits"]
+        assert hits == 4 * 2  # laps x calls per period
+        g.launch(1)
+        assert sched.plans.stats["graph_hits"] == hits + 2
+
+    def test_launch_zero_is_noop(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup(functional=False)
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        t0 = node.time
+        g.launch(0)
+        assert node.time == t0
+        assert g.replayed_laps == 0
+
+
+class TestCaptureGuards:
+    def test_sync_calls_raise_during_capture(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        sched.invoke(kernel, *ca)
+        sched.wait_all()
+        for bad in (
+            sched.wait_all,
+            lambda: sched.gather_async(a),
+            lambda: sched.analyze_call(kernel, *ca),
+            lambda: sched.mark_host_dirty(a),
+        ):
+            g = sched.begin_batch()
+            with pytest.raises(GraphCaptureError):
+                bad()
+            sched._abort_batch()
+            assert not g.replayable
+        # The scheduler stays usable after an aborted capture.
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+
+    def test_capture_context_aborts_on_error(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        sched.invoke(kernel, *ca)
+        sched.wait_all()
+        with pytest.raises(GraphCaptureError):
+            with sched.capture():
+                sched.invoke(kernel, *cb)
+                sched.wait_all()  # boom
+        # usable again, no capture left installed
+        assert node.graph_recorder is None
+        sched.invoke(kernel, *ca)
+        sched.wait_all()
+
+    def test_nested_capture_raises(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        with sched.capture():
+            with pytest.raises(GraphCaptureError):
+                sched.begin_batch()
+            sched.invoke(kernel, *ca)
+
+    def test_requires_plan_cache(self):
+        node = SimNode(GTX_780, GPUS, functional=False)
+        sched = Scheduler(node, plan_cache=False)
+        with pytest.raises(GraphCaptureError):
+            sched.begin_batch()
+
+    def test_unavailable_in_sanitize_mode(self):
+        node = SimNode(GTX_780, GPUS, functional=True)
+        sched = Scheduler(node, sanitize=True)
+        with pytest.raises(GraphCaptureError):
+            sched.begin_batch()
+
+    def test_launch_during_capture_raises(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        with sched.capture():
+            sched.invoke(kernel, *ca)
+            with pytest.raises(GraphCaptureError):
+                g.launch(1)
+            sched.invoke(kernel, *cb)
+
+
+class TestInvalidation:
+    """Scheduler-state changes bump the graph generation; stale graphs
+    fall back to eager replay, bit-identically."""
+
+    def test_straggler_rebalance_invalidates(self):
+        # Mitigated straggler: EWMA feedback rebalances the partition,
+        # which must invalidate any captured graph.
+        faults = lambda: FaultPlan(  # noqa: E731
+            stragglers=[Straggler(device=1, compute_factor=4.0)],
+            mitigate_stragglers=True,
+        )
+        pairs = 8
+        be, te, rowse, _, _ = run_gol_pairs(pairs, graph=False,
+                                            faults=faults())
+        bg, tg, rowsg, g, sched = run_gol_pairs(pairs, graph=True,
+                                                faults=faults())
+        ref = gol_expected(2 * pairs)
+        assert np.array_equal(be, ref)
+        assert np.array_equal(bg, ref)
+        assert te == tg
+        assert rowse == rowsg
+        # Replay never went down the frozen fast path: either the capture
+        # itself was spoiled (rebalance mid-capture) or the launch saw a
+        # generation/weight change and fell back.
+        assert g.fast_launches == 0
+
+    def test_active_straggler_window_blocks_fast_path(self):
+        # Unmitigated straggler with no end: timeline stretched for good;
+        # the frozen command stream would be wrong, so launches fall back.
+        faults = lambda: FaultPlan(  # noqa: E731
+            stragglers=[Straggler(device=1, compute_factor=2.0)]
+        )
+        pairs = 8
+        be, te, rowse, _, _ = run_gol_pairs(pairs, graph=False,
+                                            faults=faults())
+        bg, tg, rowsg, g, sched = run_gol_pairs(pairs, graph=True,
+                                                faults=faults())
+        assert g.fast_launches == 0
+        assert np.array_equal(bg, gol_expected(2 * pairs))
+        assert te == tg
+        assert rowse == rowsg
+
+    def test_ended_straggler_window_allows_fast_path(self):
+        # A straggler that healed before the capture is quiescent: the
+        # steady state is genuinely steady again.
+        faults = lambda: FaultPlan(  # noqa: E731
+            stragglers=[
+                Straggler(device=1, compute_factor=2.0, start=0.0, end=1e-5)
+            ]
+        )
+        pairs = 8
+        be, te, rowse, _, _ = run_gol_pairs(pairs, graph=False,
+                                            faults=faults())
+        bg, tg, rowsg, g, sched = run_gol_pairs(pairs, graph=True,
+                                                faults=faults())
+        assert g.replayable, g.reason
+        assert g.fast_launches == 1
+        assert te == tg
+        assert rowse == rowsg
+
+    @staticmethod
+    def _retirement_run(graph, faults):
+        """Capture on a healthy node, then a checkpointed eager phase
+        (where a failure can land and recovery can reroute from the host
+        replicas), then replay/eager-twin laps, then gather."""
+        node, sched, a, b, kernel, ca, cb = gol_setup(faults=faults)
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        g = None
+        if graph:
+            with sched.capture() as g:
+                sched.invoke(kernel, *ca)
+                sched.invoke(kernel, *cb)
+        else:
+            sched.wait_all()  # begin_batch drain
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+            sched.wait_all()  # end_batch drain
+        p0 = node.time
+        for _ in range(2):  # checkpointed: every tick gathered
+            sched.invoke(kernel, *ca)
+            sched.gather(b)
+            sched.invoke(kernel, *cb)
+            sched.gather(a)
+        p1 = node.time
+        if graph:
+            g.launch(2)
+        else:
+            for _ in range(2):
+                sched.invoke(kernel, *ca)
+                sched.invoke(kernel, *cb)
+            sched.wait_all()  # launch/fallback drain
+        sched.gather_async(a)
+        t = sched.wait_all()
+        return a.host.copy(), t, norm_trace(node), g, sched, p0, p1
+
+    def test_device_retirement_invalidates(self):
+        # Probe the healthy timeline to aim the failure at the middle of
+        # the checkpointed phase — after the capture, before the launch.
+        _, _, _, _, _, p0, p1 = self._retirement_run(False, None)
+        when = (p0 + p1) / 2
+        faults = lambda: FaultPlan(  # noqa: E731
+            device_failures=[DeviceFailure(device=2, at_time=when)]
+        )
+        be, te, rowse, _, se, _, _ = self._retirement_run(False, faults())
+        bg, tg, rowsg, g, sg, _, _ = self._retirement_run(True, faults())
+        assert 2 in se.node.engine.dead  # the failure actually landed
+        assert g.replayable, g.reason  # capture itself was healthy
+        # Retirement bumped the generation: launch fell back to eager.
+        assert g.generation < sg._graph_generation
+        assert g.launches == 1
+        assert g.fast_launches == 0
+        assert np.array_equal(bg, gol_expected(12))  # 2+2+4+4 ticks
+        assert np.array_equal(be, bg)
+        assert te == tg
+        assert rowse == rowsg
+
+    def test_generation_bump_after_capture_falls_back(self):
+        node, sched, a, b, kernel, ca, cb = gol_setup()
+        sched.invoke(kernel, *ca)
+        sched.invoke(kernel, *cb)
+        sched.wait_all()
+        with sched.capture() as g:
+            sched.invoke(kernel, *ca)
+            sched.invoke(kernel, *cb)
+        assert g.replayable, g.reason
+        sched._graph_generation += 1  # what retire/evict/rebalance do
+        g.launch(2)
+        assert g.launches == 1
+        assert g.fast_launches == 0
+        sched.gather_async(a)
+        sched.wait_all()
+        assert np.array_equal(a.host, gol_expected(2 * 4))
+
+    def test_eviction_invalidates(self):
+        # Memory pressure (capacity clamped) forces evictions, which bump
+        # the generation; graph replay must fall back, bit-identically.
+        pairs = 6
+        ref = gol_expected(2 * pairs)
+
+        # Probe the working set, then clamp to 60% of it.
+        node2, sched2, a2, b2, k2, ca2, cb2 = gol_setup()
+        sched2.invoke(k2, *ca2)
+        sched2.wait_all()
+        ws = max(r["peak"] for r in node2.memory_report().values())
+        cap = int(ws * 0.6)
+
+        be, te, rowse, _, _ = run_gol_pairs(pairs, graph=False, capacity=cap)
+        bg, tg, rowsg, g, sched = run_gol_pairs(pairs, graph=True,
+                                                capacity=cap)
+        assert np.array_equal(be, ref)
+        assert np.array_equal(bg, ref)
+        assert te == tg
+        assert rowse == rowsg
