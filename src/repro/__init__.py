@@ -31,6 +31,8 @@ Package layout:
 * :mod:`repro.apps` - LeNet training (S6.1) and NMF (S6.2)
 * :mod:`repro.baselines` - Torch-like, Caffe-like, NMF-mGPU comparators
 * :mod:`repro.bench` - drivers regenerating every table and figure
+* :mod:`repro.server` - multi-tenant job server (quotas, fair share,
+  preemptive checkpoint/requeue)
 """
 
 from repro.core import (
@@ -50,12 +52,15 @@ from repro.errors import (
     AllocationError,
     AnalysisError,
     CapacityError,
+    DeadlineExceededError,
     DeadlockError,
     DeviceError,
     DeviceFault,
     GraphCaptureError,
     MapsError,
     PatternMismatchError,
+    PreemptedError,
+    QuotaExceededError,
     SchedulingError,
     SimulationError,
     StragglerAlarm,
@@ -130,6 +135,9 @@ __all__ = [
     "StragglerTimeoutError",
     "TransientTransferError",
     "UnrecoverableError",
+    "QuotaExceededError",
+    "DeadlineExceededError",
+    "PreemptedError",
     "FaultPlan",
     "DeviceFailure",
     "TransferFault",

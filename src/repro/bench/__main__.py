@@ -40,6 +40,11 @@ from repro.bench.sanitize import (
     sanitize_report,
     write_sanitize_json,
 )
+from repro.bench.server import (
+    measure_server,
+    server_report,
+    write_server_json,
+)
 from repro.bench.stragglers import (
     measure_stragglers,
     stragglers_report,
@@ -149,11 +154,27 @@ EXPERIMENTS = {
     "fig13": fig13,
 }
 
+#: Robustness/serving mode flags and what each measures (--list output).
+MODES = {
+    "--overhead": "host-path overhead, plan cache and iteration graphs "
+    "(BENCH_overhead.json)",
+    "--faults": "fault-injection recovery overhead (BENCH_faults.json)",
+    "--pressure": "graceful degradation under memory pressure "
+    "(BENCH_pressure.json)",
+    "--stragglers": "straggler mitigation (BENCH_stragglers.json)",
+    "--sanitize": "sanitizer functional-mode overhead "
+    "(BENCH_sanitize.json)",
+    "--server": "multi-tenant job server: queue waits, preemption "
+    "overhead, fairness (BENCH_server.json)",
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the paper's evaluation tables/figures.",
+        description="Regenerate the paper's evaluation tables/figures, "
+        "or run one of the robustness/serving benchmarks (see the "
+        "'robustness & serving modes' options).",
     )
     parser.add_argument(
         "experiments",
@@ -161,21 +182,29 @@ def main(argv: list[str] | None = None) -> int:
         help=f"subset to run (default: all of {sorted(EXPERIMENTS)})",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list experiment names and exit"
+        "--list",
+        action="store_true",
+        help="list experiment names and benchmark mode flags, then exit",
     )
-    parser.add_argument(
+    modes = parser.add_argument_group(
+        "robustness & serving modes",
+        "mutually exclusive measurement modes; each prints a report and "
+        "writes a BENCH_*.json artifact instead of running the paper "
+        "experiments",
+    )
+    modes.add_argument(
         "--overhead",
         action="store_true",
         help="measure host-path overhead (plan cache off vs on) and write "
         "BENCH_overhead.json",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--overhead-json",
         default="BENCH_overhead.json",
         metavar="PATH",
         help="output path for --overhead results (default: %(default)s)",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--graph-floor",
         type=float,
         default=None,
@@ -184,59 +213,76 @@ def main(argv: list[str] | None = None) -> int:
         "replay speedup over the cached scheduler reaches this factor "
         "(CI regression gate)",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--faults",
         action="store_true",
         help="measure fault-injection recovery overhead (permanent / "
         "transient / straggler scenarios) and write BENCH_faults.json",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--faults-json",
         default="BENCH_faults.json",
         metavar="PATH",
         help="output path for --faults results (default: %(default)s)",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--pressure",
         action="store_true",
         help="measure graceful degradation under device-memory pressure "
         "(capacity clamped to 1.0/0.6/0.3/0.1x of the in-core working "
         "set) and write BENCH_pressure.json",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--pressure-json",
         default="BENCH_pressure.json",
         metavar="PATH",
         help="output path for --pressure results (default: %(default)s)",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--stragglers",
         action="store_true",
         help="measure straggler mitigation (device 1 computing 1.5x/2x/4x "
         "slower, plus a transient scenario; unmitigated vs mitigated) and "
         "write BENCH_stragglers.json",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--stragglers-json",
         default="BENCH_stragglers.json",
         metavar="PATH",
         help="output path for --stragglers results (default: %(default)s)",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--sanitize",
         action="store_true",
         help="measure the sanitizer's functional-mode overhead (recording "
         "on vs off) and write BENCH_sanitize.json",
     )
-    parser.add_argument(
+    modes.add_argument(
         "--sanitize-json",
         default="BENCH_sanitize.json",
         metavar="PATH",
         help="output path for --sanitize results (default: %(default)s)",
     )
+    modes.add_argument(
+        "--server",
+        action="store_true",
+        help="measure the multi-tenant job server (queue-wait p50/p95, "
+        "preemption overhead vs solo runs, fairness vs offered load; "
+        "DESIGN.md §13) and write BENCH_server.json",
+    )
+    modes.add_argument(
+        "--server-json",
+        default="BENCH_server.json",
+        metavar="PATH",
+        help="output path for --server results (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     if args.list:
-        print("\n".join(sorted(EXPERIMENTS)))
+        print("experiments:")
+        print("\n".join(f"  {n}" for n in sorted(EXPERIMENTS)))
+        print("modes:")
+        for flag, desc in MODES.items():
+            print(f"  {flag:14s}{desc}")
         return 0
     if args.overhead:
         results = measure_overhead(graph_floor=args.graph_floor)
@@ -267,6 +313,12 @@ def main(argv: list[str] | None = None) -> int:
         print(sanitize_report(results))
         write_sanitize_json(results, args.sanitize_json)
         print(f"wrote {args.sanitize_json}")
+        return 0
+    if args.server:
+        results = measure_server()
+        print(server_report(results))
+        write_server_json(results, args.server_json)
+        print(f"wrote {args.server_json}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -502,6 +502,16 @@ class IterationGraph:
         either way — the fast path only skips host-side work).
         """
         sched = self._sched
+        if sched._released:
+            # The scheduler's lease ended (job-server preemption,
+            # DESIGN.md §13): its streams are gone from the node and its
+            # buffers are freed, so neither the macro-command nor the
+            # eager fallback has anything valid to drive. The workload
+            # must re-capture on the scheduler of its next lease.
+            raise GraphCaptureError(
+                "iteration graph belongs to a released scheduler; "
+                "re-capture after resuming on a live scheduler"
+            )
         if sched.node.graph_recorder is not None:
             raise GraphCaptureError(
                 "cannot launch an iteration graph while a capture is "
@@ -580,7 +590,8 @@ class IterationGraph:
             for start, end, cf, bf in wins:
                 if cf == 1.0 and bf == 1.0:
                     continue
-                if end is None or end > now:
+                # Window bounds are plan-relative (FaultPlan.epoch).
+                if end is None or end + fp.epoch > now:
                     return False
         if fp.mitigate_stragglers and (
             fp.watchdog_patience <= 1.0 or fp.hedge_patience <= 1.0

@@ -256,6 +256,16 @@ class MemoryAnalyzer:
                 self.node.devices[device].memory.free(buf)
                 del self._buffers[(did, device)]
 
+    def release_all(self) -> None:
+        """Free every live buffer and forget all analyses — the job
+        server's lease teardown (DESIGN.md §13): the next tenant must find
+        the devices exactly as empty as this one did."""
+        for (did, device), buf in self._buffers.items():
+            self.node.devices[device].memory.free(buf)
+        self._buffers.clear()
+        self._boxes.clear()
+        self._datums.clear()
+
     def allocation_report(self) -> dict[str, dict[int, int]]:
         """Bytes allocated per datum name per device (for tests/examples)."""
         report: dict[str, dict[int, int]] = {}

@@ -154,6 +154,7 @@ class Scheduler:
         auto_analyze: bool = False,
         plan_cache: bool = True,
         sanitize: bool = False,
+        devices: "tuple[int, ...] | None" = None,
     ):
         """Args:
             node: The simulated multi-GPU node to drive.
@@ -178,6 +179,11 @@ class Scheduler:
                 violation raises the typed
                 :class:`~repro.sanitize.errors.SanitizerError` out of
                 ``wait``/``wait_all``. Requires a functional node.
+            devices: Restrict scheduling to a subset of the node's devices
+                (DESIGN.md §13: a job-server lease hands a tenant ``n`` of
+                the node's GPUs). Default: all of them. Work is segmented,
+                placed and transferred only among these devices; the rest
+                of the node is untouched.
         """
         self.node = node
         self.auto_analyze = auto_analyze
@@ -208,8 +214,22 @@ class Scheduler:
         ]
         self._host_stream = node.new_stream(HOST, "host", "host.aggregate")
         self.handles: list[TaskHandle] = []
-        #: Devices currently taking work; shrinks as faults retire devices.
-        self._alive: tuple[int, ...] = tuple(range(g))
+        #: Devices currently taking work; starts as the ``devices``
+        #: restriction (default: all) and shrinks as faults retire devices.
+        if devices is None:
+            alive = tuple(range(g))
+        else:
+            alive = tuple(sorted(set(int(d) for d in devices)))
+            if not alive:
+                raise SchedulingError("devices must name at least one GPU")
+            if alive[0] < 0 or alive[-1] >= g:
+                raise SchedulingError(
+                    f"devices {alive} out of range for a {g}-GPU node"
+                )
+        self._alive: tuple[int, ...] = alive
+        #: Set by :meth:`release`: the scheduler gave its streams and
+        #: buffers back to the node and must not be driven again.
+        self._released = False
         #: Tasks registered via analyze_call — re-analyzed for the
         #: surviving device set when recovery re-segments work.
         self._analyzed: list[Task] = []
@@ -257,6 +277,66 @@ class Scheduler:
         """Devices currently scheduled onto (shrinks under faults)."""
         return self._alive
 
+    @property
+    def released(self) -> bool:
+        """Whether :meth:`release` tore this scheduler down."""
+        return self._released
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise SchedulingError(
+                "scheduler was released (its lease ended); build a fresh "
+                "Scheduler and re-bind the workload to resume"
+            )
+
+    def release(self) -> None:
+        """Tear the scheduler down and return the node to an unleased,
+        empty state (DESIGN.md §13).
+
+        The job server calls this at the end of every lease — cooperative
+        preemption, completion, or fault teardown. It must leave *zero*
+        residue on the shared node: all device buffers freed (including
+        in-flight chunk staging pools), this scheduler's streams removed
+        from the node's dispatch set, the straggler observer unhooked, and
+        any captured iteration graphs spoiled (their generation check
+        fails and :meth:`IterationGraph.launch` refuses a released
+        scheduler — the workload re-captures on its next lease). Safe to
+        call twice; every driving entry point raises
+        :class:`~repro.errors.SchedulingError` afterwards.
+        """
+        if self._released:
+            return
+        self._released = True
+        # Spoil captured graphs before anything else: a launch racing the
+        # teardown must take neither the fast path nor the eager fallback.
+        self._graph_generation += 1
+        if self._capture is not None:
+            self._abort_batch()
+        node = self.node
+        # == not `is`: bound-method objects are created per access, so
+        # identity would never match and a stale observer would outlive
+        # the lease, crashing the next tenant's dispatches.
+        if node.engine.observer == self._observe:
+            node.engine.observer = None
+        # Chunk staging pools normally free themselves via a deferred
+        # command; a preempted or faulted lease may have destroyed that
+        # command, so force-free whatever is still registered.
+        for token, (dev, bufs) in list(self._live_chunk_pools.items()):
+            mem = node.devices[dev].memory
+            for b in bufs:
+                mem.free(b)
+            del self._live_chunk_pools[token]
+        self.analyzer.release_all()
+        own = set()
+        for group in (self._compute, self._copy_in, self._copy_out):
+            own.update(id(s) for s in group)
+        own.add(id(self._host_stream))
+        own.update(id(s) for s in self._spec_streams.values())
+        for s in node.streams:
+            if id(s) in own:
+                s.commands.clear()
+        node.streams = [s for s in node.streams if id(s) not in own]
+
     # -- public API (paper Table 2) -------------------------------------------
     def analyze_call(
         self,
@@ -268,6 +348,7 @@ class Scheduler:
         """Forward-declare a task so the memory analyzer can size
         per-device allocations (§4.2). Accepts the same parameters as
         :meth:`invoke`."""
+        self._check_live()
         self._no_capture("analyze_call")
         task = Task(kernel, containers, grid, constants)
         self._refresh_weights()
@@ -339,6 +420,7 @@ class Scheduler:
     ) -> list[Event]:
         """Queue the copies of one gather; returns their completion events
         (the re-issuable core of gather_async/gather_region)."""
+        self._check_live()
         if self.monitor.needs_aggregation(datum):
             if region is not None:
                 raise SchedulingError(
@@ -379,6 +461,7 @@ class Scheduler:
         """Run the simulation until every queued command has executed;
         returns the simulated time. Injected faults are recovered from
         here (see module docstring)."""
+        self._check_live()
         self._no_capture("wait_all")
         while True:
             try:
@@ -448,6 +531,7 @@ class Scheduler:
         *resolved* plans) and is unavailable in sanitize mode (the
         sanitizer must observe every eager dispatch).
         """
+        self._check_live()
         if self._capture is not None:
             raise GraphCaptureError("an iteration-graph capture is already "
                                     "recording (captures do not nest)")
@@ -541,6 +625,7 @@ class Scheduler:
         :class:`~repro.errors.CapacityError` — an irreducible footprint —
         propagates, since shrinking the device set only enlarges
         per-device shares and could never help."""
+        self._check_live()
         while True:
             try:
                 plan = self._lookup_or_build(task)

@@ -223,3 +223,94 @@ class UnrecoverableError(MapsError):
     """Fault recovery is impossible: no valid replica of a needed segment
     survives (or the last device failed). The application must restart
     from its own checkpoint."""
+
+
+class QuotaExceededError(MapsError):
+    """A job violated its tenant's resource quota (DESIGN.md §13).
+
+    Raised by the job server at *admission* when a submission can never
+    fit its tenant's allowance (GPU count, irreducible per-device memory
+    footprint, declared time limit), or at *runtime* when a running job's
+    accumulated simulated execution time crosses ``max_sim_time``.
+
+    Deliberately **not** a subclass of :class:`AllocationError`: the
+    memory-pressure escalation ladder (DESIGN.md §10) catches
+    ``AllocationError`` to degrade gracefully, and a quota verdict must
+    terminate the job rather than be absorbed by eviction or chunking.
+    (Memory quotas are instead enforced by clamping device capacity for
+    the tenant's lease, so the ladder *does* engage below the clamp.)
+
+    Attributes:
+        tenant: Tenant whose quota was violated.
+        resource: ``"gpus"``, ``"device-memory"`` or ``"sim-time"``.
+        requested: Amount the job asked for / consumed.
+        limit: The tenant's allowance for the resource.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        resource: str | None = None,
+        requested: float = 0.0,
+        limit: float = 0.0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.resource = resource
+        self.requested = requested
+        self.limit = limit
+
+
+class DeadlineExceededError(MapsError):
+    """A job missed its absolute completion deadline (DESIGN.md §13).
+
+    Deadlines are checked at checkpoint boundaries against the server's
+    simulated clock, so queue wait counts toward the deadline — a job
+    starved past its deadline fails exactly like one that ran too long.
+
+    Attributes:
+        job_id: The killed job.
+        deadline: The absolute simulated-time deadline.
+        now: Simulated time when the miss was detected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_id: str | None = None,
+        deadline: float = 0.0,
+        now: float = 0.0,
+    ):
+        super().__init__(message)
+        self.job_id = job_id
+        self.deadline = deadline
+        self.now = now
+
+
+class PreemptedError(MapsError):
+    """A job was preempted at a checkpoint boundary (DESIGN.md §13).
+
+    Control-flow signal of the job server's time slicing, recorded in the
+    job's history: the job's host-resident checkpoint is complete, its
+    lease was torn down, and the job was requeued to resume from the last
+    completed iteration. It only escapes to applications that drive a
+    :class:`~repro.server.JobServer` manually and ask it to.
+
+    Attributes:
+        job_id: The preempted job.
+        at_iteration: Iterations completed when the job yielded.
+        time: Simulated time of the preemption.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_id: str | None = None,
+        at_iteration: int = 0,
+        time: float = 0.0,
+    ):
+        super().__init__(message)
+        self.job_id = job_id
+        self.at_iteration = at_iteration
+        self.time = time

@@ -1,0 +1,411 @@
+"""The multi-tenant job server (DESIGN.md §13).
+
+One :class:`JobServer` owns one simulated node and time-slices it between
+tenants, Slurm-style: ``submit`` runs admission control against the
+tenant's :class:`~repro.server.jobs.TenantQuota` and enqueues a
+:class:`~repro.server.jobs.Job`; the scheduling loop picks the most
+underserved eligible job (fair share with priority aging), leases the node
+to it (``SimNode.begin_lease``: tenant fault plan, memory-quota capacity
+clamp, per-tenant fault domain), and runs checkpoint-sized chunks until
+the job finishes, its time slice expires (cooperative preemption at a
+checkpoint boundary, recorded as a :class:`~repro.errors.PreemptedError`),
+its deadline or simulated-time quota trips, or an unrecoverable fault
+tears the lease down (capped-exponential backoff requeue).
+
+Scheduling is **serial**: at most one job runs at a time, which keeps
+fault attribution exact and makes every schedule a deterministic function
+of the submissions — two servers fed the same jobs produce identical
+histories, simulated times and (bit-identical) results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core import Scheduler
+from repro.errors import (
+    CapacityError,
+    DeadlineExceededError,
+    PreemptedError,
+    QuotaExceededError,
+    UnrecoverableError,
+)
+from repro.hardware import GTX_780
+from repro.hardware.specs import GPUSpec
+from repro.server.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    PREEMPTED,
+    RUNNING,
+    Job,
+    JobSpec,
+    TenantQuota,
+)
+from repro.server.workloads import Workload
+from repro.sim.node import SimNode
+
+
+def solo_run(
+    workload: Workload,
+    spec: GPUSpec = GTX_780,
+    num_gpus: int = 4,
+    gpus: Optional[int] = None,
+    functional: bool = True,
+) -> tuple:
+    """Run a workload alone on a fresh node — the baseline every server
+    job is compared against. Returns ``(result, sim_seconds)``."""
+    node = SimNode(spec, num_gpus, functional=functional)
+    devices = tuple(range(gpus)) if gpus is not None else None
+    sched = Scheduler(node, devices=devices)
+    t0 = node.time  # before bind: leases pay analysis too, so the
+    workload.bind(sched)  # baseline must include it once
+    while not workload.finished:
+        workload.run_chunk(sched)
+    return workload.result(), node.time - t0
+
+
+class JobServer:
+    """Slurm-like multi-tenant job service over one simulated node.
+
+    Args:
+        spec: GPU model of the node (Table 3).
+        num_gpus: Node size.
+        functional: Functional-mode node (results checkable); the server
+            is mode-agnostic.
+        time_slice: Simulated seconds a job may hold the node while other
+            work is eligible; expiry preempts at the next checkpoint
+            boundary. ``None`` disables preemption.
+        quotas: tenant name -> :class:`TenantQuota`. Unknown tenants get
+            ``default_quota``.
+        default_quota: Allowance for tenants not in ``quotas``.
+        aging_rate: Fair-share priority aging (DESIGN.md §13): a waiting
+            job's effective usage is discounted by ``aging_rate`` *
+            wait-seconds, so even a heavy tenant's job eventually runs
+            (no starvation).
+        requeue_base: First fault-requeue backoff in simulated seconds
+            (doubles per requeue).
+        requeue_cap: Upper bound on a single backoff interval.
+        max_requeues: Fault requeues before the job fails for good.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec = GTX_780,
+        num_gpus: int = 4,
+        functional: bool = True,
+        time_slice: Optional[float] = None,
+        quotas: Optional[dict[str, TenantQuota]] = None,
+        default_quota: TenantQuota = TenantQuota(),
+        aging_rate: float = 0.1,
+        requeue_base: float = 1e-4,
+        requeue_cap: float = 1e-2,
+        max_requeues: int = 4,
+    ):
+        self.node = SimNode(spec, num_gpus, functional=functional)
+        self.time_slice = time_slice
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.aging_rate = float(aging_rate)
+        self.requeue_base = float(requeue_base)
+        self.requeue_cap = float(requeue_cap)
+        self.max_requeues = int(max_requeues)
+        self.jobs: dict[str, Job] = {}
+        self._order: dict[str, int] = {}  # submission sequence (tie-break)
+        self._ids = itertools.count(1)
+        #: tenant -> simulated execution seconds delivered (fair share).
+        self.tenant_usage: dict[str, float] = {}
+
+    # -- quota helpers ---------------------------------------------------------
+    def quota(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _gpus_of(self, spec: JobSpec) -> int:
+        return spec.gpus if spec.gpus is not None else self.node.num_gpus
+
+    # -- Slurm-like API --------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Admission control, then enqueue. Raises
+        :class:`~repro.errors.QuotaExceededError` when the submission can
+        never fit its tenant's allowance — over-quota work is rejected at
+        the door, not discovered mid-run."""
+        q = self.quota(spec.tenant)
+        gpus = self._gpus_of(spec)
+        if gpus < 1 or gpus > self.node.num_gpus:
+            raise QuotaExceededError(
+                f"job requests {gpus} GPUs on a "
+                f"{self.node.num_gpus}-GPU node",
+                tenant=spec.tenant,
+                resource="gpus",
+                requested=gpus,
+                limit=self.node.num_gpus,
+            )
+        if q.max_gpus is not None and gpus > q.max_gpus:
+            raise QuotaExceededError(
+                f"tenant {spec.tenant!r} may use at most {q.max_gpus} "
+                f"GPUs, requested {gpus}",
+                tenant=spec.tenant,
+                resource="gpus",
+                requested=gpus,
+                limit=q.max_gpus,
+            )
+        if q.max_device_bytes is not None:
+            floor = spec.workload.min_device_bytes(gpus)
+            if floor > q.max_device_bytes:
+                raise QuotaExceededError(
+                    f"workload needs >= {floor} B per device even fully "
+                    f"chunked; tenant {spec.tenant!r} is allowed "
+                    f"{q.max_device_bytes} B",
+                    tenant=spec.tenant,
+                    resource="device-memory",
+                    requested=floor,
+                    limit=q.max_device_bytes,
+                )
+        job = Job(
+            id=f"job-{next(self._ids):04d}",
+            spec=spec,
+            submit_time=max(self.node.time, spec.arrival),
+        )
+        job.log(job.submit_time, "submitted")
+        self.jobs[job.id] = job
+        self._order[job.id] = len(self._order)
+        self.tenant_usage.setdefault(spec.tenant, 0.0)
+        return job
+
+    def status(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued (PENDING/PREEMPTED) job. Terminal jobs are left
+        untouched; the serial scheduler never exposes a RUNNING job to
+        callers, so there is nothing to kill mid-flight."""
+        job = self.status(job_id)
+        if job.state in (PENDING, PREEMPTED):
+            job.state = CANCELLED
+            job.end_time = self.node.time
+            job.log(self.node.time, "cancelled")
+        return job
+
+    def queue(self) -> list[Job]:
+        """Non-terminal jobs in current scheduling preference order."""
+        live = [
+            j
+            for j in self.jobs.values()
+            if j.state in (PENDING, PREEMPTED, RUNNING)
+        ]
+        return sorted(live, key=lambda j: self._score(j, self.node.time))
+
+    # -- fair share ------------------------------------------------------------
+    def _score(self, job: Job, now: float) -> tuple:
+        """Lower runs first: normalized tenant usage, discounted by how
+        long the job has waited (priority aging) and its nice value;
+        submission order breaks exact ties deterministically."""
+        q = self.quota(job.spec.tenant)
+        usage = self.tenant_usage.get(job.spec.tenant, 0.0)
+        share = max(q.share, 1e-9)
+        wait = max(0.0, now - job.submit_time)
+        score = usage / share - self.aging_rate * wait - job.spec.priority
+        return (score, self._order[job.id])
+
+    def _eligible(self, job: Job, now: float) -> bool:
+        return (
+            job.state in (PENDING, PREEMPTED)
+            and job.spec.arrival <= now
+            and job.not_before <= now
+        )
+
+    def _pick(self) -> Optional[Job]:
+        now = self.node.time
+        candidates = [j for j in self.jobs.values() if self._eligible(j, now)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda j: self._score(j, now))
+
+    def _next_eligibility(self) -> Optional[float]:
+        """Earliest future time a queued job becomes eligible (arrival or
+        fault backoff), or None if the queue is truly empty."""
+        times = [
+            max(j.spec.arrival, j.not_before)
+            for j in self.jobs.values()
+            if j.state in (PENDING, PREEMPTED)
+        ]
+        return min(times) if times else None
+
+    # -- scheduling loop -------------------------------------------------------
+    def step(self) -> Optional[Job]:
+        """One scheduling decision: run the best eligible job for one
+        lease (to completion, preemption, or failure). Returns the job, or
+        None when nothing is eligible (idle-advances the clock to the next
+        arrival/backoff expiry if one exists)."""
+        job = self._pick()
+        if job is None:
+            nxt = self._next_eligibility()
+            if nxt is not None and nxt > self.node.time:
+                self.node.host_advance(nxt - self.node.time)
+                return self.step()
+            return None
+        self._run_lease(job)
+        return job
+
+    def run(self) -> None:
+        """Drain the queue: step until no job is pending or preempted."""
+        while self.step() is not None:
+            pass
+
+    # -- one lease -------------------------------------------------------------
+    def _others_waiting(self, job: Job) -> bool:
+        now = self.node.time
+        return any(
+            self._eligible(j, now) for j in self.jobs.values() if j is not job
+        )
+
+    def _run_lease(self, job: Job) -> None:
+        node = self.node
+        spec = job.spec
+        q = self.quota(spec.tenant)
+        devices = tuple(range(self._gpus_of(spec)))
+        lease_start = node.time
+        # Plan-relative clock: the job has lived `sim_time_used` seconds
+        # of execution so far, so its fault plan's t=0 maps to
+        # `lease_start - sim_time_used` on the node's clock.
+        node.begin_lease(
+            faults=spec.faults,
+            epoch=lease_start - job.sim_time_used,
+            capacity=q.max_device_bytes,
+            devices=devices,
+        )
+        sched = Scheduler(node, devices=devices)
+        resumed = job.state == PREEMPTED or job.requeues > 0
+        job.state = RUNNING
+        if job.start_time is None:
+            job.start_time = lease_start
+        job.log(
+            lease_start,
+            f"resumed at iteration {spec.workload.completed}"
+            if resumed
+            else "started",
+        )
+        try:
+            spec.workload.bind(sched)
+            self._drive(job, sched, lease_start)
+        except UnrecoverableError as e:
+            self._requeue_after_fault(job, e)
+        except CapacityError as e:
+            self._fail(job, e, f"capacity: {e}")
+        finally:
+            used = node.time - lease_start
+            job.sim_time_used += used
+            self.tenant_usage[spec.tenant] = (
+                self.tenant_usage.get(spec.tenant, 0.0) + used
+            )
+            sched.release()
+            node.end_lease()
+
+    def _drive(self, job: Job, sched: Scheduler, lease_start: float) -> None:
+        """Chunk loop of one lease; every lap starts and ends at a
+        checkpoint boundary (host state complete)."""
+        node = self.node
+        spec = job.spec
+        q = self.quota(spec.tenant)
+        wl = spec.workload
+        first = True
+        while not wl.finished:
+            # Guarantee progress: at least one chunk runs per lease, so a
+            # pathological slice cannot livelock the queue.
+            if not first and self._slice_expired(job, lease_start):
+                self._preempt(job)
+                return
+            wl.run_chunk(sched)
+            first = False
+            now = node.time
+            used = job.sim_time_used + (now - lease_start)
+            if q.max_sim_time is not None and used > q.max_sim_time:
+                e = QuotaExceededError(
+                    f"job {job.id} consumed {used:.6g}s simulated "
+                    f"execution time; tenant {spec.tenant!r} allows "
+                    f"{q.max_sim_time:.6g}s",
+                    tenant=spec.tenant,
+                    resource="sim-time",
+                    requested=used,
+                    limit=q.max_sim_time,
+                )
+                self._fail(job, e, f"sim-time quota: {used:.6g}s")
+                return
+            if spec.deadline is not None and now > spec.deadline:
+                e = DeadlineExceededError(
+                    f"job {job.id} missed its deadline "
+                    f"t={spec.deadline:.6g} (now t={now:.6g})",
+                    job_id=job.id,
+                    deadline=spec.deadline,
+                    now=now,
+                )
+                self._fail(job, e, f"deadline missed at t={now:.6g}")
+                return
+        job.state = DONE
+        job.end_time = node.time
+        job.log(node.time, "completed")
+
+    def _slice_expired(self, job: Job, lease_start: float) -> bool:
+        if self.time_slice is None:
+            return False
+        if self.node.time - lease_start < self.time_slice:
+            return False
+        return self._others_waiting(job)
+
+    def _preempt(self, job: Job) -> None:
+        now = self.node.time
+        wl = job.spec.workload
+        err = PreemptedError(
+            f"job {job.id} preempted at iteration {wl.completed} "
+            f"(t={now:.6g})",
+            job_id=job.id,
+            at_iteration=wl.completed,
+            time=now,
+        )
+        job.state = PREEMPTED
+        job.preemptions += 1
+        job.last_preemption = err
+        job.log(now, f"preempted at iteration {wl.completed}")
+
+    def _requeue_after_fault(self, job: Job, err: UnrecoverableError) -> None:
+        now = self.node.time
+        job.requeues += 1
+        if job.requeues > self.max_requeues:
+            self._fail(
+                job, err, f"failed for good after {self.max_requeues} requeues"
+            )
+            return
+        backoff = min(
+            self.requeue_base * (2.0 ** (job.requeues - 1)), self.requeue_cap
+        )
+        job.not_before = now + backoff
+        job.state = PENDING
+        job.log(
+            now,
+            f"unrecoverable fault; requeued with backoff {backoff:.6g}s "
+            f"(attempt {job.requeues})",
+        )
+
+    def _fail(self, job: Job, err: BaseException, note: str) -> None:
+        job.state = FAILED
+        job.error = err
+        job.end_time = self.node.time
+        job.log(self.node.time, f"failed: {note}")
+
+    # -- reporting -------------------------------------------------------------
+    def fairness(self) -> float:
+        """Jain's fairness index over share-normalized tenant usage
+        (1.0 = perfectly fair; 1/n = one tenant got everything)."""
+        xs = [
+            self.tenant_usage[t] / max(self.quota(t).share, 1e-9)
+            for t in sorted(self.tenant_usage)
+        ]
+        xs = [x for x in xs if x > 0.0] or [1.0]
+        n = len(xs)
+        s, s2 = sum(xs), sum(x * x for x in xs)
+        return (s * s) / (n * s2) if s2 > 0 else 1.0

@@ -1,0 +1,380 @@
+"""Checkpointable iterative workloads for the job server (DESIGN.md §13).
+
+A :class:`Workload` owns *host-resident* state that is, at every
+checkpoint boundary, a complete description of the computation so far —
+the job server's preemption model is exactly "the host arrays plus an
+iteration counter *are* the checkpoint". The contract:
+
+* :meth:`bind` attaches fresh datums (bound to the persistent host
+  arrays) to a scheduler and runs the ``AnalyzeCall`` declarations. It is
+  called once per *lease*; after a preemption the next lease's scheduler
+  re-uploads from host and continues from ``completed`` iterations.
+* :meth:`run_chunk` advances up to ``checkpoint_every`` iterations and
+  gathers results back, leaving host state checkpoint-complete again.
+  Preemption happens only between chunks, so nothing in flight is lost.
+* :meth:`result` returns the output array; :meth:`reference` computes the
+  same thing with plain numpy. Every payload is a pure function of host
+  state, so a preempted-and-resumed run is bit-identical to a solo run —
+  the resume costs extra H2D distribution (the measured preemption
+  overhead), never different numbers.
+
+Three app families cover the paper's pattern spectrum: Game of Life
+(Window stencil), histogram (Window + ReductiveStatic), and a chained
+SGEMM over the unmodified-CUBLAS path (Block patterns). The GoL variant
+optionally re-captures an iteration graph (DESIGN.md §12) each lease.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Grid, Matrix, Scheduler, Vector
+from repro.kernels.game_of_life import (
+    gol_containers,
+    gol_reference_step,
+    make_gol_kernel,
+)
+from repro.kernels.histogram import (
+    histogram_containers,
+    histogram_grid,
+    make_histogram_kernel,
+)
+from repro.libs.cublas import make_sgemm_routine, sgemm_containers
+
+
+class Workload:
+    """Base checkpointable workload (see module docstring)."""
+
+    #: Kind tag for queue listings and JSON reports.
+    kind = "workload"
+
+    def __init__(self, iterations: int, checkpoint_every: int = 1):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.iterations = int(iterations)
+        self.checkpoint_every = int(checkpoint_every)
+        #: Iterations whose results are safely in host memory.
+        self.completed = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.completed >= self.iterations
+
+    # -- lease lifecycle ----------------------------------------------------
+    def bind(self, sched: Scheduler) -> None:
+        raise NotImplementedError
+
+    def run_chunk(self, sched: Scheduler) -> int:
+        """Advance up to ``checkpoint_every`` iterations; returns how many
+        ran. Host state is checkpoint-complete on return."""
+        raise NotImplementedError
+
+    # -- results ------------------------------------------------------------
+    def result(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def reference(self) -> np.ndarray:
+        """Plain-numpy recomputation of :meth:`result` (self-verification)."""
+        raise NotImplementedError
+
+    # -- admission estimate ---------------------------------------------------
+    def min_device_bytes(self, gpus: int) -> int:
+        """Irreducible per-device footprint in bytes: what even maximal
+        out-of-core chunking (DESIGN.md §10) must keep resident. Admission
+        control rejects a tenant whose memory quota cannot cover it."""
+        return 0
+
+
+class GoLWorkload(Workload):
+    """Game of Life, one tick per iteration, ping-ponging two boards.
+
+    Host state: ``boards[completed % 2]`` holds the current board. Both
+    boards persist across leases; parity decides the invoke direction
+    after a resume, so no copies are needed at checkpoint time.
+    """
+
+    kind = "gol"
+
+    def __init__(
+        self,
+        size: int = 64,
+        iterations: int = 8,
+        checkpoint_every: int = 1,
+        seed: int = 0,
+    ):
+        super().__init__(iterations, checkpoint_every)
+        self.size = int(size)
+        rng = np.random.default_rng(seed)
+        self._initial = (rng.random((size, size)) < 0.35).astype(np.int32)
+        self.boards = [self._initial.copy(), np.zeros_like(self._initial)]
+        self._datums: list[Matrix] | None = None
+        self._kernel = make_gol_kernel()
+
+    def bind(self, sched: Scheduler) -> None:
+        a = Matrix(self.size, self.size, np.int32, "gol.A").bind(
+            self.boards[0]
+        )
+        b = Matrix(self.size, self.size, np.int32, "gol.B").bind(
+            self.boards[1]
+        )
+        self._datums = [a, b]
+        sched.analyze_call(self._kernel, *gol_containers(a, b))
+        sched.analyze_call(self._kernel, *gol_containers(b, a))
+
+    def run_chunk(self, sched: Scheduler) -> int:
+        k = min(self.checkpoint_every, self.iterations - self.completed)
+        d = self._datums
+        for i in range(self.completed, self.completed + k):
+            src, dst = d[i % 2], d[(i + 1) % 2]
+            sched.invoke(self._kernel, *gol_containers(src, dst))
+            sched.gather(dst)
+        self.completed += k
+        return k
+
+    def result(self) -> np.ndarray:
+        return self.boards[self.completed % 2].copy()
+
+    def reference(self) -> np.ndarray:
+        board = self._initial.copy()
+        for _ in range(self.iterations):
+            board = gol_reference_step(board)
+        return board
+
+    def min_device_bytes(self, gpus: int) -> int:
+        # Chunked replay stages a handful of block rows of each board;
+        # 8 rows (with halo) of both boards is a conservative floor.
+        return 2 * 8 * self.size * np.dtype(np.int32).itemsize
+
+
+class GoLGraphWorkload(GoLWorkload):
+    """GoL driven through an iteration graph (DESIGN.md §12): each lease
+    re-captures one steady-state ping-pong period and replays it.
+
+    Chunks are even-sized. The first period of every lease runs eagerly
+    (it pays the host-to-device distribution, which is not steady state),
+    the second is captured, and the remainder of the lease replays the
+    graph. A preemption releases the scheduler, which spoils the graph —
+    the next lease demotes to eager and re-captures, bit-identically.
+    """
+
+    kind = "gol-graph"
+
+    def __init__(
+        self,
+        size: int = 64,
+        iterations: int = 12,
+        checkpoint_every: int = 6,
+        seed: int = 0,
+    ):
+        if iterations % 2 or checkpoint_every % 2:
+            raise ValueError(
+                "graph workload needs even iterations/checkpoint_every "
+                "(the captured period is one two-tick ping-pong)"
+            )
+        super().__init__(size, iterations, checkpoint_every, seed)
+        self.graph = None
+        self._graph_sched: Scheduler | None = None
+        #: Diagnostics: captures performed / periods replayed via graph.
+        self.captures = 0
+        self.replayed_periods = 0
+
+    def _pair(self, sched: Scheduler, i: int) -> None:
+        d = self._datums
+        sched.invoke(self._kernel, *gol_containers(d[i % 2], d[(i + 1) % 2]))
+        sched.invoke(
+            self._kernel, *gol_containers(d[(i + 1) % 2], d[i % 2])
+        )
+
+    def run_chunk(self, sched: Scheduler) -> int:
+        k = min(self.checkpoint_every, self.iterations - self.completed)
+        i = self.completed
+        pairs = k // 2
+        if self._graph_sched is not sched:
+            # Fresh lease: the previous lease's graph (if any) belongs to
+            # a released scheduler — demote to eager and re-capture.
+            self.graph = None
+            self._graph_sched = sched
+        while pairs:
+            if self.graph is not None:
+                self.graph.launch(pairs)
+                self.replayed_periods += pairs
+                i += 2 * pairs
+                pairs = 0
+            elif i == self.completed and self._datums is not None:
+                # First period of the lease: eager warm-up (pays the
+                # re-distribution of host state).
+                self._pair(sched, i)
+                sched.wait_all()
+                i += 2
+                pairs -= 1
+            else:
+                with sched.capture() as g:
+                    self._pair(sched, i)
+                self.graph = g
+                self.captures += 1
+                i += 2
+                pairs -= 1
+        # One gather per chunk: the checkpoint. Parity is even, so the
+        # current board is boards[i % 2] == boards[0 or 1] consistently.
+        sched.gather(self._datums[i % 2])
+        self.completed = i
+        return k
+
+
+class HistogramWorkload(Workload):
+    """256-bin histogram of a static image, accumulated over iterations.
+
+    Each iteration histograms the image on the devices and the gathered
+    result is added into a host accumulator — the accumulator plus
+    ``completed`` is the checkpoint. (Every iteration produces the same
+    histogram; the accumulation makes progress observable and keeps the
+    checkpoint non-trivial.)
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        size: int = 96,
+        bins: int = 256,
+        iterations: int = 6,
+        checkpoint_every: int = 1,
+        seed: int = 0,
+    ):
+        super().__init__(iterations, checkpoint_every)
+        self.size = int(size)
+        self.bins = int(bins)
+        rng = np.random.default_rng(seed)
+        self.image = rng.integers(
+            0, bins, size=(size, size), dtype=np.int64
+        ).astype(np.uint8)
+        self.acc = np.zeros(bins, dtype=np.int64)
+        self._hist_host = np.zeros(bins, dtype=np.int32)
+        self._kernel = make_histogram_kernel("maps")
+        self._image_d: Matrix | None = None
+        self._hist_d: Vector | None = None
+        self._grid: Grid | None = None
+
+    def bind(self, sched: Scheduler) -> None:
+        self._image_d = Matrix(
+            self.size, self.size, np.uint8, "hist.image"
+        ).bind(self.image)
+        self._hist_d = Vector(self.bins, np.int32, "hist.out").bind(
+            self._hist_host
+        )
+        self._grid = histogram_grid(self._image_d)
+        sched.analyze_call(
+            self._kernel,
+            *histogram_containers(self._image_d, self._hist_d),
+            grid=self._grid,
+        )
+
+    def run_chunk(self, sched: Scheduler) -> int:
+        k = min(self.checkpoint_every, self.iterations - self.completed)
+        for _ in range(k):
+            sched.invoke(
+                self._kernel,
+                *histogram_containers(self._image_d, self._hist_d),
+                grid=self._grid,
+            )
+            sched.gather(self._hist_d)
+            self.acc += self._hist_host
+        self.completed += k
+        return k
+
+    def result(self) -> np.ndarray:
+        return self.acc.copy()
+
+    def reference(self) -> np.ndarray:
+        one = np.bincount(
+            self.image.ravel().astype(np.int64), minlength=self.bins
+        ).astype(np.int64)
+        return one * self.iterations
+
+    def min_device_bytes(self, gpus: int) -> int:
+        # A few image block rows plus the 1 KiB partial histogram.
+        return 8 * self.size + self.bins * np.dtype(np.int32).itemsize
+
+
+class SgemmWorkload(Workload):
+    """Chained SGEMM ``X <- X @ B`` over unmodified CUBLAS (§4.6).
+
+    Host state: ``mats[completed % 2]`` holds the current X; ``B`` is
+    static. ``B`` is scaled to unit spectral norm-ish magnitude so the
+    chain stays bounded in float32.
+    """
+
+    kind = "sgemm"
+
+    def __init__(
+        self,
+        size: int = 48,
+        iterations: int = 4,
+        checkpoint_every: int = 1,
+        seed: int = 0,
+    ):
+        super().__init__(iterations, checkpoint_every)
+        self.size = int(size)
+        rng = np.random.default_rng(seed)
+        self._x0 = rng.standard_normal((size, size)).astype(np.float32)
+        self.b_host = (
+            rng.standard_normal((size, size)).astype(np.float32) / size
+        )
+        self.mats = [self._x0.copy(), np.zeros_like(self._x0)]
+        self._routine = make_sgemm_routine()
+        self._datums: list[Matrix] | None = None
+        self._b_d: Matrix | None = None
+
+    def bind(self, sched: Scheduler) -> None:
+        x = Matrix(self.size, self.size, np.float32, "gemm.X").bind(
+            self.mats[0]
+        )
+        y = Matrix(self.size, self.size, np.float32, "gemm.Y").bind(
+            self.mats[1]
+        )
+        b = Matrix(self.size, self.size, np.float32, "gemm.B").bind(
+            self.b_host
+        )
+        self._datums = [x, y]
+        self._b_d = b
+        sched.analyze_call(self._routine, *sgemm_containers(x, b, y))
+        sched.analyze_call(self._routine, *sgemm_containers(y, b, x))
+
+    def run_chunk(self, sched: Scheduler) -> int:
+        k = min(self.checkpoint_every, self.iterations - self.completed)
+        d, b = self._datums, self._b_d
+        for i in range(self.completed, self.completed + k):
+            src, dst = d[i % 2], d[(i + 1) % 2]
+            sched.invoke_unmodified(
+                self._routine, *sgemm_containers(src, b, dst)
+            )
+            sched.gather(dst)
+        self.completed += k
+        return k
+
+    def result(self) -> np.ndarray:
+        return self.mats[self.completed % 2].copy()
+
+    def reference(self) -> np.ndarray:
+        x = self._x0.copy()
+        for _ in range(self.iterations):
+            x = x @ self.b_host
+        return x
+
+    def min_device_bytes(self, gpus: int) -> int:
+        # The Block2DTransposed operand (B) must be fully resident on
+        # every participating device; X/C stream through in stripes.
+        b_bytes = self.size * self.size * np.dtype(np.float32).itemsize
+        stripe = 8 * self.size * np.dtype(np.float32).itemsize
+        return b_bytes + 2 * stripe
+
+
+#: Name -> factory, for the CLI's ``--jobs`` JSON and the bench.
+WORKLOADS = {
+    "gol": GoLWorkload,
+    "gol-graph": GoLGraphWorkload,
+    "histogram": HistogramWorkload,
+    "sgemm": SgemmWorkload,
+}

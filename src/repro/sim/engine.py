@@ -100,6 +100,27 @@ class Engine:
         #: kernels, the ``(src, dst)`` pair for transfers.
         self.observer = None
 
+    def set_fault_plan(
+        self,
+        faults: "FaultPlan | None",
+        dead: dict[int, float] | None = None,
+    ) -> None:
+        """Swap the active fault plan (job-server context switch,
+        DESIGN.md §13).
+
+        The engine holds exactly two pieces of fault state — the plan it
+        consults at dispatch and the dead map — so replacing both switches
+        the machine's failure behaviour between tenants. ``dead=None``
+        seeds the map from the plan's (epoch-shifted) failure times; pass
+        ``{}`` explicitly to model devices repaired between leases.
+        Everything else (clock, occupancy, route cache) survives: the
+        hardware keeps existing, only *whose* faults it exhibits changes.
+        """
+        self.faults = faults
+        if dead is None:
+            dead = faults.failure_times() if faults is not None else {}
+        self.dead = dict(dead)
+
     def _check_dead(
         self, device: int, start: float, cmd: Command, stream: Stream
     ) -> None:

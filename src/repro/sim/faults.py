@@ -191,6 +191,20 @@ class FaultPlan:
             self._stragglers.setdefault(s.device, []).append(
                 (s.start, s.end, s.compute_factor, s.bandwidth_factor)
             )
+        #: Epoch offset in simulated seconds (DESIGN.md §13): every time
+        #: in the plan — straggler onset windows, permanent failure times —
+        #: is *plan-relative*, and the node's clock is mapped through
+        #: ``now - epoch`` before comparison. A standalone node leaves it
+        #: at 0.0 so plan time equals node time; the job server rebases a
+        #: tenant's plan at each lease so a job resumed mid-window sees the
+        #: remainder of the window, not a window that "already happened"
+        #: while another tenant held the devices.
+        self.epoch = 0.0
+        #: Plan-relative permanent failures already delivered in an earlier
+        #: lease (the server marks them consumed at lease teardown: the
+        #: device was repaired/replaced between leases, so requeue-after-
+        #: fault retries against healthy hardware instead of re-dying).
+        self.consumed_failures: set[int] = set()
         #: Per-(src, dst) count of dispatched transfers, for `nth` matching.
         self._link_counts: dict[tuple[int | None, int | None], int] = {}
         #: Diagnostics, also used by `repro.bench --faults` reports.
@@ -200,13 +214,29 @@ class FaultPlan:
         self.speculations_fired = 0
         self.hedges_fired = 0
 
+    # -- epoch rebasing ------------------------------------------------------
+    def rebase(self, epoch: float) -> None:
+        """Anchor the plan's relative clock at simulated time ``epoch``.
+
+        Called by the job server at lease begin with ``node.time`` minus
+        the job's previously-consumed execution time, so a plan written in
+        job-relative seconds fires at the same point of the job's life
+        regardless of how long it queued or how often it was preempted.
+        """
+        self.epoch = float(epoch)
+
     # -- permanent failures --------------------------------------------------
     def failure_times(self) -> dict[int, float]:
-        """Device -> earliest permanent-failure time (engine dead-map seed)."""
+        """Device -> earliest permanent-failure time in *absolute* simulated
+        seconds (engine dead-map seed): plan-relative times shifted by the
+        current epoch, minus failures already consumed by earlier leases."""
         times: dict[int, float] = {}
         for f in self.device_failures:
+            if f.device in self.consumed_failures:
+                continue
             t = times.get(f.device)
-            times[f.device] = f.at_time if t is None else min(t, f.at_time)
+            abs_t = f.at_time + self.epoch
+            times[f.device] = abs_t if t is None else min(t, abs_t)
         return times
 
     # -- stragglers ----------------------------------------------------------
@@ -216,6 +246,8 @@ class FaultPlan:
         worst factor the device ever has (conservative; also the legacy
         whole-run behaviour for windowless stragglers)."""
         worst = 1.0
+        if now is not None:
+            now -= self.epoch
         for start, end, *factors in self._stragglers.get(device, ()):
             if now is not None and (
                 now < start or (end is not None and now >= end)

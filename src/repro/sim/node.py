@@ -73,6 +73,9 @@ class SimNode:
         #: submitted command and host-clock advance is also reported to the
         #: recorder; submission behaviour is otherwise unchanged.
         self.graph_recorder = None
+        #: Active tenant lease, if any (DESIGN.md §13): saved pre-lease
+        #: fault/capacity state, restored by :meth:`end_lease`.
+        self._lease: dict | None = None
 
     # -- properties ------------------------------------------------------------
     @property
@@ -94,6 +97,93 @@ class SimNode:
             s = self.devices[device].new_stream(role, label)
         self.streams.append(s)
         return s
+
+    # -- tenant leases (DESIGN.md §13) ----------------------------------------
+    def begin_lease(
+        self,
+        faults: FaultPlan | None = None,
+        epoch: float = 0.0,
+        capacity: int | None = None,
+        devices: "tuple[int, ...] | None" = None,
+    ) -> None:
+        """Reconfigure the node for one tenant's lease (context switch).
+
+        The job server shares one simulated node between tenants by time
+        slicing; a *lease* scopes everything tenant-specific onto the
+        machine for the duration of one slice:
+
+        * the tenant's :class:`FaultPlan` (rebased to ``epoch`` so its
+          plan-relative times track the job's life, not the server's),
+          installed on the node, the engine, and every leased device's
+          allocation fault hook — with allocation numbering restarted at
+          the lease so ``AllocFailure.nth_alloc`` is lease-relative;
+        * a per-device ``capacity`` clamp enforcing the tenant's memory
+          quota (the §10 pressure ladder engages below the clamp, so an
+          over-quota tenant degrades to eviction/chunking rather than
+          dying);
+        * the engine's dead map reseeded from the plan's un-consumed
+          failures only — devices are repaired between leases, which *is*
+          the per-tenant fault domain: one tenant's dead device never
+          outlives its lease.
+
+        Leases never nest; :meth:`end_lease` restores the unleased node.
+        """
+        if self._lease is not None:
+            raise ValueError("lease already active; end_lease() first")
+        targets = (
+            self.devices
+            if devices is None
+            else [self.devices[d] for d in devices]
+        )
+        self._lease = {
+            "faults": self.faults,
+            "dead": dict(self.engine.dead),
+            "caps": {d.index: d.memory.capacity for d in targets},
+            "checks": {d.index: d.memory.fault_check for d in targets},
+        }
+        if faults is not None:
+            faults.rebase(epoch)
+        self.faults = faults
+        self.engine.set_fault_plan(faults)
+        for d in targets:
+            mem = d.memory
+            if capacity is not None:
+                mem.capacity = min(mem.capacity, int(capacity))
+            if faults is None:
+                mem.fault_check = None
+            else:
+                # Lease-relative allocation numbering: the hook receives
+                # the device's lifetime alloc_calls counter; subtract the
+                # count at lease begin so the tenant's plan addresses its
+                # own Nth allocation, not the machine's.
+                def check(dev, nth, _base=mem.alloc_calls, _fp=faults):
+                    _fp.check_alloc(dev, nth - _base)
+
+                mem.fault_check = check
+
+    def end_lease(self) -> None:
+        """Tear down the active lease: restore capacities and allocation
+        hooks, drop the tenant's fault plan, mark its fired permanent
+        failures consumed (repaired hardware for its next lease), and
+        clear the dead map — the next tenant starts on healthy devices."""
+        lease = self._lease
+        if lease is None:
+            raise ValueError("no active lease")
+        fp = self.faults
+        if fp is not None:
+            for dev, at in self.engine.dead.items():
+                # Anything dead by now actually fired (scheduler-retired
+                # devices carry past times; plan-seeded future times may
+                # never have been reached).
+                if at <= self.time:
+                    fp.consumed_failures.add(dev)
+        for d in self.devices:
+            if d.index in lease["caps"]:
+                d.memory.capacity = lease["caps"][d.index]
+                d.memory.fault_check = lease["checks"][d.index]
+        self.faults = lease["faults"]
+        self.engine.set_fault_plan(self.faults, lease["dead"])
+        self._lease = None
 
     # -- fault handling --------------------------------------------------------
     def retire_device(self, device: int, at_time: float) -> None:

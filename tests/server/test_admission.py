@@ -1,0 +1,155 @@
+"""Admission control, runtime quotas, deadlines, and the Slurm-like API
+surface (submit/status/cancel/queue)."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    DeadlineExceededError,
+    MapsError,
+    PreemptedError,
+    QuotaExceededError,
+)
+from repro.server import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    GoLWorkload,
+    JobServer,
+    JobSpec,
+    SgemmWorkload,
+    TenantQuota,
+)
+
+
+def gol(iters=4, size=32):
+    return GoLWorkload(size=size, iterations=iters, seed=0)
+
+
+class TestAdmission:
+    def test_node_size_cap(self):
+        srv = JobServer(num_gpus=2)
+        with pytest.raises(QuotaExceededError) as ei:
+            srv.submit(JobSpec(gol(), gpus=4))
+        assert ei.value.resource == "gpus"
+        assert ei.value.requested == 4
+        assert ei.value.limit == 2
+
+    def test_zero_gpus_rejected(self):
+        srv = JobServer(num_gpus=2)
+        with pytest.raises(QuotaExceededError):
+            srv.submit(JobSpec(gol(), gpus=0))
+
+    def test_tenant_gpu_quota(self):
+        srv = JobServer(
+            num_gpus=4, quotas={"carol": TenantQuota(max_gpus=2)}
+        )
+        with pytest.raises(QuotaExceededError) as ei:
+            srv.submit(JobSpec(gol(), tenant="carol", gpus=3))
+        assert ei.value.tenant == "carol"
+        assert ei.value.limit == 2
+        # At the cap is fine.
+        srv.submit(JobSpec(gol(), tenant="carol", gpus=2))
+
+    def test_device_memory_floor(self):
+        """A workload whose irreducible footprint exceeds the tenant's
+        memory allowance is rejected at the door, not discovered
+        mid-run."""
+        wl = SgemmWorkload(size=64, iterations=2, seed=0)
+        srv = JobServer(
+            num_gpus=2,
+            quotas={"tiny": TenantQuota(max_device_bytes=1024)},
+        )
+        assert wl.min_device_bytes(2) > 1024
+        with pytest.raises(QuotaExceededError) as ei:
+            srv.submit(JobSpec(wl, tenant="tiny", gpus=2))
+        assert ei.value.resource == "device-memory"
+
+    def test_rejected_submission_leaves_no_job(self):
+        srv = JobServer(num_gpus=2)
+        with pytest.raises(QuotaExceededError):
+            srv.submit(JobSpec(gol(), gpus=4))
+        assert srv.jobs == {}
+
+    def test_quota_error_is_not_an_allocation_error(self):
+        """Deliberate: the §10 pressure ladder catches AllocationError; a
+        policy rejection must never be absorbed by it."""
+        assert issubclass(QuotaExceededError, MapsError)
+        assert not issubclass(QuotaExceededError, AllocationError)
+        assert issubclass(DeadlineExceededError, MapsError)
+        assert issubclass(PreemptedError, MapsError)
+
+
+class TestRuntimeQuotas:
+    def test_sim_time_quota_kills_job(self):
+        srv = JobServer(
+            num_gpus=2,
+            quotas={"greedy": TenantQuota(max_sim_time=1e-9)},
+        )
+        job = srv.submit(JobSpec(gol(iters=6), tenant="greedy", gpus=2))
+        srv.run()
+        assert job.state == FAILED
+        assert isinstance(job.error, QuotaExceededError)
+        assert job.error.resource == "sim-time"
+        assert any("sim-time quota" in e for _, e in job.history)
+
+    def test_deadline_miss_kills_job(self):
+        srv = JobServer(num_gpus=2)
+        job = srv.submit(JobSpec(gol(iters=6), gpus=2, deadline=1e-9))
+        srv.run()
+        assert job.state == FAILED
+        assert isinstance(job.error, DeadlineExceededError)
+        assert job.error.deadline == 1e-9
+
+    def test_generous_deadline_met(self):
+        srv = JobServer(num_gpus=2)
+        job = srv.submit(JobSpec(gol(), gpus=2, deadline=10.0))
+        srv.run()
+        assert job.state == DONE
+        assert job.end_time <= 10.0
+
+
+class TestApi:
+    def test_unique_job_ids(self):
+        srv = JobServer(num_gpus=2)
+        ids = {srv.submit(JobSpec(gol(), gpus=1)).id for _ in range(4)}
+        assert len(ids) == 4
+        assert all(i.startswith("job-") for i in ids)
+
+    def test_status_and_unknown_id(self):
+        srv = JobServer(num_gpus=2)
+        job = srv.submit(JobSpec(gol(), gpus=2))
+        assert srv.status(job.id) is job
+        with pytest.raises(KeyError):
+            srv.status("job-9999")
+
+    def test_cancel_pending(self):
+        srv = JobServer(num_gpus=2)
+        job = srv.submit(JobSpec(gol(), gpus=2))
+        assert job.state == PENDING
+        srv.cancel(job.id)
+        assert job.state == CANCELLED
+        srv.run()  # a cancelled job never runs
+        assert job.state == CANCELLED
+        assert job.sim_time_used == 0.0
+
+    def test_cancel_terminal_is_noop(self):
+        srv = JobServer(num_gpus=2)
+        job = srv.submit(JobSpec(gol(), gpus=2))
+        srv.run()
+        assert job.state == DONE
+        srv.cancel(job.id)
+        assert job.state == DONE
+
+    def test_queue_listing_and_row(self):
+        srv = JobServer(num_gpus=2)
+        job = srv.submit(JobSpec(gol(), tenant="alice", name="life", gpus=2))
+        q = srv.queue()
+        assert q == [job]
+        row = job.row()
+        assert row[0] == job.id
+        assert row[1] == "alice"
+        assert row[3] == PENDING
+        srv.run()
+        assert srv.queue() == []

@@ -1,0 +1,125 @@
+"""Preemptive checkpoint/requeue: every preempted-and-resumed job's
+output is bit-identical to an unshared solo run of the same workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PreemptedError
+from repro.server import (
+    DONE,
+    GoLWorkload,
+    HistogramWorkload,
+    JobServer,
+    JobSpec,
+    SgemmWorkload,
+    solo_run,
+)
+
+TIME_SLICE = 2e-4
+GPUS = 2
+
+WORKLOADS = {
+    "gol": lambda: GoLWorkload(size=48, iterations=8, seed=0),
+    "hist": lambda: HistogramWorkload(size=64, iterations=6, seed=1),
+    "sgemm": lambda: SgemmWorkload(size=32, iterations=4, seed=2),
+}
+
+
+@pytest.fixture(scope="module")
+def contended():
+    """Three tenants on a shared node, slice small enough to preempt."""
+    solos = {
+        name: solo_run(factory(), num_gpus=4, gpus=GPUS)
+        for name, factory in WORKLOADS.items()
+    }
+    srv = JobServer(num_gpus=4, time_slice=TIME_SLICE)
+    jobs = {
+        name: srv.submit(
+            JobSpec(factory(), tenant=f"t-{name}", name=name, gpus=GPUS)
+        )
+        for name, factory in WORKLOADS.items()
+    }
+    srv.run()
+    return srv, jobs, solos
+
+
+class TestPreemption:
+    def test_all_jobs_finish(self, contended):
+        _, jobs, _ = contended
+        for name, job in jobs.items():
+            assert job.state == DONE, (name, job.state, job.error)
+
+    def test_contention_actually_preempts(self, contended):
+        _, jobs, _ = contended
+        assert sum(j.preemptions for j in jobs.values()) >= 2
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_bit_identical_to_solo(self, contended, name):
+        _, jobs, solos = contended
+        solo_result, _ = solos[name]
+        got = jobs[name].spec.workload.result()
+        assert got.dtype == solo_result.dtype
+        assert np.array_equal(got, solo_result)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_matches_numpy_reference(self, contended, name):
+        _, jobs, _ = contended
+        wl = jobs[name].spec.workload
+        got, want = wl.result(), wl.reference()
+        if got.dtype.kind in "iub":
+            assert np.array_equal(got, want)
+        else:
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_history_records_preempt_and_resume(self, contended):
+        _, jobs, _ = contended
+        preempted = [j for j in jobs.values() if j.preemptions]
+        assert preempted
+        for job in preempted:
+            events = [e for _, e in job.history]
+            assert any(e.startswith("preempted at iteration") for e in events)
+            assert any(e.startswith("resumed at iteration") for e in events)
+            assert isinstance(job.last_preemption, PreemptedError)
+            assert job.last_preemption.job_id == job.id
+
+    def test_resume_iteration_is_a_checkpoint_boundary(self, contended):
+        """Preemption is cooperative: it lands between chunks, so the
+        recorded iteration is a multiple of checkpoint_every."""
+        _, jobs, _ = contended
+        for job in jobs.values():
+            every = job.spec.workload.checkpoint_every
+            for _, e in job.history:
+                if e.startswith("preempted at iteration "):
+                    it = int(e.rsplit(" ", 1)[1])
+                    assert it % every == 0
+
+    def test_queue_waits_accounted(self, contended):
+        _, jobs, _ = contended
+        waits = sorted(j.queue_wait for j in jobs.values())
+        assert waits[0] == 0.0  # someone ran immediately
+        assert waits[-1] > 0.0  # someone had to wait
+        for job in jobs.values():
+            assert job.sim_time_used > 0.0
+
+    def test_preemption_overhead_bounded(self, contended):
+        """Resume pays re-distribution of host state; the total must stay
+        within the bench's acceptance gate (1.2x of solo)."""
+        _, jobs, solos = contended
+        for name, job in jobs.items():
+            _, solo_time = solos[name]
+            assert job.sim_time_used <= 1.2 * solo_time, name
+
+
+class TestSoloEquivalence:
+    def test_uncontended_server_run_equals_solo(self):
+        """With one tenant and no contention, the server adds no
+        preemptions and reproduces the solo run exactly."""
+        factory = WORKLOADS["gol"]
+        solo_result, solo_time = solo_run(factory(), num_gpus=4, gpus=GPUS)
+        srv = JobServer(num_gpus=4, time_slice=TIME_SLICE)
+        job = srv.submit(JobSpec(factory(), gpus=GPUS))
+        srv.run()
+        assert job.state == DONE
+        assert job.preemptions == 0
+        assert job.sim_time_used == solo_time
+        assert np.array_equal(job.spec.workload.result(), solo_result)

@@ -47,6 +47,12 @@ class TestPublicApi:
         assert issubclass(repro.SimulationError, repro.MapsError)
         assert issubclass(repro.DeviceError, repro.SimulationError)
         assert issubclass(repro.StragglerTimeoutError, repro.SimulationError)
+        assert issubclass(repro.QuotaExceededError, repro.MapsError)
+        assert issubclass(repro.DeadlineExceededError, repro.MapsError)
+        assert issubclass(repro.PreemptedError, repro.MapsError)
+        # Deliberate: a quota rejection must NOT look like an allocation
+        # failure, or the §10 pressure ladder would try to absorb it.
+        assert not issubclass(repro.QuotaExceededError, repro.AllocationError)
 
     def test_every_error_class_is_reexported(self):
         """Regression: CapacityError/DeviceError were once missing from
@@ -78,4 +84,5 @@ class TestPublicApi:
         import repro.kernels
         import repro.libs
         import repro.patterns
+        import repro.server
         import repro.sim
