@@ -45,6 +45,11 @@ from repro.bench.server import (
     server_report,
     write_server_json,
 )
+from repro.bench.serving import (
+    measure_serving,
+    serving_report,
+    write_serving_json,
+)
 from repro.bench.stragglers import (
     measure_stragglers,
     stragglers_report,
@@ -166,6 +171,8 @@ MODES = {
     "(BENCH_sanitize.json)",
     "--server": "multi-tenant job server: queue waits, preemption "
     "overhead, fairness (BENCH_server.json)",
+    "--serving": "serving under open-loop load: latency percentiles, "
+    "goodput vs offered load, autoscaling (BENCH_serving.json)",
 }
 
 
@@ -276,6 +283,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="output path for --server results (default: %(default)s)",
     )
+    modes.add_argument(
+        "--serving",
+        action="store_true",
+        help="measure serving under open-loop load (Poisson + bursty "
+        "traces at 0.5x/1x/2x/4x capacity; dynamic batching, replica "
+        "autoscaling, latency SLOs; DESIGN.md §14) and write "
+        "BENCH_serving.json",
+    )
+    modes.add_argument(
+        "--serving-json",
+        default="BENCH_serving.json",
+        metavar="PATH",
+        help="output path for --serving results (default: %(default)s)",
+    )
+    modes.add_argument(
+        "--serving-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --serving: requests per trace (default: 1000)",
+    )
+    modes.add_argument(
+        "--serving-p99-gate",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --serving: fail unless the 1x-load Poisson p99 latency "
+        "stays within X times the calibrated full-batch service time "
+        "(CI regression gate)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("experiments:")
@@ -319,6 +356,15 @@ def main(argv: list[str] | None = None) -> int:
         print(server_report(results))
         write_server_json(results, args.server_json)
         print(f"wrote {args.server_json}")
+        return 0
+    if args.serving:
+        kw = {"p99_gate": args.serving_p99_gate}
+        if args.serving_requests is not None:
+            kw["n"] = args.serving_requests
+        results = measure_serving(**kw)
+        print(serving_report(results))
+        write_serving_json(results, args.serving_json)
+        print(f"wrote {args.serving_json}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

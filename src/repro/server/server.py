@@ -187,8 +187,11 @@ class JobServer:
         job = self.status(job_id)
         if job.state in (PENDING, PREEMPTED):
             job.state = CANCELLED
-            job.end_time = self.node.time
-            job.log(self.node.time, "cancelled")
+            # A job cancelled before its open-loop arrival has
+            # submit_time in the future; clamp so end_time - submit_time
+            # (the reported queue residency) can never go negative.
+            job.end_time = max(self.node.time, job.submit_time)
+            job.log(job.end_time, "cancelled")
         return job
 
     def queue(self) -> list[Job]:
@@ -219,6 +222,33 @@ class JobServer:
             and job.not_before <= now
         )
 
+    def _expire_dead_jobs(self) -> None:
+        """Fail queued jobs whose deadline already passed, *before* they
+        are leased: a dead-on-arrival job would otherwise burn a full
+        lease (at least one chunk — the progress guarantee) on work whose
+        result is contractually worthless, stealing node time from live
+        tenants."""
+        now = self.node.time
+        for job in self.jobs.values():
+            if (
+                job.state in (PENDING, PREEMPTED)
+                and job.spec.deadline is not None
+                and now > job.spec.deadline
+            ):
+                e = DeadlineExceededError(
+                    f"job {job.id} deadline t={job.spec.deadline:.6g} "
+                    f"expired before it could start (now t={now:.6g})",
+                    job_id=job.id,
+                    deadline=job.spec.deadline,
+                    now=now,
+                )
+                self._fail(
+                    job,
+                    e,
+                    f"deadline t={job.spec.deadline:.6g} expired while "
+                    f"queued",
+                )
+
     def _pick(self) -> Optional[Job]:
         now = self.node.time
         candidates = [j for j in self.jobs.values() if self._eligible(j, now)]
@@ -237,25 +267,67 @@ class JobServer:
         return min(times) if times else None
 
     # -- scheduling loop -------------------------------------------------------
+    def _idle_advance(self, to: float) -> None:
+        """Advance the node clock to ``to`` in one hop. The host clock is
+        advanced by ``to - host_time`` (not ``to - node.time``): a
+        partially drained lease leaves the engine clock ahead of the host
+        clock, and stepping by the node-time delta would then creep the
+        host clock toward ``to`` one sliver per call — thousands of idle
+        hops for a closely spaced serving trace."""
+        if to > self.node.host_time:
+            self.node.host_advance(to - self.node.host_time)
+
     def step(self) -> Optional[Job]:
         """One scheduling decision: run the best eligible job for one
         lease (to completion, preemption, or failure). Returns the job, or
         None when nothing is eligible (idle-advances the clock to the next
-        arrival/backoff expiry if one exists)."""
-        job = self._pick()
-        if job is None:
+        arrival/backoff expiry if one exists). The idle advance is an
+        iterative loop: recursing once per future arrival overflows the
+        interpreter stack on serving-scale traces."""
+        while True:
+            self._expire_dead_jobs()
+            job = self._pick()
+            if job is not None:
+                self._run_lease(job)
+                return job
             nxt = self._next_eligibility()
-            if nxt is not None and nxt > self.node.time:
-                self.node.host_advance(nxt - self.node.time)
-                return self.step()
-            return None
-        self._run_lease(job)
-        return job
+            if nxt is None or nxt <= self.node.time:
+                return None
+            self._idle_advance(nxt)
 
     def run(self) -> None:
         """Drain the queue: step until no job is pending or preempted."""
         while self.step() is not None:
             pass
+
+    def step_until(self, horizon: float) -> list[Job]:
+        """Arrival-driven stepping: run every lease that becomes eligible
+        up to simulated time ``horizon``, then stop with the clock at
+        ``max(node.time, horizon)`` — never idle-advancing past it.
+
+        This is the open-loop injection hook: a traffic generator
+        alternates ``submit`` (with future ``arrival`` stamps) and
+        ``step_until(now)`` without handing the server an excuse to race
+        ahead of the part of the trace it has seen. Returns the jobs run,
+        in execution order."""
+        ran: list[Job] = []
+        while True:
+            self._expire_dead_jobs()
+            job = self._pick()
+            if job is not None:
+                self._run_lease(job)
+                ran.append(job)
+                continue
+            nxt = self._next_eligibility()
+            if nxt is None or nxt > horizon:
+                break
+            if nxt <= self.node.time:
+                break
+            self._idle_advance(nxt)
+        if horizon > self.node.time:
+            self._idle_advance(horizon)
+            self._expire_dead_jobs()
+        return ran
 
     # -- one lease -------------------------------------------------------------
     def _others_waiting(self, job: Job) -> bool:
@@ -297,6 +369,15 @@ class JobServer:
             self._requeue_after_fault(job, e)
         except CapacityError as e:
             self._fail(job, e, f"capacity: {e}")
+        except BaseException as e:
+            # Any other escape (a workload bug, a KeyboardInterrupt, an
+            # unexpected scheduler error) used to leave the job RUNNING
+            # forever — a zombie that haunts queue() and pins its tenant's
+            # fair-share score. Settle it as FAILED, then re-raise: the
+            # error is the caller's problem, the bookkeeping is ours.
+            if job.state == RUNNING:
+                self._fail(job, e, f"server error: {e!r}")
+            raise
         finally:
             used = node.time - lease_start
             job.sim_time_used += used
@@ -394,8 +475,11 @@ class JobServer:
     def _fail(self, job: Job, err: BaseException, note: str) -> None:
         job.state = FAILED
         job.error = err
-        job.end_time = self.node.time
-        job.log(self.node.time, f"failed: {note}")
+        # Clamp like cancel(): a job failed before its open-loop arrival
+        # (e.g. an already-expired deadline) must not report a negative
+        # queue residency.
+        job.end_time = max(self.node.time, job.submit_time)
+        job.log(job.end_time, f"failed: {note}")
 
     # -- reporting -------------------------------------------------------------
     def fairness(self) -> float:

@@ -1,0 +1,93 @@
+"""Replica autoscaling with hysteresis (DESIGN.md §14).
+
+Watches queue backlog per replica and decides when to add or remove a
+per-device model replica. The two thresholds are deliberately far apart
+(hysteresis): scaling up is triggered by sustained backlog, scaling down
+only by near-idleness after a cooldown, so a load level that sits between
+them holds the replica count steady instead of flapping — every scale-up
+costs a provisioning warm-up (weight distribution to the new device) that
+a flapping policy would pay over and over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One autoscaler decision, for the audit log."""
+
+    time: float
+    action: str  # "up" | "down"
+    replicas: int  # replica count after the action
+    depth: int  # queue depth that triggered it
+
+
+class ReplicaAutoscaler:
+    """Queue-depth-driven replica count controller.
+
+    Args:
+        min_replicas: Floor (the service never cold-starts from zero).
+        max_replicas: Ceiling (the node's device count, typically).
+        up_backlog: Scale up when queued requests per replica exceed
+            this.
+        down_backlog: Scale down when queued requests per replica fall
+            below this. Must be strictly below ``up_backlog`` — the gap
+            is the hysteresis band.
+        cooldown: Minimum simulated seconds between scaling actions.
+    """
+
+    def __init__(
+        self,
+        min_replicas: int = 1,
+        max_replicas: int = 4,
+        up_backlog: float = 8.0,
+        down_backlog: float = 1.0,
+        cooldown: float = 2e-3,
+    ):
+        if min_replicas < 1 or max_replicas < min_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas; got "
+                f"{min_replicas}..{max_replicas}"
+            )
+        if down_backlog >= up_backlog:
+            raise ValueError(
+                "down_backlog must be strictly below up_backlog "
+                "(the gap is the hysteresis band)"
+            )
+        if cooldown < 0.0:
+            raise ValueError("cooldown must be >= 0")
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.up_backlog = float(up_backlog)
+        self.down_backlog = float(down_backlog)
+        self.cooldown = float(cooldown)
+        self.events: list[ScalingEvent] = []
+        self._last_action: float | None = None
+
+    def decide(
+        self, now: float, depth: int, replicas: int, idle: int
+    ) -> int:
+        """One control decision: +1 (add a replica), -1 (remove an idle
+        one), or 0. Mutates nothing but the event log; the serving driver
+        owns the actual provisioning."""
+        if (
+            self._last_action is not None
+            and now - self._last_action < self.cooldown
+        ):
+            return 0
+        backlog = depth / max(replicas, 1)
+        if backlog > self.up_backlog and replicas < self.max_replicas:
+            self._last_action = now
+            self.events.append(ScalingEvent(now, "up", replicas + 1, depth))
+            return 1
+        if (
+            backlog < self.down_backlog
+            and replicas > self.min_replicas
+            and idle > 0
+        ):
+            self._last_action = now
+            self.events.append(ScalingEvent(now, "down", replicas - 1, depth))
+            return -1
+        return 0

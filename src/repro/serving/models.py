@@ -1,0 +1,194 @@
+"""Replica model engines (DESIGN.md §14).
+
+A *replica* is one device's copy of a model, hosted behind the dynamic
+batcher. Two engines are served:
+
+* :class:`LeNetEngine` — the Fig. 10 CNN, forward pass only, via
+  :class:`repro.apps.lenet.inference.LeNetInference` (eager, plan-cached
+  from the second batch on);
+* :class:`SgemmEngine` — a chained small-SGEMM microservice (an
+  ``layers``-deep stack of ``X @ B`` ping-pongs through *unmodified*
+  CUBLAS, §4.6). Its steady-state ping-pong period is captured as an
+  iteration graph (DESIGN.md §12) on the first serve and replayed on
+  every later one, so the per-request host path is a graph launch, not
+  ``layers`` scheduler invocations.
+
+Both engines run every batch at one **fixed padded shape**. That is the
+load-bearing invariant of the serving layer: identical call shapes mean
+identical task plans and identical per-row arithmetic, so a request's
+result is bitwise independent of its batch-mates and of the replica that
+served it (replicas of one model share the same seeded weights). The
+batcher and autoscaler may therefore change *latency* freely without
+ever changing *answers*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.lenet.inference import LeNetInference
+from repro.apps.lenet.network import LeNetParams
+from repro.core import Datum, Scheduler
+from repro.libs.cublas import make_sgemm_routine, sgemm_containers
+from repro.serving.trace import Request
+
+
+class LeNetEngine:
+    """LeNet-inference replica engine at a fixed batch shape.
+
+    Args:
+        sched: The replica's (device-restricted) scheduler.
+        batch: Fixed engine batch shape (the batcher's ``max_batch``).
+        model_seed: Weight seed — all replicas of the service use the
+            same seed, so any replica answers any request identically.
+    """
+
+    kind = "lenet"
+
+    def __init__(self, sched: Scheduler, batch: int, model_seed: int = 0):
+        self.sched = sched
+        self.batch = int(batch)
+        self.params = LeNetParams.initialize(model_seed)
+        self._engine = LeNetInference(sched, self.params, self.batch)
+        self._model_seed = model_seed
+
+    def _input_for(self, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((1, 28, 28)).astype(np.float32)
+
+    def serve(self, requests: list[Request]) -> list[np.ndarray]:
+        """Answer up to ``batch`` requests in one padded invocation;
+        returns one ``(10,)`` logits vector per request."""
+        images = np.stack([self._input_for(r.seed) for r in requests])
+        logits = self._engine.infer(images)
+        return [logits[i].copy() for i in range(len(requests))]
+
+    def warmup(self) -> None:
+        """One padded dummy batch: pays weight distribution + plan
+        analysis so the first real request doesn't."""
+        dummy = Request(
+            rid=-1, kind=self.kind, arrival=0.0, seed=self._model_seed
+        )
+        self.serve([dummy])
+
+
+class SgemmEngine:
+    """Chained-SGEMM microservice replica engine at a fixed batch shape.
+
+    Each request is a ``(size,)`` feature row; a batch ``X`` of them is
+    pushed through ``layers`` ping-pong GEMMs (``Y = X @ B``,
+    ``X = Y @ B``, ...) against a fixed seeded ``(size, size)`` weight
+    matrix ``B`` scaled by ``1/sqrt(size)`` so magnitudes stay bounded.
+    ``layers`` must be even: the result lands back in ``X``.
+
+    The first ping-pong pair of every serve runs eagerly (it absorbs the
+    new batch's host-to-device upload, which is not steady state); the
+    second pair of the *first* serve is captured as an iteration graph
+    and all remaining pairs — of this serve and every later one — replay
+    it (``captures`` / ``replayed_pairs`` count the split). Zero-padding
+    rows is arithmetically inert here (``0 @ B == 0``) and keeps the GEMM
+    shape — and therefore the BLAS blocking and per-row summation order —
+    identical across batch occupancies.
+    """
+
+    kind = "sgemm"
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        batch: int,
+        size: int = 96,
+        layers: int = 6,
+        model_seed: int = 0,
+    ):
+        if layers < 2 or layers % 2:
+            raise ValueError(
+                "layers must be even and >= 2 (the captured period is "
+                "one X/Y ping-pong pair)"
+            )
+        self.sched = sched
+        self.batch = int(batch)
+        self.size = int(size)
+        self.layers = int(layers)
+        self._model_seed = model_seed
+        rng = np.random.default_rng(model_seed)
+        b_host = (
+            rng.standard_normal((size, size)).astype(np.float32)
+            / np.float32(np.sqrt(size))
+        )
+        self._x_host = np.zeros((self.batch, size), np.float32)
+        self._x = Datum((self.batch, size), np.float32, "serve.X").bind(
+            self._x_host
+        )
+        self._y = Datum((self.batch, size), np.float32, "serve.Y").bind(
+            np.zeros((self.batch, size), np.float32)
+        )
+        self._b = Datum((size, size), np.float32, "serve.B").bind(b_host)
+        self._routine = make_sgemm_routine()
+        sched.analyze_call(
+            self._routine, *sgemm_containers(self._x, self._b, self._y)
+        )
+        sched.analyze_call(
+            self._routine, *sgemm_containers(self._y, self._b, self._x)
+        )
+        self.graph = None
+        #: Diagnostics: graph captures performed / ping-pong pairs
+        #: replayed through the graph (vs. run eagerly).
+        self.captures = 0
+        self.replayed_pairs = 0
+
+    def _input_for(self, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(self.size).astype(np.float32)
+
+    def _pair(self) -> None:
+        self.sched.invoke_unmodified(
+            self._routine, *sgemm_containers(self._x, self._b, self._y)
+        )
+        self.sched.invoke_unmodified(
+            self._routine, *sgemm_containers(self._y, self._b, self._x)
+        )
+
+    def serve(self, requests: list[Request]) -> list[np.ndarray]:
+        """Answer up to ``batch`` requests in one padded chained-GEMM
+        run; returns one ``(size,)`` feature vector per request."""
+        k = len(requests)
+        if k > self.batch:
+            raise ValueError(
+                f"batch of {k} exceeds the engine's fixed shape "
+                f"{self.batch}"
+            )
+        for i, r in enumerate(requests):
+            self._x_host[i] = self._input_for(r.seed)
+        if k < self.batch:
+            self._x_host[k:] = 0.0
+        sched = self.sched
+        sched.mark_host_dirty(self._x)
+        # First pair eager: pays the padded batch's H2D re-distribution,
+        # leaving the monitor in the steady state the graph was captured
+        # against.
+        self._pair()
+        sched.wait_all()
+        pairs = self.layers // 2 - 1
+        while pairs:
+            if self.graph is not None:
+                self.graph.launch(pairs)
+                self.replayed_pairs += pairs
+                pairs = 0
+            else:
+                with sched.capture() as g:
+                    self._pair()
+                self.graph = g
+                self.captures += 1
+                pairs -= 1
+        sched.gather(self._x)
+        out = self._x.host
+        return [out[i].copy() for i in range(k)]
+
+    def warmup(self) -> None:
+        """One padded dummy batch: pays weight/input distribution, plan
+        analysis, and the steady-state graph capture."""
+        dummy = Request(
+            rid=-1, kind=self.kind, arrival=0.0, seed=self._model_seed
+        )
+        self.serve([dummy])

@@ -1,0 +1,377 @@
+"""The serving driver: open-loop traffic against replicated engines
+(DESIGN.md §14).
+
+:class:`ServingNode` replays a seeded :class:`~repro.serving.trace.
+ArrivalTrace` against one simulated multi-GPU node. Requests land in the
+:class:`~repro.serving.batcher.DynamicBatcher`; closed batches dispatch
+to per-device *replicas* (a device-restricted scheduler hosting both
+model engines); a :class:`~repro.serving.autoscaler.ReplicaAutoscaler`
+grows and shrinks the replica set as backlog moves.
+
+Time model — virtual clock over real execution
+----------------------------------------------
+The simulated node is inherently serial: one engine, one global clock.
+Replicas, however, are *concurrent* servers. The driver reconciles the
+two the standard DES way: it keeps its own **virtual clock** and a
+``busy_until`` per replica. When a batch dispatches at virtual time
+``t``, the batch runs **for real** on the replica's scheduler (full
+functional simulation — plans, transfers, faults, padded kernels), the
+node-clock delta is taken as the batch's service time ``s``, and the
+replica is busy until ``t + s`` in virtual time. Provisioning a replica
+is measured the same way (scheduler build + weight distribution +
+warm-up serve). Because each replica owns one device and drains its
+streams per serve, the serialized real executions never overlap on a
+device — exactly the concurrency one-replica-per-GPU would have.
+
+Everything is a pure function of the trace and the config: run the same
+trace twice and arrivals, batch compositions, scaling decisions,
+latencies, and result bytes are identical. Composition knobs reuse
+earlier subsystems: ``capacity_frac`` shrinks device memory (the §10
+pressure path), ``faults`` installs a :class:`~repro.sim.faults.
+FaultPlan` (the §11 straggler path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import Scheduler
+from repro.hardware import GTX_780, GPUSpec
+from repro.serving.autoscaler import ReplicaAutoscaler, ScalingEvent
+from repro.serving.batcher import Batch, DynamicBatcher
+from repro.serving.models import LeNetEngine, SgemmEngine
+from repro.serving.trace import ArrivalTrace, Request
+from repro.sim import SimNode
+from repro.sim.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of one serving run.
+
+    ``max_batch`` is the replicas' fixed padded engine shape;
+    ``batch_limit`` (default: ``max_batch``) caps how many requests the
+    batcher may coalesce — setting it to 1 serves every request alone at
+    the *same* engine shape, which is the sequential baseline the
+    bit-identity tests compare against.
+    """
+
+    spec: GPUSpec = GTX_780
+    num_gpus: int = 4
+    functional: bool = True
+    max_batch: int = 8
+    batch_limit: int | None = None
+    max_wait: float = 5e-4
+    min_replicas: int = 1
+    max_replicas: int | None = None  # default: num_gpus
+    up_backlog: float = 8.0
+    down_backlog: float = 1.0
+    cooldown: float = 2e-3
+    #: Latency SLO in simulated seconds: a request completing within
+    #: ``slo`` of its arrival counts toward goodput.
+    slo: float = 1e-2
+    sgemm_size: int = 96
+    sgemm_layers: int = 6
+    model_seed: int = 0
+    #: Memory-pressure composition: device memory is scaled by this.
+    capacity_frac: float = 1.0
+    #: Straggler composition: installed on the node when not None.
+    faults: FaultPlan | None = None
+    #: Clear the node trace / task-handle logs every this many batches
+    #: (bounded memory over multi-thousand-request traces).
+    clear_every: int = 64
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Latency record of one completed request."""
+
+    rid: int
+    kind: str
+    arrival: float
+    dispatched: float  # batch close time (virtual)
+    completed: float  # virtual completion time
+    device: int
+    batch_size: int
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.arrival
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced."""
+
+    config: ServingConfig
+    pattern: str
+    offered_rate: float
+    n_requests: int
+    served: list[ServedRequest]
+    results: dict[int, np.ndarray]
+    makespan: float
+    scaling_events: list[ScalingEvent]
+    peak_replicas: int
+    provisionings: int
+    batches: int
+    mean_batch: float
+    graph_captures: int
+    graph_replayed_pairs: int
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.asarray([s.latency for s in self.served])
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests completing within the SLO."""
+        lat = self.latencies
+        return float((lat <= self.config.slo).mean()) if len(lat) else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Within-SLO completions per simulated second."""
+        if self.makespan <= 0.0:
+            return 0.0
+        ok = int((self.latencies <= self.config.slo).sum())
+        return ok / self.makespan
+
+    @property
+    def throughput(self) -> float:
+        """All completions per simulated second."""
+        return self.n_requests / self.makespan if self.makespan > 0 else 0.0
+
+    def results_hash(self) -> str:
+        """Order-independent digest of every request's result bytes —
+        the determinism/bit-identity comparison key."""
+        h = hashlib.sha256()
+        for rid in sorted(self.results):
+            h.update(rid.to_bytes(8, "little", signed=True))
+            h.update(self.results[rid].tobytes())
+        return h.hexdigest()
+
+
+class _Replica:
+    """One device's copy of both model engines."""
+
+    def __init__(self, node: SimNode, device: int, cfg: ServingConfig):
+        self.device = device
+        self.sched = Scheduler(node, devices=(device,))
+        self.engines = {
+            "lenet": LeNetEngine(
+                self.sched, cfg.max_batch, model_seed=cfg.model_seed
+            ),
+            "sgemm": SgemmEngine(
+                self.sched,
+                cfg.max_batch,
+                size=cfg.sgemm_size,
+                layers=cfg.sgemm_layers,
+                model_seed=cfg.model_seed,
+            ),
+        }
+        #: Virtual times (driver-owned).
+        self.ready_at = 0.0
+        self.busy_until = 0.0
+
+    def warmup(self) -> None:
+        for eng in self.engines.values():
+            eng.warmup()
+
+    def serve(self, batch: Batch) -> list[np.ndarray]:
+        return self.engines[batch.kind].serve(list(batch.requests))
+
+    def graph_stats(self) -> tuple[int, int]:
+        s = self.engines["sgemm"]
+        return s.captures, s.replayed_pairs
+
+
+@dataclass
+class _State:
+    """Mutable loop state (split out for readability)."""
+
+    replicas: dict[int, _Replica] = field(default_factory=dict)
+    retired_graph_stats: tuple[int, int] = (0, 0)
+    provisionings: int = 0
+    peak: int = 0
+
+
+class ServingNode:
+    """Open-loop serving harness over one simulated node."""
+
+    def __init__(self, cfg: ServingConfig = ServingConfig()):
+        self.cfg = cfg
+        spec = cfg.spec
+        if cfg.capacity_frac != 1.0:
+            if not 0.0 < cfg.capacity_frac <= 1.0:
+                raise ValueError("capacity_frac must be in (0, 1]")
+            spec = dataclasses.replace(
+                spec,
+                global_memory_bytes=int(
+                    spec.global_memory_bytes * cfg.capacity_frac
+                ),
+            )
+        self.node = SimNode(
+            spec,
+            cfg.num_gpus,
+            functional=cfg.functional,
+            faults=cfg.faults,
+        )
+        limit = cfg.batch_limit if cfg.batch_limit is not None else (
+            cfg.max_batch
+        )
+        if not 1 <= limit <= cfg.max_batch:
+            raise ValueError(
+                f"batch_limit must be in [1, max_batch]; got {limit}"
+            )
+        self._limit = limit
+        maxr = cfg.max_replicas if cfg.max_replicas is not None else (
+            cfg.num_gpus
+        )
+        if maxr > cfg.num_gpus:
+            raise ValueError(
+                f"max_replicas {maxr} exceeds the node's {cfg.num_gpus} "
+                "devices (one replica per device)"
+            )
+        self.autoscaler = ReplicaAutoscaler(
+            min_replicas=cfg.min_replicas,
+            max_replicas=maxr,
+            up_backlog=cfg.up_backlog,
+            down_backlog=cfg.down_backlog,
+            cooldown=cfg.cooldown,
+        )
+
+    # -- replica lifecycle ----------------------------------------------------
+    def _provision(self, st: _State, now: float) -> None:
+        device = min(
+            d for d in range(self.cfg.num_gpus) if d not in st.replicas
+        )
+        t0 = self.node.time
+        rep = _Replica(self.node, device, self.cfg)
+        rep.warmup()
+        rep.ready_at = now + (self.node.time - t0)
+        rep.busy_until = rep.ready_at
+        st.replicas[device] = rep
+        st.provisionings += 1
+        st.peak = max(st.peak, len(st.replicas))
+
+    def _retire(self, st: _State, idle: list[_Replica]) -> None:
+        rep = max(idle, key=lambda r: r.device)
+        c, p = rep.graph_stats()
+        c0, p0 = st.retired_graph_stats
+        st.retired_graph_stats = (c0 + c, p0 + p)
+        del st.replicas[rep.device]
+        rep.sched.release()
+
+    # -- the event loop -------------------------------------------------------
+    def run(self, trace: ArrivalTrace) -> ServingReport:
+        """Replay ``trace`` to completion; returns the full report."""
+        cfg = self.cfg
+        batcher = DynamicBatcher(max_batch=self._limit, max_wait=cfg.max_wait)
+        st = _State()
+        served: list[ServedRequest] = []
+        results: dict[int, np.ndarray] = {}
+        arrivals: tuple[Request, ...] = trace.requests
+        n, ai = len(arrivals), 0
+        now = 0.0
+        for _ in range(cfg.min_replicas):
+            self._provision(st, now)
+        while len(served) < n:
+            while ai < n and arrivals[ai].arrival <= now:
+                batcher.enqueue(arrivals[ai])
+                ai += 1
+            idle = [
+                r
+                for r in st.replicas.values()
+                if r.ready_at <= now and r.busy_until <= now
+            ]
+            delta = self.autoscaler.decide(
+                now, batcher.depth(), len(st.replicas), len(idle)
+            )
+            if delta > 0:
+                self._provision(st, now)
+            elif delta < 0:
+                self._retire(st, idle)
+                idle = [r for r in idle if r.device in st.replicas]
+            while idle:
+                batch = batcher.pop(now)
+                if batch is None:
+                    break
+                rep = min(idle, key=lambda r: r.device)
+                idle.remove(rep)
+                t0 = self.node.time
+                outs = rep.serve(batch)
+                service = self.node.time - t0
+                rep.busy_until = now + service
+                for req, out in zip(batch.requests, outs):
+                    results[req.rid] = out
+                    served.append(
+                        ServedRequest(
+                            rid=req.rid,
+                            kind=req.kind,
+                            arrival=req.arrival,
+                            dispatched=now,
+                            completed=rep.busy_until,
+                            device=rep.device,
+                            batch_size=len(batch),
+                        )
+                    )
+                if batcher.batches % cfg.clear_every == 0:
+                    # Bounded memory over long traces: the event trace and
+                    # the append-only task-handle logs are diagnostics, not
+                    # state — drop them periodically.
+                    self.node.trace.clear()
+                    for r in st.replicas.values():
+                        r.sched.handles.clear()
+            nxt: list[float] = []
+            if ai < n:
+                nxt.append(arrivals[ai].arrival)
+            for r in st.replicas.values():
+                if r.ready_at > now:
+                    nxt.append(r.ready_at)
+                if r.busy_until > now:
+                    nxt.append(r.busy_until)
+            dl = batcher.next_deadline()
+            if dl is not None and dl > now:
+                nxt.append(dl)
+            if not nxt:
+                if len(served) < n:
+                    raise RuntimeError(
+                        "serving loop stalled with "
+                        f"{n - len(served)} requests unserved"
+                    )
+                break
+            now = min(nxt)
+        served.sort(key=lambda s: (s.completed, s.rid))
+        makespan = served[-1].completed if served else 0.0
+        caps, pairs = st.retired_graph_stats
+        for r in st.replicas.values():
+            c, p = r.graph_stats()
+            caps += c
+            pairs += p
+        return ServingReport(
+            config=cfg,
+            pattern=trace.pattern,
+            offered_rate=trace.rate,
+            n_requests=n,
+            served=served,
+            results=results,
+            makespan=makespan,
+            scaling_events=list(self.autoscaler.events),
+            peak_replicas=st.peak,
+            provisionings=st.provisionings,
+            batches=batcher.batches,
+            mean_batch=batcher.mean_batch,
+            graph_captures=caps,
+            graph_replayed_pairs=pairs,
+        )
+
+
+def serve_trace(
+    trace: ArrivalTrace, cfg: ServingConfig = ServingConfig()
+) -> ServingReport:
+    """Convenience one-shot: build a :class:`ServingNode` and run."""
+    return ServingNode(cfg).run(trace)

@@ -1,0 +1,182 @@
+"""Seeded open-loop arrival traces (DESIGN.md §14).
+
+An *open-loop* load generator stamps every request with an arrival time
+drawn ahead of time from a stochastic process — arrivals do **not** wait
+for earlier responses, so queueing delay compounds exactly as it would
+under real independent users (the load-testing failure mode closed-loop
+harnesses hide). Two processes are provided:
+
+* :func:`poisson_trace` — homogeneous Poisson arrivals (exponential
+  gaps), the classic many-independent-users model;
+* :func:`bursty_trace` — a Markov-modulated Poisson process alternating
+  ON (rate × ``burst``) and OFF (rate scaled down to preserve the mean)
+  phases: same offered load, much heavier tail pressure.
+
+Both are pure functions of their seed: the same call produces the same
+trace, arrival by arrival, which is what makes the serving benchmark's
+run-twice determinism assert possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default request mix: half LeNet inference, half SGEMM microservice.
+DEFAULT_MIX = (("lenet", 0.5), ("sgemm", 0.5))
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of an arrival trace.
+
+    Attributes:
+        rid: Unique request id within the trace (also the determinism
+            key: results are compared per-rid across runs).
+        kind: Model to invoke (``"lenet"`` or ``"sgemm"``).
+        arrival: Arrival time in simulated seconds from trace start.
+        seed: Seed from which the request's input payload is generated
+            (deterministically) at serve time.
+    """
+
+    rid: int
+    kind: str
+    arrival: float
+    seed: int
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """An immutable, seeded arrival trace."""
+
+    pattern: str
+    rate: float
+    seed: int
+    requests: tuple[Request, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Span from t=0 to the last arrival."""
+        return self.requests[-1].arrival if self.requests else 0.0
+
+    def kind_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.requests:
+            counts[r.kind] = counts.get(r.kind, 0) + 1
+        return counts
+
+
+def _check(n: int, rate: float, mix) -> None:
+    if n < 1:
+        raise ValueError("need at least one request")
+    if rate <= 0.0:
+        raise ValueError("arrival rate must be positive")
+    total = sum(w for _, w in mix)
+    if not mix or total <= 0.0 or any(w < 0.0 for _, w in mix):
+        raise ValueError(f"bad request mix {mix!r}")
+
+
+def _assemble(
+    pattern: str,
+    rate: float,
+    seed: int,
+    arrivals: np.ndarray,
+    rng: np.random.Generator,
+    mix,
+) -> ArrivalTrace:
+    kinds = [k for k, _ in mix]
+    weights = np.asarray([w for _, w in mix], dtype=float)
+    weights /= weights.sum()
+    picks = rng.choice(len(kinds), size=len(arrivals), p=weights)
+    seeds = rng.integers(0, 2**31 - 1, size=len(arrivals))
+    requests = tuple(
+        Request(
+            rid=i,
+            kind=kinds[int(picks[i])],
+            arrival=float(arrivals[i]),
+            seed=int(seeds[i]),
+        )
+        for i in range(len(arrivals))
+    )
+    return ArrivalTrace(
+        pattern=pattern, rate=rate, seed=seed, requests=requests
+    )
+
+
+def poisson_trace(
+    n: int,
+    rate: float,
+    seed: int = 0,
+    mix=DEFAULT_MIX,
+) -> ArrivalTrace:
+    """``n`` Poisson arrivals at ``rate`` requests/simulated-second."""
+    _check(n, rate, mix)
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n))
+    return _assemble("poisson", rate, seed, arrivals, rng, mix)
+
+
+def bursty_trace(
+    n: int,
+    rate: float,
+    seed: int = 0,
+    mix=DEFAULT_MIX,
+    burst: float = 4.0,
+    duty: float = 0.2,
+    cycle: float | None = None,
+) -> ArrivalTrace:
+    """``n`` arrivals from an ON/OFF modulated Poisson process.
+
+    ON phases (fraction ``duty`` of each cycle) arrive at ``rate *
+    burst``; OFF phases at the rate that preserves the overall mean, so a
+    bursty trace offers the *same* load as :func:`poisson_trace` at equal
+    ``rate`` — only the variance (and therefore the tail latency it
+    induces) differs.
+
+    Args:
+        burst: ON-phase rate multiplier (must satisfy ``burst <= 1/duty``
+            so the OFF rate stays non-negative).
+        duty: Fraction of each cycle spent ON.
+        cycle: Cycle length in simulated seconds (default: the span of
+            ``20 / rate`` — about 20 requests per cycle).
+    """
+    _check(n, rate, mix)
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty must be in (0, 1)")
+    if burst < 1.0 or burst > 1.0 / duty:
+        raise ValueError(f"burst must be in [1, 1/duty]; got {burst}")
+    cycle = cycle if cycle is not None else 20.0 / rate
+    on_len = duty * cycle
+    rate_on = rate * burst
+    rate_off = rate * (1.0 - duty * burst) / (1.0 - duty)
+    rng = np.random.default_rng(seed)
+    # Piecewise-constant rate: invert the cumulative hazard for each unit
+    # exponential (thinning-free, so every drawn variate is consumed —
+    # determinism does not depend on acceptance luck). Time is tracked as
+    # (whole cycles, position within the cycle) — never as an absolute
+    # clock fed through ``%`` — so the phase walk cannot stall on float
+    # cancellation however many cycles the trace spans.
+    exp = rng.exponential(1.0, size=n)
+    arrivals = np.empty(n)
+    k = 0  # completed cycles
+    pos = 0.0  # position within the current cycle
+    for i, e in enumerate(exp):
+        while True:
+            in_on = pos < on_len
+            r = rate_on if in_on else rate_off
+            boundary = on_len if in_on else cycle
+            room = (boundary - pos) * r
+            if e <= room:
+                pos += e / r
+                break
+            e -= room
+            pos = boundary
+            if pos >= cycle:
+                k += 1
+                pos = 0.0
+        arrivals[i] = k * cycle + pos
+    return _assemble("bursty", rate, seed, arrivals, rng, mix)

@@ -1,0 +1,182 @@
+"""Regression tests for the job-server hardening fixes.
+
+Each test pins one bug that surfaced when the server was first driven by
+the open-loop serving layer (arrival-stamped submissions, thousands of
+closely spaced requests):
+
+* idle-advance recursion — ``step()`` recursed once per clock sliver when
+  the engine clock led the host clock, overflowing the stack;
+* RUNNING zombies — an unexpected exception inside a lease left the job
+  RUNNING forever;
+* ``cancel()`` timestamps — cancelling a future-arrival job stamped
+  ``end_time`` before ``submit_time``;
+* dead-on-arrival deadlines — a job whose deadline had already expired
+  still burned a full lease before failing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.server import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    GoLWorkload,
+    JobServer,
+    JobSpec,
+    Workload,
+)
+
+
+class NoOpWorkload(Workload):
+    """Cheapest possible job: no datums, no kernels, one empty chunk."""
+
+    kind = "noop"
+
+    def bind(self, sched):
+        pass
+
+    def run_chunk(self, sched):
+        k = min(self.checkpoint_every, self.iterations - self.completed)
+        self.completed += k
+        return k
+
+    def result(self):
+        return np.asarray([self.completed])
+
+
+class BoomWorkload(NoOpWorkload):
+    """Raises an arbitrary (non-scheduler) error mid-lease."""
+
+    kind = "boom"
+
+    def run_chunk(self, sched):
+        raise RuntimeError("workload bug")
+
+
+class TestIdleAdvanceRecursion:
+    def test_engine_ahead_of_host_clock_advances_in_one_hop(self):
+        # A drained lease can leave engine.now ahead of host_time; the
+        # next idle advance used to step the host clock by
+        # (arrival - node.time) per recursion — about 1e9 recursive calls
+        # for this single job (RecursionError at ~1000).
+        srv = JobServer(num_gpus=1)
+        srv.node.engine.now = 1.0
+        assert srv.node.time == 1.0
+        job = srv.submit(
+            JobSpec(NoOpWorkload(1), arrival=1.0 + 1e-9, gpus=1)
+        )
+        assert srv.step() is job
+        assert job.state == DONE
+        assert srv.node.time >= 1.0 + 1e-9
+
+    def test_thousands_of_spaced_arrivals_do_not_overflow_the_stack(self):
+        # Open-loop serving shape: a long stream of strictly future
+        # arrivals, each requiring an idle advance before its lease. The
+        # recursive step() chained one frame per *hop* as well, so even
+        # with a sane clock a long enough trace overflowed.
+        srv = JobServer(num_gpus=1)
+        n = 5000
+        for i in range(n):
+            srv.submit(
+                JobSpec(
+                    NoOpWorkload(1),
+                    arrival=(i + 1) * 1e-5,
+                    gpus=1,
+                    name=f"r{i}",
+                )
+            )
+        srv.run()
+        states = {j.state for j in srv.jobs.values()}
+        assert states == {DONE}
+        assert len(srv.jobs) == n
+
+
+class TestZombieLease:
+    def test_unexpected_error_fails_the_job_and_reraises(self):
+        srv = JobServer(num_gpus=1)
+        job = srv.submit(JobSpec(BoomWorkload(1), gpus=1))
+        with pytest.raises(RuntimeError, match="workload bug"):
+            srv.step()
+        # The job used to stay RUNNING forever — haunting queue() and
+        # pinning its tenant's fair-share score.
+        assert job.state == FAILED
+        assert isinstance(job.error, RuntimeError)
+        assert job.end_time is not None
+        assert srv.queue() == []
+
+    def test_server_survives_and_schedules_after_the_error(self):
+        srv = JobServer(num_gpus=1)
+        srv.submit(JobSpec(BoomWorkload(1), gpus=1, name="bad"))
+        good = srv.submit(JobSpec(GoLWorkload(iterations=2), gpus=1))
+        with pytest.raises(RuntimeError):
+            srv.step()
+        assert srv.step() is good
+        assert good.state == DONE
+
+
+class TestCancelTimestamps:
+    def test_cancel_before_open_loop_arrival_clamps_end_time(self):
+        srv = JobServer(num_gpus=1)
+        job = srv.submit(JobSpec(NoOpWorkload(1), arrival=0.5, gpus=1))
+        assert srv.node.time == 0.0
+        srv.cancel(job.id)
+        assert job.state == CANCELLED
+        # end_time used to be stamped with node.time (0.0), making the
+        # reported queue residency negative.
+        assert job.end_time == job.submit_time == 0.5
+        assert job.end_time - job.submit_time >= 0.0
+
+    def test_cancel_after_arrival_keeps_wall_clock_stamp(self):
+        srv = JobServer(num_gpus=1)
+        job = srv.submit(JobSpec(NoOpWorkload(1), gpus=1))
+        srv.node.host_advance(0.25)
+        srv.cancel(job.id)
+        assert job.end_time == pytest.approx(0.25)
+
+
+class TestDeadOnArrivalDeadline:
+    def test_expired_deadline_fails_without_burning_a_lease(self):
+        srv = JobServer(num_gpus=1)
+        wl = GoLWorkload(iterations=4)
+        job = srv.submit(JobSpec(wl, deadline=0.1, gpus=1))
+        srv.node.host_advance(0.2)  # deadline long gone before any lease
+        assert srv.step() is None
+        assert job.state == FAILED
+        assert isinstance(job.error, DeadlineExceededError)
+        # The fix is *when* it fails: before leasing. It used to run a
+        # full chunk first (the per-lease progress guarantee), billing
+        # node time to a contractually worthless result.
+        assert wl.completed == 0
+        assert job.sim_time_used == 0.0
+        assert job.start_time is None
+
+    def test_live_deadline_job_still_runs(self):
+        srv = JobServer(num_gpus=1)
+        job = srv.submit(JobSpec(GoLWorkload(iterations=2), deadline=1e9))
+        assert srv.step() is job
+        assert job.state == DONE
+
+
+class TestStepUntil:
+    def test_runs_only_jobs_eligible_before_the_horizon(self):
+        srv = JobServer(num_gpus=1)
+        a = srv.submit(JobSpec(NoOpWorkload(1), arrival=0.2, gpus=1))
+        b = srv.submit(JobSpec(NoOpWorkload(1), arrival=0.4, gpus=1))
+        c = srv.submit(JobSpec(NoOpWorkload(1), arrival=0.9, gpus=1))
+        ran = srv.step_until(0.5)
+        assert ran == [a, b]
+        assert c.state not in (DONE, FAILED)
+        # The clock parks exactly at the horizon, never beyond it.
+        assert srv.node.time == pytest.approx(0.5)
+        assert srv.step_until(2.0) == [c]
+
+    def test_expires_deadlines_at_the_horizon(self):
+        srv = JobServer(num_gpus=1)
+        job = srv.submit(
+            JobSpec(NoOpWorkload(1), arrival=0.8, deadline=0.6, gpus=1)
+        )
+        assert srv.step_until(0.7) == []
+        assert job.state == FAILED
+        assert isinstance(job.error, DeadlineExceededError)

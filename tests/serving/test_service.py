@@ -1,0 +1,143 @@
+"""End-to-end serving: bit-identity, determinism, autoscaling,
+composition with pressure and stragglers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ServingConfig,
+    ServingNode,
+    bursty_trace,
+    poisson_trace,
+    serve_trace,
+)
+from repro.sim.faults import FaultPlan, Straggler
+
+CFG = ServingConfig()
+
+
+class TestBitIdentity:
+    def test_batched_equals_sequential(self):
+        # The load-bearing invariant: the batcher changes latency, never
+        # answers. Sequential = batch_limit 1 at the same fixed engine
+        # shape.
+        tr = poisson_trace(60, rate=3000.0, seed=3)
+        batched = serve_trace(tr, CFG)
+        seq = serve_trace(tr, dataclasses.replace(CFG, batch_limit=1))
+        assert batched.mean_batch > 1.0  # coalescing actually happened
+        assert seq.mean_batch == 1.0
+        for r in tr.requests:
+            np.testing.assert_array_equal(
+                batched.results[r.rid], seq.results[r.rid]
+            )
+        assert batched.results_hash() == seq.results_hash()
+
+    def test_every_request_is_answered_once(self):
+        tr = poisson_trace(80, rate=5000.0, seed=4)
+        rep = serve_trace(tr, CFG)
+        assert sorted(rep.results) == [r.rid for r in tr.requests]
+        assert len(rep.served) == len(tr)
+        assert all(s.latency > 0.0 for s in rep.served)
+
+
+class TestDeterminism:
+    def test_run_twice_is_bit_identical(self):
+        tr = poisson_trace(100, rate=8000.0, seed=9)
+        a, b = serve_trace(tr, CFG), serve_trace(tr, CFG)
+        assert a.results_hash() == b.results_hash()
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+        assert [
+            (s.rid, s.dispatched, s.completed, s.device)
+            for s in a.served
+        ] == [
+            (s.rid, s.dispatched, s.completed, s.device) for s in b.served
+        ]
+        assert [(e.time, e.action) for e in a.scaling_events] == [
+            (e.time, e.action) for e in b.scaling_events
+        ]
+
+
+class TestAutoscaling:
+    def test_overload_grows_the_replica_set(self):
+        tr = poisson_trace(300, rate=40000.0, seed=11)
+        rep = serve_trace(tr, CFG)
+        assert rep.peak_replicas > 1
+        assert any(e.action == "up" for e in rep.scaling_events)
+
+    def test_light_load_stays_at_the_floor(self):
+        tr = poisson_trace(40, rate=200.0, seed=2)
+        rep = serve_trace(tr, CFG)
+        assert rep.peak_replicas == CFG.min_replicas
+        assert rep.scaling_events == []
+
+    def test_scaling_does_not_change_results(self):
+        tr = poisson_trace(150, rate=30000.0, seed=6)
+        scaled = serve_trace(tr, CFG)
+        pinned = serve_trace(
+            tr,
+            dataclasses.replace(
+                CFG, min_replicas=4, up_backlog=1e9, cooldown=1e9
+            ),
+        )
+        assert scaled.results_hash() == pinned.results_hash()
+
+
+class TestOpenLoopScale:
+    def test_five_thousand_arrivals_complete(self):
+        # The serving-scale smoke: thousands of open-loop arrivals step
+        # through batcher, autoscaler, and replicas with bounded memory
+        # (trace/handle logs cleared periodically) and every request
+        # answered.
+        tr = poisson_trace(5000, rate=20000.0, seed=1)
+        rep = serve_trace(tr, CFG)
+        assert rep.n_requests == 5000
+        assert sorted(rep.results) == list(range(5000))
+        assert rep.makespan >= tr.duration
+        assert rep.graph_replayed_pairs > 0  # steady state used graphs
+
+    def test_bursty_tail_is_heavier_at_equal_load(self):
+        rate = 20000.0
+        p = serve_trace(poisson_trace(400, rate=rate, seed=5), CFG)
+        b = serve_trace(bursty_trace(400, rate=rate, seed=5), CFG)
+        p99 = lambda r: float(np.percentile(r.latencies, 99))  # noqa: E731
+        assert p99(b) > p99(p)
+
+
+class TestComposition:
+    def test_memory_pressure_moves_latency_not_bits(self):
+        tr = poisson_trace(60, rate=5000.0, seed=8)
+        plain = serve_trace(tr, CFG)
+        squeezed = serve_trace(
+            tr, dataclasses.replace(CFG, capacity_frac=0.4)
+        )
+        assert squeezed.results_hash() == plain.results_hash()
+
+    def test_straggler_moves_latency_not_bits(self):
+        tr = poisson_trace(120, rate=30000.0, seed=8)
+        plain = serve_trace(tr, CFG)
+        fp = FaultPlan(
+            stragglers=(Straggler(device=1, compute_factor=4.0),)
+        )
+        slow = serve_trace(tr, dataclasses.replace(CFG, faults=fp))
+        assert slow.results_hash() == plain.results_hash()
+        assert slow.makespan > plain.makespan  # the slowdown is real
+
+
+class TestConfigValidation:
+    def test_rejects_bad_batch_limit(self):
+        with pytest.raises(ValueError):
+            ServingNode(dataclasses.replace(CFG, batch_limit=0))
+        with pytest.raises(ValueError):
+            ServingNode(
+                dataclasses.replace(CFG, batch_limit=CFG.max_batch + 1)
+            )
+
+    def test_rejects_more_replicas_than_devices(self):
+        with pytest.raises(ValueError):
+            ServingNode(dataclasses.replace(CFG, max_replicas=99))
+
+    def test_rejects_bad_capacity_frac(self):
+        with pytest.raises(ValueError):
+            ServingNode(dataclasses.replace(CFG, capacity_frac=0.0))

@@ -1,0 +1,83 @@
+"""Arrival-trace generators: determinism, statistics, burstiness."""
+
+import numpy as np
+import pytest
+
+from repro.serving import bursty_trace, poisson_trace
+
+
+def gaps(trace):
+    arr = np.asarray([r.arrival for r in trace.requests])
+    return np.diff(np.concatenate([[0.0], arr]))
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_trace(200, rate=1000.0, seed=7)
+        b = poisson_trace(200, rate=1000.0, seed=7)
+        assert a == b
+
+    def test_seed_changes_the_trace(self):
+        a = poisson_trace(200, rate=1000.0, seed=7)
+        b = poisson_trace(200, rate=1000.0, seed=8)
+        assert a != b
+
+    def test_mean_rate_is_respected(self):
+        tr = poisson_trace(5000, rate=1000.0, seed=0)
+        assert tr.duration == pytest.approx(5.0, rel=0.1)
+        assert np.all(gaps(tr) >= 0.0)
+
+    def test_mix_weights(self):
+        tr = poisson_trace(
+            2000, rate=100.0, seed=1, mix=(("lenet", 3.0), ("sgemm", 1.0))
+        )
+        counts = tr.kind_counts()
+        assert counts["lenet"] + counts["sgemm"] == 2000
+        assert counts["lenet"] / 2000 == pytest.approx(0.75, abs=0.05)
+
+    def test_rids_are_sequential(self):
+        tr = poisson_trace(50, rate=10.0)
+        assert [r.rid for r in tr.requests] == list(range(50))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            poisson_trace(0, rate=1.0)
+        with pytest.raises(ValueError):
+            poisson_trace(10, rate=0.0)
+        with pytest.raises(ValueError):
+            poisson_trace(10, rate=1.0, mix=())
+
+
+class TestBursty:
+    def test_deterministic_per_seed(self):
+        a = bursty_trace(300, rate=1000.0, seed=3)
+        b = bursty_trace(300, rate=1000.0, seed=3)
+        assert a == b
+
+    def test_preserves_mean_load(self):
+        # Same offered load as poisson at equal rate — only the variance
+        # differs.
+        tr = bursty_trace(5000, rate=1000.0, seed=0)
+        assert tr.duration == pytest.approx(5.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        p = poisson_trace(5000, rate=1000.0, seed=0)
+        b = bursty_trace(5000, rate=1000.0, seed=0, burst=4.0, duty=0.2)
+        cv2 = lambda g: g.var() / g.mean() ** 2  # noqa: E731
+        assert cv2(gaps(b)) > 1.5 * cv2(gaps(p))
+
+    def test_arrivals_monotone_over_many_cycles(self):
+        # High rate + long trace = thousands of ON/OFF cycles; the phase
+        # walk must neither stall nor go backwards (the absolute-clock
+        # implementation looped forever once cycle << t).
+        tr = bursty_trace(4000, rate=50000.0, seed=2015)
+        assert np.all(gaps(tr) >= 0.0)
+        assert tr.duration > 0.05
+
+    def test_rejects_bad_shape_params(self):
+        with pytest.raises(ValueError):
+            bursty_trace(10, rate=1.0, duty=0.0)
+        with pytest.raises(ValueError):
+            bursty_trace(10, rate=1.0, burst=0.5)
+        with pytest.raises(ValueError):
+            bursty_trace(10, rate=1.0, burst=6.0, duty=0.2)
