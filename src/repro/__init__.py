@@ -52,12 +52,16 @@ from repro.errors import (
     AllocationError,
     AnalysisError,
     CapacityError,
+    ClusterRecoveryError,
     DeadlineExceededError,
     DeadlockError,
     DeviceError,
     DeviceFault,
     GraphCaptureError,
+    LinkError,
     MapsError,
+    NodeFailure,
+    PartitionError,
     PatternMismatchError,
     PreemptedError,
     QuotaExceededError,
@@ -135,6 +139,10 @@ __all__ = [
     "StragglerTimeoutError",
     "TransientTransferError",
     "UnrecoverableError",
+    "NodeFailure",
+    "LinkError",
+    "PartitionError",
+    "ClusterRecoveryError",
     "QuotaExceededError",
     "DeadlineExceededError",
     "PreemptedError",

@@ -19,6 +19,11 @@ from repro.bench.experiments import (
     table4_single_gpu,
     xt_gemm_scaling,
 )
+from repro.bench.cluster import (
+    cluster_report,
+    measure_cluster,
+    write_cluster_json,
+)
 from repro.bench.faults import (
     faults_report,
     measure_faults,
@@ -173,6 +178,8 @@ MODES = {
     "overhead, fairness (BENCH_server.json)",
     "--serving": "serving under open-loop load: latency percentiles, "
     "goodput vs offered load, autoscaling (BENCH_serving.json)",
+    "--cluster": "multi-node scaling and fault-recovery overhead "
+    "(BENCH_cluster.json)",
 }
 
 
@@ -313,6 +320,29 @@ def main(argv: list[str] | None = None) -> int:
         "stays within X times the calibrated full-batch service time "
         "(CI regression gate)",
     )
+    modes.add_argument(
+        "--cluster",
+        action="store_true",
+        help="measure multi-node scaling (1/2/4/8 nodes, timing-only) and "
+        "fault-recovery overhead (node crash / partition / slow link, "
+        "bit-identity asserted; DESIGN.md §15) and write "
+        "BENCH_cluster.json",
+    )
+    modes.add_argument(
+        "--cluster-json",
+        default="BENCH_cluster.json",
+        metavar="PATH",
+        help="output path for --cluster results (default: %(default)s)",
+    )
+    modes.add_argument(
+        "--cluster-max-overhead",
+        type=float,
+        default=None,
+        metavar="X",
+        help="with --cluster: fail unless single-node-loss recovery stays "
+        "within X times the fault-free checkpointed run (default: 2.0; "
+        "CI regression gate)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("experiments:")
@@ -365,6 +395,15 @@ def main(argv: list[str] | None = None) -> int:
         print(serving_report(results))
         write_serving_json(results, args.serving_json)
         print(f"wrote {args.serving_json}")
+        return 0
+    if args.cluster:
+        kw = {}
+        if args.cluster_max_overhead is not None:
+            kw["max_overhead"] = args.cluster_max_overhead
+        results = measure_cluster(**kw)
+        print(cluster_report(results))
+        write_cluster_json(results, args.cluster_json)
+        print(f"wrote {args.cluster_json}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

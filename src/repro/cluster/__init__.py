@@ -1,6 +1,31 @@
-"""Cluster extension (paper §8 future work): MAPS-Multi across nodes."""
+"""Cluster extension (paper §8 future work): MAPS-Multi across nodes,
+with master/agent fault tolerance (DESIGN.md §15)."""
 
+from repro.cluster.agent import NodeAgent
+from repro.cluster.faults import (
+    ClusterFaultPlan,
+    LinkFault,
+    NodeCrash,
+    Partition,
+    SlowLink,
+)
+from repro.cluster.master import ClusterMaster
+from repro.cluster.monitor import CheckpointRecord, ClusterMonitor, GhostRecord
 from repro.cluster.network import ClusterNetwork, NetworkCalibration
 from repro.cluster.stencil import ClusterStencil
 
-__all__ = ["ClusterNetwork", "NetworkCalibration", "ClusterStencil"]
+__all__ = [
+    "ClusterNetwork",
+    "NetworkCalibration",
+    "ClusterStencil",
+    "ClusterMaster",
+    "NodeAgent",
+    "ClusterMonitor",
+    "CheckpointRecord",
+    "GhostRecord",
+    "ClusterFaultPlan",
+    "NodeCrash",
+    "LinkFault",
+    "Partition",
+    "SlowLink",
+]

@@ -1,0 +1,330 @@
+"""Deterministic fault injection for the simulated cluster (DESIGN.md §15).
+
+The cluster-level mirror of :mod:`repro.sim.faults`: a
+:class:`ClusterFaultPlan` describes when and where the *fabric and whole
+nodes* misbehave, one level of the failure hierarchy above the per-node
+:class:`~repro.sim.faults.FaultPlan`. Four fault classes are modelled:
+
+* **Node crashes** (:class:`NodeCrash`): fail-stop of a whole multi-GPU
+  node at a cluster time — its host and device memory are gone, it stops
+  answering heartbeats, and every message to or from it is lost. The
+  master detects the silence (heartbeat misses), fences the node, and
+  re-slabs the board across survivors from checkpoint replicas.
+* **Link/NIC transfer faults** (:class:`LinkFault`, or a seeded
+  ``link_fault_rate``): the matching inter-node message is lost at send
+  time. The master retries with capped-exponential backoff in simulated
+  time; a persistently bad link surfaces as
+  :class:`~repro.errors.LinkError`.
+* **Network partitions** (:class:`Partition`): during the window, only
+  nodes in the same group can exchange messages. The head node sits on
+  the *largest* group (lowest node id breaking ties), so a partition
+  hides the complement from the master; once the failure detector
+  declares the isolated minority dead it is **fenced** — never
+  re-admitted, even if the partition heals — so a stale minority cannot
+  write back into the board. A partition shorter than the detection
+  latency is absorbed by the retry/backoff machinery and causes no
+  recovery at all.
+* **Slow links** (:class:`SlowLink`): multiplicative stretch of matching
+  messages' durations inside an onset window. Slow links never lose
+  messages; like intra-node stragglers they only stretch the timeline
+  (and must not change results — asserted by tests).
+
+Determinism: all state lives in the plan (explicit per-link counters plus
+one ``random.Random(seed)``), and the master's bulk-synchronous drive
+order is itself deterministic, so two runs with equal plans produce
+identical fault sequences, identical detection times, identical recovery
+actions and identical simulated times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanent fail-stop failure of one whole node at a cluster time."""
+
+    node: int
+    at_time: float
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Transient loss of specific inter-node messages.
+
+    The ``nth`` message sent on the directed link ``(src, dst)`` (1-based;
+    ``None`` matches any endpoint) is lost, as are the following
+    ``count - 1`` matching sends — ``count`` models how many consecutive
+    attempts (including the master's retries) fail before the link heals.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    nth: int = 1
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The fabric splits into disconnected ``groups`` for a time window.
+
+    ``groups`` must cover every node exactly once; messages between
+    different groups are lost while ``start <= t < end``. The head node
+    (master) can reach the largest group (lowest member id breaks ties).
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class SlowLink:
+    """Degraded link: matching messages take ``factor`` times longer.
+
+    ``src``/``dst`` of ``None`` match any endpoint; ``start``/``end``
+    bound the onset window in cluster seconds (half-open; ``end=None``
+    means the link never heals). Factors must be >= 1.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    factor: float = 1.0
+    start: float = 0.0
+    end: float | None = None
+
+
+class ClusterFaultPlan:
+    """A deterministic schedule of cluster faults plus the failure
+    detector's and checkpointer's policy knobs (see module docstring).
+
+    Args:
+        seed: Seed for the plan's private RNG (used only by
+            ``link_fault_rate`` draws).
+        node_crashes: Whole-node fail-stop failures.
+        link_faults: Targeted transient message losses.
+        partitions: Fabric partition windows.
+        slow_links: Per-link slowdown factors.
+        link_fault_rate: Probability that any sent message is lost
+            (drawn from the seeded RNG per send; deterministic because
+            send order is).
+        retry_base: First retry backoff in cluster seconds.
+        retry_cap: Upper bound on a single backoff interval.
+        max_retries: Retries per message before the master gives up and
+            hands the endpoint to the failure detector.
+        ack_timeout: How long a sender waits for an ack before counting
+            an attempt as lost.
+        heartbeat_interval: Master -> node heartbeat period in cluster
+            seconds.
+        heartbeat_timeout: Ack deadline of a single heartbeat.
+        miss_threshold: Consecutive heartbeat misses before a node is
+            declared dead. A miss is only counted when the node's uplink
+            is idle (``ClusterNetwork.busy_until``) — a node draining a
+            checkpoint is busy, not dead.
+        checkpoint_interval: Coordinated slab checkpoint period in ticks.
+        checkpoint_replicas: Peer copies of each slab checkpoint (shipped
+            to the ``r`` successor nodes in the ring). Default ``None``
+            auto-sizes to ``(live_nodes - 1) // 2``, which keeps every
+            region recoverable under any minority of simultaneous node
+            losses.
+        node_plans: Optional per-node intra-node
+            :class:`~repro.sim.faults.FaultPlan`s — the inner level of
+            the fault hierarchy. Each node's plan is installed on its own
+            :class:`~repro.sim.node.SimNode`; an intra-node plan that
+            exhausts a node's GPUs escalates to a cluster-level
+            :class:`~repro.errors.NodeFailure` (``cause="agent-error"``).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        node_crashes: list[NodeCrash] | None = None,
+        link_faults: list[LinkFault] | None = None,
+        partitions: list[Partition] | None = None,
+        slow_links: list[SlowLink] | None = None,
+        link_fault_rate: float = 0.0,
+        retry_base: float = 5e-5,
+        retry_cap: float = 2e-3,
+        max_retries: int = 6,
+        ack_timeout: float = 2e-4,
+        heartbeat_interval: float = 5e-4,
+        heartbeat_timeout: float = 2e-4,
+        miss_threshold: int = 3,
+        checkpoint_interval: int = 4,
+        checkpoint_replicas: int | None = None,
+        node_plans: dict[int, FaultPlan] | None = None,
+    ):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.node_crashes = list(node_crashes or [])
+        self.link_faults = list(link_faults or [])
+        self.partitions = list(partitions or [])
+        self.link_fault_rate = float(link_fault_rate)
+        self.retry_base = float(retry_base)
+        self.retry_cap = float(retry_cap)
+        self.max_retries = int(max_retries)
+        self.ack_timeout = float(ack_timeout)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.miss_threshold = int(miss_threshold)
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.checkpoint_replicas = checkpoint_replicas
+        self.node_plans = dict(node_plans or {})
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval/timeout must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if not 0.0 <= self.link_fault_rate < 1.0:
+            raise ValueError("link_fault_rate must be in [0, 1)")
+        for p in self.partitions:
+            seen: set[int] = set()
+            for g in p.groups:
+                if seen & set(g):
+                    raise ValueError(f"partition groups overlap: {p}")
+                seen |= set(g)
+            if len(p.groups) < 2:
+                raise ValueError(f"partition needs >= 2 groups: {p}")
+            if p.start > p.end:
+                raise ValueError(f"partition window inverted: {p}")
+        #: (src, dst) spec-key -> messages sent, for `nth` matching
+        #: (exact-link and wildcard specs count independently, mirroring
+        #: TransferFault).
+        self._link_counts: dict[tuple[int | None, int | None], int] = {}
+        self._slow: list[SlowLink] = []
+        for s in slow_links or []:
+            if s.factor < 1.0:
+                raise ValueError(f"slow-link factor must be >= 1, got {s}")
+            if s.end is not None and s.start > s.end:
+                raise ValueError(f"slow-link window inverted: {s}")
+            self._slow.append(s)
+        #: Earliest crash time per node.
+        self._crash_at: dict[int, float] = {}
+        for c in self.node_crashes:
+            t = self._crash_at.get(c.node)
+            self._crash_at[c.node] = (
+                c.at_time if t is None else min(t, c.at_time)
+            )
+        #: Diagnostics, also used by `repro.bench --cluster` reports.
+        self.link_faults_fired = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_missed = 0
+        self.messages_retried = 0
+        self.nodes_lost = 0
+        self.recoveries = 0
+        self.checkpoints_taken = 0
+
+    # -- node crashes --------------------------------------------------------
+    def crash_time(self, node: int) -> float | None:
+        """Earliest fail-stop time of ``node``, or None if it never dies."""
+        return self._crash_at.get(node)
+
+    def crashed(self, node: int, now: float) -> bool:
+        """Whether ``node`` has fail-stopped by cluster time ``now``."""
+        t = self._crash_at.get(node)
+        return t is not None and t <= now
+
+    # -- partitions ----------------------------------------------------------
+    def _active_partition(self, now: float) -> Partition | None:
+        for p in self.partitions:
+            if p.start <= now < p.end:
+                return p
+        return None
+
+    def reachable(self, src: int, dst: int, now: float) -> bool:
+        """Whether the fabric can carry ``src -> dst`` at ``now``
+        (partitions only; crashes and link faults are separate checks)."""
+        if src == dst:
+            return True
+        p = self._active_partition(now)
+        if p is None:
+            return True
+        for g in p.groups:
+            if src in g:
+                return dst in g
+        return True  # src not named in any group: unpartitioned
+
+    def master_group(self, nodes: list[int], now: float) -> list[int]:
+        """The subset of ``nodes`` the head node can reach at ``now``.
+
+        The head sits on the largest partition group (lowest member id
+        breaking ties); with no active partition it reaches everyone.
+        """
+        p = self._active_partition(now)
+        if p is None:
+            return list(nodes)
+        candidates = []
+        for g in p.groups:
+            members = [n for n in nodes if n in g]
+            if members:
+                candidates.append(members)
+        unlisted = [
+            n for n in nodes if not any(n in g for g in p.groups)
+        ]
+        if unlisted:
+            candidates.append(unlisted)
+        if not candidates:
+            return list(nodes)
+        return max(candidates, key=lambda ms: (len(ms), -min(ms)))
+
+    # -- transient link faults ------------------------------------------------
+    def link_fault_now(self, src: int, dst: int) -> bool:
+        """Whether the message being sent on ``src -> dst`` is lost.
+
+        Stateful: advances the per-link send counters and, when a fault
+        rate is set, draws from the plan's RNG. Call exactly once per
+        send attempt.
+        """
+        fault = False
+        for spec in self.link_faults:
+            if spec.src is not None and spec.src != src:
+                continue
+            if spec.dst is not None and spec.dst != dst:
+                continue
+            key = (spec.src, spec.dst)
+            n = self._link_counts.get(key, 0) + 1
+            self._link_counts[key] = n
+            if spec.nth <= n < spec.nth + spec.count:
+                fault = True
+        if self.link_fault_rate > 0.0:
+            if self.rng.random() < self.link_fault_rate:
+                fault = True
+        if fault:
+            self.link_faults_fired += 1
+        return fault
+
+    # -- slow links ----------------------------------------------------------
+    def slow_factor(self, src: int, dst: int, now: float) -> float:
+        """Worst active slowdown factor for a ``src -> dst`` message."""
+        worst = 1.0
+        for s in self._slow:
+            if s.src is not None and s.src != src:
+                continue
+            if s.dst is not None and s.dst != dst:
+                continue
+            if now < s.start or (s.end is not None and now >= s.end):
+                continue
+            worst = max(worst, s.factor)
+        return worst
+
+    # -- retry policy --------------------------------------------------------
+    def backoff(self, attempt: int) -> float:
+        """Cluster-time delay before retry ``attempt`` (1-based):
+        capped exponential ``min(retry_base * 2**(attempt-1), retry_cap)``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.retry_base * (2.0 ** (attempt - 1)), self.retry_cap)
+
+    # -- checkpoint policy ----------------------------------------------------
+    def replicas_for(self, live_nodes: int) -> int:
+        """Peer-replica count for a checkpoint taken with ``live_nodes``
+        survivors: the configured degree, clamped to the ring size, or
+        the any-minority-safe default ``(live_nodes - 1) // 2``."""
+        if self.checkpoint_replicas is None:
+            return max(0, (live_nodes - 1) // 2)
+        return max(0, min(int(self.checkpoint_replicas), live_nodes - 1))

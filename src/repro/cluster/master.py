@@ -1,0 +1,833 @@
+"""The cluster master: fault-tolerant bulk-synchronous drive loop
+(DESIGN.md §15).
+
+:class:`ClusterMaster` runs on the head node and owns everything *between*
+the nodes: the slab decomposition (via the hierarchical
+:class:`~repro.cluster.monitor.ClusterMonitor`), the per-tick command
+dispatch to each :class:`~repro.cluster.agent.NodeAgent`, the ghost
+exchange over the simulated fabric, heartbeat-based failure detection,
+coordinated slab checkpoints, and the recovery ladder. Its drive loop is
+deliberately simple::
+
+    while tick < target:
+        try:    attempt one bulk-synchronous tick
+        except node unreachable: recover (fence, re-slab, roll back)
+
+Everything runs in **simulated cluster time**: retries back off in
+simulated seconds, heartbeat misses are counted against the simulated
+send schedule, recovery transfers occupy the simulated fabric. With no
+:class:`~repro.cluster.faults.ClusterFaultPlan` installed the master adds
+*zero* overhead — no heartbeats, no checkpoints, no extra messages — and
+the schedule is identical to the pre-fault-tolerance cluster layer
+(asserted by the timing benchmarks).
+
+Recovery (the tentpole protocol):
+
+1. **Detect** — a node stops acking (heartbeat-miss math in
+   :meth:`_declared_dead`), crashes mid-compute, lands on the wrong side
+   of a partition past the retry budget, or escalates an intra-node
+   :class:`~repro.errors.UnrecoverableError`.
+2. **Fence** — the node is marked dead (crash: host memory poisoned) or
+   fenced (partition: intact but excluded forever), and the typed error
+   is appended to :attr:`events`.
+3. **Check** — partitions need the master to keep a strict majority;
+   every board row needs a surviving checkpoint replica
+   (:meth:`ClusterMonitor.coverage_gap`). Otherwise
+   :class:`~repro.errors.ClusterRecoveryError`.
+4. **Re-slab** — survivors get a fresh near-even decomposition; each new
+   slab's rows (interior plus ghosts) are fetched peer-to-peer from
+   checkpoint holders over the fabric and rebuilt into fresh schedulers
+   restricted to each node's surviving GPUs.
+5. **Roll back & replay** — the cluster rewinds to the checkpoint tick
+   and replays through the normal drive loop. Functional compute is
+   deterministic and decomposition-independent, so the replayed board is
+   **bit-identical** to the fault-free run.
+6. **Cross-check** — edge rows the dead node had shipped into surviving
+   neighbours' ghost regions are compared against the replayed rows once
+   the replay re-reaches the failure tick (``"ghost-mismatch"`` if the
+   recovered state diverges).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.agent import NodeAgent
+from repro.cluster.faults import ClusterFaultPlan
+from repro.cluster.monitor import ClusterMonitor, GhostRecord
+from repro.cluster.network import ClusterNetwork, NetworkCalibration
+from repro.core import Kernel
+from repro.errors import (
+    ClusterRecoveryError,
+    LinkError,
+    NodeFailure,
+    PartitionError,
+    SchedulingError,
+    UnrecoverableError,
+)
+from repro.hardware.specs import GPUSpec
+
+
+class _Unreachable(Exception):
+    """Internal control flow: one or more nodes were declared lost during
+    a tick attempt. Carries the typed public errors; never escapes
+    :meth:`ClusterMaster.step`."""
+
+    def __init__(
+        self,
+        errors: list[NodeFailure | LinkError],
+        nodes: list[int],
+        at: float,
+    ):
+        super().__init__("; ".join(str(e) for e in errors))
+        self.errors = errors
+        self.nodes = nodes
+        self.at = at
+
+
+class ClusterMaster:
+    """Master/agent execution of a 2-D stencil across multi-GPU nodes.
+
+    Args:
+        spec: GPU model of every node (``node_specs`` overrides per node).
+        num_nodes: Number of multi-GPU nodes.
+        gpus_per_node: GPUs per node.
+        board: Initial global board array, or ``(rows, cols)`` for
+            timing-only runs.
+        kernel: The per-tick stencil kernel.
+        radius: Stencil radius (ghost depth).
+        functional: Functional vs timing-only per-node simulation.
+        network: Fabric calibration.
+        wrap: Cyclic (toroidal) row boundary via ring exchange.
+        faults: Optional :class:`ClusterFaultPlan`. When None the master
+            runs the plain fault-intolerant schedule (no heartbeats, no
+            checkpoints — zero overhead).
+        node_specs: Optional per-node GPU spec overrides, e.g. a
+            capacity-clamped spec to compose cluster faults with the
+            memory-pressure ladder on one node.
+    """
+
+    #: Recoveries within one ``step()`` before the master gives up.
+    MAX_RECOVERIES_PER_STEP = 16
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        num_nodes: int,
+        gpus_per_node: int,
+        board: np.ndarray | tuple[int, int],
+        kernel: Kernel,
+        radius: int = 1,
+        functional: bool = True,
+        network: NetworkCalibration | None = None,
+        wrap: bool = False,
+        faults: ClusterFaultPlan | None = None,
+        node_specs: dict[int, GPUSpec] | None = None,
+    ):
+        if isinstance(board, tuple):
+            rows, cols = board
+            board_arr = None
+            if functional:
+                raise SchedulingError(
+                    "functional mode requires an actual board"
+                )
+        else:
+            board_arr = np.ascontiguousarray(board)
+            rows, cols = board_arr.shape
+        if rows % num_nodes != 0:
+            raise SchedulingError(
+                f"board rows {rows} not divisible by {num_nodes} nodes"
+            )
+        if rows // num_nodes <= radius:
+            raise SchedulingError("slab thinner than the stencil radius")
+        self.rows, self.cols = rows, cols
+        self.radius = radius
+        self.wrap = wrap
+        self.num_nodes = num_nodes
+        self.kernel = kernel
+        self.functional = functional
+        self.faults = faults
+        self.network = ClusterNetwork(num_nodes, network)
+        self.monitor = ClusterMonitor(rows, cols, radius, 4)
+        #: Typed failure errors in detection order (observability).
+        self.events: list[Exception] = []
+        #: One dict per recovery, for reports and tests.
+        self.recovery_log: list[dict] = []
+
+        specs = node_specs or {}
+        self.agents: dict[int, NodeAgent] = {}
+        for i in range(num_nodes):
+            plan = faults.node_plans.get(i) if faults is not None else None
+            self.agents[i] = NodeAgent(
+                i,
+                specs.get(i, spec),
+                gpus_per_node,
+                cols,
+                kernel,
+                radius,
+                functional,
+                faults=plan,
+            )
+        self.monitor.node_monitors = {
+            i: ag.sched.monitor for i, ag in self.agents.items()
+        }
+        slabs = self.monitor.assign(
+            list(range(num_nodes)), min_rows=radius + 1
+        )
+        for i, (lo, hi) in slabs.items():
+            region = (
+                self._board_region(board_arr, lo, hi)
+                if board_arr is not None
+                else None
+            )
+            self.agents[i].build(lo, hi, region, which=0)
+
+        self.tick = 0
+        self._target = 0
+        #: Master clock = the last barrier time.
+        self._clock = 0.0
+        #: Monotonic checkpoint id (agents' store key; see monitor).
+        self._ckpt_seq = 0
+        #: Pending ghost-replica integrity probes: (tick, lo, hi, data).
+        self._ghost_checks: list[tuple[int, int, int, np.ndarray | None]] = []
+        if faults is not None:
+            # Tick-0 coordinated checkpoint: the initial board is known to
+            # the master, so local snapshots are free (no device gather);
+            # replica shipping occupies the fabric like any checkpoint.
+            self._drive(self._checkpoint_now)
+
+    # -- initial data ---------------------------------------------------------
+    def _board_region(
+        self, board: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """Extended slab content (ghosts included) for rows [lo, hi)."""
+        r = self.radius
+        region = np.zeros((hi - lo + 2 * r, self.cols), np.int32)
+        region[r : r + (hi - lo)] = board[lo:hi]
+        if self.wrap or lo - r >= 0:
+            idx = np.arange(lo - r, lo)
+            region[:r] = board[idx % self.rows if self.wrap else idx]
+        if self.wrap or hi + r <= self.rows:
+            idx = np.arange(hi, hi + r)
+            region[r + (hi - lo) :] = board[
+                idx % self.rows if self.wrap else idx
+            ]
+        return region
+
+    # -- messaging ------------------------------------------------------------
+    def _reach(self, node: int, t: float) -> float:
+        """Deliver a control message (tick command / heartbeat) to
+        ``node``, retrying through transient partitions. Control messages
+        are metadata-sized and ride the fabric's control plane: delivery
+        is free in simulated time, but *failed* delivery costs the ack
+        timeout plus backoff per attempt. Returns the delivery time."""
+        fp = self.faults
+        if fp is None:
+            return t
+        t_try = t
+        live = self.monitor.order()
+        for attempt in range(1, fp.max_retries + 2):
+            if not fp.crashed(node, t_try) and node in fp.master_group(
+                live, t_try
+            ):
+                return t_try
+            if attempt > fp.max_retries:
+                break
+            fp.messages_retried += 1
+            t_try += fp.ack_timeout + fp.backoff(attempt)
+        if fp.crashed(node, t_try):
+            declared = self._declared_dead(node, fp.crash_time(node))
+            err = NodeFailure(
+                f"node {node} stopped answering heartbeats "
+                f"(crashed at t={fp.crash_time(node):.6f}s, declared dead "
+                f"at t={declared:.6f}s)",
+                node=node,
+                time=declared,
+                cause="crash",
+            )
+            raise _Unreachable([err], [node], max(t_try, declared))
+        isolated = tuple(
+            n for n in live if n not in fp.master_group(live, t_try)
+        )
+        err = PartitionError(
+            f"nodes {list(isolated)} unreachable past the retry budget: "
+            f"fabric partition (fencing the minority at t={t_try:.6f}s)",
+            isolated=isolated,
+            src=-1,
+            dst=node,
+            time=t_try,
+            attempts=fp.max_retries + 1,
+        )
+        raise _Unreachable([err], list(isolated), t_try)
+
+    def _send(
+        self, src: int, dst: int, nbytes: int, ready: float, what: str
+    ) -> float:
+        """One inter-node data message (ghost rows, checkpoint replica,
+        recovery fetch) with loss retry. Returns the arrival time."""
+        fp = self.faults
+        if fp is None:
+            return self.network.transfer(src, dst, nbytes, ready)
+        t_try = ready
+        for attempt in range(1, fp.max_retries + 2):
+            if fp.crashed(src, t_try):
+                declared = self._declared_dead(src, fp.crash_time(src))
+                err = NodeFailure(
+                    f"node {src} crashed before sending {what} to {dst}",
+                    node=src,
+                    time=declared,
+                    cause="crash",
+                )
+                raise _Unreachable([err], [src], max(t_try, declared))
+            lost = (
+                fp.crashed(dst, t_try)
+                or not fp.reachable(src, dst, t_try)
+                or fp.link_fault_now(src, dst)
+            )
+            if not lost:
+                return self.network.transfer(
+                    src,
+                    dst,
+                    nbytes,
+                    t_try,
+                    factor=fp.slow_factor(src, dst, t_try),
+                )
+            if attempt > fp.max_retries:
+                t_try += fp.ack_timeout
+                break
+            fp.messages_retried += 1
+            t_try += fp.ack_timeout + fp.backoff(attempt)
+        # Retry budget exhausted: classify.
+        if fp.crashed(dst, t_try):
+            declared = self._declared_dead(dst, fp.crash_time(dst))
+            err = NodeFailure(
+                f"node {dst} crashed; {what} from {src} undeliverable",
+                node=dst,
+                time=declared,
+                cause="crash",
+            )
+            raise _Unreachable([err], [dst], max(t_try, declared))
+        live = self.monitor.order()
+        if not fp.reachable(src, dst, t_try):
+            isolated = tuple(
+                n for n in live if n not in fp.master_group(live, t_try)
+            )
+            err = PartitionError(
+                f"{what} {src}->{dst} undeliverable: fabric partition "
+                f"(fencing nodes {list(isolated)})",
+                isolated=isolated,
+                src=src,
+                dst=dst,
+                time=t_try,
+                attempts=fp.max_retries + 1,
+            )
+            raise _Unreachable(
+                [err], list(isolated) or [dst], t_try
+            )
+        # Persistently lossy link with both endpoints alive: fail-stop
+        # semantics for the receiver — a link that stays bad past the
+        # retry budget is indistinguishable from a dead NIC.
+        err = LinkError(
+            f"{what} {src}->{dst} lost {fp.max_retries + 1} times: "
+            f"link/NIC declared faulty, fencing receiver {dst}",
+            src=src,
+            dst=dst,
+            time=t_try,
+            attempts=fp.max_retries + 1,
+        )
+        raise _Unreachable([err], [dst], t_try)
+
+    def _declared_dead(self, node: int, t_crash: float) -> float:
+        """Heartbeat-detection time for a node that fail-stopped at
+        ``t_crash``: the first ``miss_threshold`` consecutive heartbeat
+        sends after the crash each miss their ack; sends scheduled while
+        the node's links are still draining queued transfers
+        (:meth:`ClusterNetwork.busy_until`) are skipped rather than
+        counted — a node finishing a checkpoint is busy, not dead."""
+        fp = self.faults
+        h = fp.heartbeat_interval
+        t_send = (math.floor(t_crash / h) + 1) * h
+        misses = 0
+        last = t_send
+        while misses < fp.miss_threshold:
+            busy = self.network.busy_until(node)
+            if busy > t_send:
+                t_send = (math.floor(busy / h) + 1) * h
+                continue
+            misses += 1
+            fp.heartbeats_missed += 1
+            last = t_send
+            t_send += h
+        return last + fp.heartbeat_timeout
+
+    # -- the drive loop -------------------------------------------------------
+    def step(self) -> None:
+        """Advance the cluster by one tick, recovering from any node
+        losses encountered on the way (which may involve rolling back to
+        the last coordinated checkpoint and replaying)."""
+        self._target = self.tick + 1
+        self._drive(self._attempt_tick)
+
+    def _drive(self, attempt) -> None:
+        """Run ``attempt`` until the target tick is reached, entering the
+        recovery ladder on every declared node loss."""
+        recoveries = 0
+        pending: _Unreachable | None = None
+        while True:
+            try:
+                if pending is not None:
+                    u, pending = pending, None
+                    # Recovery may itself lose a node (a survivor dies
+                    # while serving checkpoint fetches): the nested
+                    # _Unreachable lands back here and recovery restarts
+                    # against the further-shrunk cluster.
+                    self._recover(u)
+                    attempt = self._attempt_tick
+                else:
+                    attempt()
+            except _Unreachable as exc:
+                recoveries += 1
+                if recoveries > self.MAX_RECOVERIES_PER_STEP:
+                    raise ClusterRecoveryError(
+                        "recovery is thrashing: "
+                        f"{recoveries} node losses within one step",
+                        reason="thrashing",
+                        time=exc.at,
+                    ) from exc
+                pending = exc
+                continue
+            if self.tick >= self._target:
+                return
+
+    def _attempt_tick(self) -> None:
+        """One bulk-synchronous tick: dispatch, compute, exchange,
+        barrier, bookkeeping. Raises ``_Unreachable`` on any node loss."""
+        fp = self.faults
+        tick = self.tick
+        src_i, dst_i = tick % 2, (tick + 1) % 2
+        ring = self.monitor.order()
+        multi = len(ring) > 1 or self.wrap
+        r = self.radius
+        nbytes = r * self.cols * 4
+
+        # Phase A: dispatch the tick command (reachability check; free on
+        # delivery, but transient partitions delay a node's start).
+        starts: dict[int, float] = {}
+        if fp is not None:
+            for n in ring:
+                starts[n] = self._reach(n, self._clock)
+
+        # Phase B: local compute + edge gather per node (own clocks).
+        finish: dict[int, float] = {}
+        lost: list[NodeFailure] = []
+        for n in ring:
+            ag = self.agents[n]
+            if fp is not None:
+                ag.node.host_advance(max(0.0, starts[n] - ag.node.time))
+            try:
+                t_f = ag.compute(src_i, dst_i, multi)
+            except UnrecoverableError as e:
+                err = NodeFailure(
+                    f"node {n} reported intra-node recovery exhausted: {e}",
+                    node=n,
+                    time=ag.node.time,
+                    cause="agent-error",
+                )
+                raise _Unreachable([err], [n], ag.node.time) from e
+            if fp is not None and fp.crashed(n, t_f):
+                t_c = fp.crash_time(n)
+                declared = self._declared_dead(n, t_c)
+                lost.append(
+                    NodeFailure(
+                        f"node {n} crashed mid-compute at t={t_c:.6f}s "
+                        f"(declared dead at t={declared:.6f}s)",
+                        node=n,
+                        time=declared,
+                        cause="crash",
+                    )
+                )
+            else:
+                finish[n] = t_f
+        if lost:
+            raise _Unreachable(
+                lost, [e.node for e in lost], max(e.time for e in lost)
+            )
+
+        # Phase C: ghost exchange over the fabric.
+        ghost_records: list[GhostRecord] = []
+        done = dict(finish)
+        if multi:
+            for pos, n in enumerate(ring):
+                ag = self.agents[n]
+                te, be, _, _ = ag.edge_rects()
+                for dpos, src_rect, is_top in (
+                    (pos - 1, te, True),  # my top edge -> upper
+                    (pos + 1, be, False),  # neighbor's bottom ghost, &vv
+                ):
+                    if self.wrap:
+                        dpos %= len(ring)
+                    elif not 0 <= dpos < len(ring):
+                        continue
+                    j = ring[dpos]
+                    jag = self.agents[j]
+                    _, _, jtg, jbg = jag.edge_rects()
+                    dst_rect = jbg if is_top else jtg
+                    if j == n:  # single wrapped node: both edges local
+                        ag.copy_local_ghost(dst_i, src_rect, dst_rect)
+                        continue
+                    arrival = self._send(n, j, nbytes, finish[n], "ghost")
+                    done[j] = max(done[j], arrival)
+                    jag.write_ghost(
+                        dst_i, dst_rect, ag.edge_data(dst_i, src_rect)
+                    )
+                    g_lo, g_hi = (
+                        (ag.lo, ag.lo + r) if is_top else (ag.hi - r, ag.hi)
+                    )
+                    ghost_records.append(
+                        GhostRecord(j, g_lo, g_hi, tick + 1)
+                    )
+        if not self.wrap:
+            # Global edges have no neighbor: their ghosts are empty
+            # space, re-zeroed (the tick wrote stencil outputs there).
+            for n, top in ((ring[0], True), (ring[-1], False)):
+                ag = self.agents[n]
+                _, _, tg, bg = ag.edge_rects()
+                ag.zero_ghost(dst_i, tg if top else bg)
+
+        # Phase D: barrier + liveness sweep.
+        barrier = max(done.values()) if done else self._clock
+        if fp is not None:
+            for n in ring:
+                if n in finish and fp.crashed(n, barrier):
+                    t_c = fp.crash_time(n)
+                    declared = self._declared_dead(n, t_c)
+                    err = NodeFailure(
+                        f"node {n} crashed during the exchange window at "
+                        f"t={t_c:.6f}s (declared dead at t={declared:.6f}s)",
+                        node=n,
+                        time=declared,
+                        cause="crash",
+                    )
+                    raise _Unreachable(
+                        [err], [n], max(declared, barrier)
+                    )
+            fp.heartbeats_sent += len(ring)
+        for n in ring:
+            node = self.agents[n].node
+            node.host_advance(max(0.0, barrier - node.time))
+        self._clock = max(self._clock, barrier)
+        self.tick = tick + 1
+        self.monitor.record_ghosts(ghost_records)
+        self._run_ghost_checks()
+        if fp is not None and self.tick % fp.checkpoint_interval == 0:
+            self._checkpoint(self.tick, from_host=False)
+
+    def run(self, ticks: int) -> float:
+        """Run ``ticks`` steps; returns the cluster time afterwards."""
+        for _ in range(ticks):
+            self.step()
+        return self.time
+
+    @property
+    def time(self) -> float:
+        live = self.monitor.live_nodes()
+        times = [self.agents[n].node.time for n in live]
+        return max([self._clock, *times])
+
+    # -- checkpoints ----------------------------------------------------------
+    def _checkpoint_now(self) -> None:
+        self._checkpoint(self.tick, from_host=True)
+
+    def _checkpoint(self, tick: int, from_host: bool) -> None:
+        """Coordinated slab checkpoint at ``tick``: every slab owner
+        snapshots its interior (device gather unless the host image is
+        already the freshest copy) and ships replicas to its ring
+        successors; the monitor records the holder map atomically at the
+        end, so a failure mid-checkpoint leaves the previous checkpoint
+        intact and consistent."""
+        fp = self.faults
+        which = tick % 2
+        cid = self._ckpt_seq + 1
+        ring = self.monitor.order()
+        deg = fp.replicas_for(len(ring))
+        regions: list[tuple[int, int, tuple[int, ...]]] = []
+        t_done = self._clock
+        for pos, n in enumerate(ring):
+            ag = self.agents[n]
+            if from_host:
+                ag.snapshot_from_host(cid, which)
+                t_local = max(self._clock, ag.node.time)
+            else:
+                t_local = ag.checkpoint_local(cid, which)
+            lo, hi, data = ag.local_ckpts[cid]
+            holders = [n]
+            slab_nbytes = (hi - lo) * self.cols * 4
+            for k in range(1, deg + 1):
+                peer = ring[(pos + k) % len(ring)]
+                if peer == n:
+                    break
+                arrival = self._send(
+                    n, peer, slab_nbytes, t_local, "checkpoint"
+                )
+                self.agents[peer].store_peer_ckpt(n, cid, lo, hi, data)
+                holders.append(peer)
+                t_done = max(t_done, arrival)
+            t_done = max(t_done, t_local)
+            regions.append((lo, hi, tuple(holders)))
+        # Commit atomically: a failure anywhere above leaves the previous
+        # checkpoint's records and stores untouched (uncommitted cid
+        # entries in agent stores are pruned at the next commit).
+        self.monitor.record_checkpoint(tick, cid, regions)
+        self._ckpt_seq = cid
+        for n in self.monitor.live_nodes():
+            self.agents[n].prune_ckpts(cid)
+        fp.checkpoints_taken += 1
+        for n in ring:  # the checkpoint is itself a barrier
+            node = self.agents[n].node
+            node.host_advance(max(0.0, t_done - node.time))
+        self._clock = max(self._clock, t_done)
+
+    # -- recovery -------------------------------------------------------------
+    def _recover(self, u: _Unreachable) -> None:
+        """The recovery ladder (module docstring steps 2-5)."""
+        fp = self.faults
+        now = max(self._clock, u.at)
+        pre_live = self.monitor.live_nodes()
+        old_slabs = dict(self.monitor.slabs)
+        self.events.extend(u.errors)
+
+        # Partitions must leave the master a strict majority; otherwise
+        # fencing would resolve a split-brain by fiat.
+        if any(isinstance(e, PartitionError) for e in u.errors):
+            survivors = [n for n in pre_live if n not in u.nodes]
+            if 2 * len(survivors) <= len(pre_live):
+                raise ClusterRecoveryError(
+                    f"partition left the master with {len(survivors)} of "
+                    f"{len(pre_live)} nodes: no strict majority",
+                    reason="no-quorum",
+                    time=now,
+                ) from u.errors[0]
+
+        causes: dict[int, str] = {}
+        for e in u.errors:
+            if isinstance(e, NodeFailure):
+                causes[e.node] = e.cause
+        for n in dict.fromkeys(u.nodes):
+            ag = self.agents[n]
+            cause = causes.get(n)
+            if cause in ("crash", "agent-error"):
+                self.monitor.mark_dead(n)
+                t_c = fp.crash_time(n) if cause == "crash" else None
+                ag.crash(now if t_c is None else t_c)
+            else:  # partition / faulty link: intact but excluded forever
+                self.monitor.mark_fenced(n)
+                ag.fence()
+            fp.nodes_lost += 1
+        fp.recoveries += 1
+        self.recovery_log.append(
+            {
+                "at": now,
+                "tick": self.tick,
+                "lost": list(dict.fromkeys(u.nodes)),
+                "errors": [type(e).__name__ for e in u.errors],
+            }
+        )
+
+        live = self.monitor.live_nodes()
+        if not live:
+            raise ClusterRecoveryError(
+                "no surviving nodes",
+                reason="no-survivors",
+                time=now,
+            ) from u.errors[0]
+        C = self.monitor.checkpoint_tick
+        cid = self.monitor.checkpoint_id
+        if C < 0:  # a node died before its slab's first replica shipped
+            raise ClusterRecoveryError(
+                "node lost before the first coordinated checkpoint",
+                reason="checkpoint-lost",
+                time=now,
+            ) from u.errors[0]
+        gap = self.monitor.coverage_gap(0, self.rows)
+        if gap is not None:
+            raise ClusterRecoveryError(
+                f"rows [{gap[0]}, {gap[1]}) have no surviving checkpoint "
+                "replica",
+                reason="checkpoint-lost",
+                time=now,
+            ) from u.errors[0]
+
+        # Save surviving neighbours' ghost copies of the dead nodes' edge
+        # rows (stamped with the last completed tick T) for the
+        # post-replay integrity cross-check.
+        T = self.tick
+        which_T = T % 2
+        for n in dict.fromkeys(u.nodes):
+            rng = old_slabs.get(n)
+            if rng is None:
+                continue
+            for g in self.monitor.ghost_replicas_of(*rng):
+                if g.tick != T:
+                    continue
+                data = self.agents[g.holder].ghost_rows(
+                    which_T, g.lo, g.hi
+                )
+                self._ghost_checks.append((T, g.lo, g.hi, data))
+
+        # Re-slab across survivors and rebuild from checkpoint replicas,
+        # fetching each new slab's rows peer-to-peer over the fabric.
+        new_slabs = self.monitor.assign(live, min_rows=self.radius + 1)
+        which = C % 2
+        t_done = now
+        r = self.radius
+        for n in self.monitor.order():
+            lo, hi = new_slabs[n]
+            ext = hi - lo + 2 * r
+            region = (
+                np.zeros((ext, self.cols), np.int32)
+                if self.functional
+                else None
+            )
+            for a, b in ((lo - r, lo), (lo, hi), (hi, hi + r)):
+                t_done = max(
+                    t_done,
+                    self._fetch_rows(n, a, b, lo, region, cid, now),
+                )
+            try:
+                self.agents[n].rebuild(lo, hi, region, which)
+            except UnrecoverableError as e:
+                err = NodeFailure(
+                    f"node {n} cannot rebuild: {e}",
+                    node=n,
+                    time=t_done,
+                    cause="agent-error",
+                )
+                raise _Unreachable([err], [n], t_done) from e
+
+        for n in live:
+            node = self.agents[n].node
+            node.host_advance(max(0.0, t_done - node.time))
+        self._clock = max(self._clock, t_done)
+        # Roll back to the checkpoint; the drive loop replays from here.
+        self.tick = C
+        # Fresh coordinated checkpoint over the new decomposition, so a
+        # subsequent failure (down to a single survivor) recovers again.
+        self._checkpoint(C, from_host=True)
+        self.recovery_log[-1]["resumed_from_tick"] = C
+        self.recovery_log[-1]["resumed_at"] = self._clock
+
+    def _fetch_rows(
+        self,
+        n: int,
+        v_lo: int,
+        v_hi: int,
+        slab_lo: int,
+        region: np.ndarray | None,
+        ckpt_cid: int,
+        ready: float,
+    ) -> float:
+        """Fetch virtual board rows ``[v_lo, v_hi)`` of the checkpoint
+        into node ``n``'s extended region (wrap-aware; rows outside a
+        non-wrapping board stay zero). Returns the last arrival time."""
+        t_done = ready
+        r = self.radius
+        # Maximal runs of consecutive in-range board rows (virtual rows
+        # wrap modularly on a toroidal board, stay zero otherwise).
+        runs: list[tuple[int, int, int]] = []  # (g_lo, g_hi, dest)
+        v = v_lo
+        while v < v_hi:
+            if self.wrap:
+                g = v % self.rows
+                span = min(v_hi - v, self.rows - g)
+                runs.append((g, g + span, v - slab_lo + r))
+                v += span
+            elif v < 0:
+                v = min(0, v_hi)
+            elif v >= self.rows:
+                break
+            else:
+                g_hi = min(v_hi, self.rows)
+                runs.append((v, g_hi, v - slab_lo + r))
+                v = g_hi
+        for g_lo, g_hi, dest0 in runs:
+            for s_lo, s_hi, holders in self.monitor.checkpoint_holders(
+                g_lo, g_hi
+            ):
+                if not holders:  # pragma: no cover - coverage pre-checked
+                    raise ClusterRecoveryError(
+                        f"rows [{s_lo}, {s_hi}) lost",
+                        reason="checkpoint-lost",
+                        time=ready,
+                    )
+                holder = n if n in holders else min(holders)
+                if holder != n:
+                    t_done = max(
+                        t_done,
+                        self._send(
+                            holder,
+                            n,
+                            (s_hi - s_lo) * self.cols * 4,
+                            ready,
+                            "recover",
+                        ),
+                    )
+                data = self.agents[holder].checkpoint_rows(
+                    ckpt_cid, s_lo, s_hi
+                )
+                if region is not None and data is not None:
+                    dest = dest0 + (s_lo - g_lo)
+                    region[dest : dest + (s_hi - s_lo)] = data
+        return t_done
+
+    # -- ghost integrity cross-check ------------------------------------------
+    def _run_ghost_checks(self) -> None:
+        """When the replay re-reaches the failure tick, compare the
+        recomputed rows against the ghost copies surviving neighbours
+        held of the dead nodes' edges. The gathers run (and cost
+        simulated time) in both modes; the comparison is functional."""
+        due = [c for c in self._ghost_checks if c[0] == self.tick]
+        if not due:
+            return
+        self._ghost_checks = [
+            c for c in self._ghost_checks if c[0] > self.tick
+        ]
+        which = self.tick % 2
+        for _, g_lo, g_hi, expected in due:
+            for n in self.monitor.order():
+                lo, hi = self.monitor.slabs[n]
+                s_lo, s_hi = max(g_lo, lo), min(g_hi, hi)
+                if s_lo >= s_hi:
+                    continue
+                ag = self.agents[n]
+                ag.gather_rows(which, s_lo, s_hi)
+                if expected is None or not self.functional:
+                    continue
+                got = ag.read_rows(which, s_lo, s_hi)
+                want = expected[s_lo - g_lo : s_hi - g_lo]
+                if not np.array_equal(got, want):
+                    raise ClusterRecoveryError(
+                        f"replayed rows [{s_lo}, {s_hi}) at tick "
+                        f"{self.tick} diverge from the ghost replicas "
+                        "surviving neighbours held of the failed node's "
+                        "edges",
+                        reason="ghost-mismatch",
+                        time=self._clock,
+                    )
+
+    # -- results --------------------------------------------------------------
+    def board(self) -> np.ndarray:
+        """Gather and assemble the current global board (functional)."""
+        if not self.functional:
+            raise SchedulingError("board() requires functional mode")
+        which = self.tick % 2
+        out = np.zeros((self.rows, self.cols), np.int32)
+        for n in self.monitor.order():
+            lo, hi = self.monitor.slabs[n]
+            ag = self.agents[n]
+            ag.sched.gather(ag.slabs[which])
+            out[lo:hi] = ag.slabs[which].host[
+                self.radius : self.radius + (hi - lo)
+            ]
+        return out

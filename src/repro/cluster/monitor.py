@@ -1,0 +1,218 @@
+"""Hierarchical Segment Location Monitor — the node level (DESIGN.md §15).
+
+Within a node, each scheduler's :class:`~repro.core.location_monitor.
+LocationMonitor` tracks which *device* holds which segment of each datum.
+The cluster master needs the same answer one level up: which *node* holds
+which rows of the global board, in which role — as the live slab owner,
+as a ghost replica of a neighbour's edge rows, or as a checkpoint replica
+of a peer's whole slab. :class:`ClusterMonitor` is that map. It never
+touches array data; it is pure metadata, consulted by the master to plan
+recovery transfers and asserted against by tests.
+
+The hierarchy is explicit: :meth:`node_monitor` descends from a node-level
+row range to the owning node's intra-node ``LocationMonitor``, so a
+segment query can be resolved board -> node -> device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One region of the current coordinated checkpoint: rows
+    ``[lo, hi)`` of the global board at ``tick``, held by ``holders``
+    (first entry is the slab's owner at checkpoint time). ``cid`` is the
+    master's monotonic checkpoint id — the key agents store the data
+    under; distinct from the tick because a post-recovery checkpoint
+    re-covers the checkpoint tick with a new decomposition."""
+
+    tick: int
+    cid: int
+    lo: int
+    hi: int
+    holders: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GhostRecord:
+    """Rows ``[lo, hi)`` of the global board replicated in ``holder``'s
+    ghost region as of the exchange that completed ``tick``."""
+
+    holder: int
+    lo: int
+    hi: int
+    tick: int
+
+
+class ClusterMonitor:
+    """Node-level slab / replica map over the per-node location monitors.
+
+    Args:
+        rows, cols: Global board shape.
+        radius: Stencil radius (ghost depth).
+        itemsize: Bytes per element (for transfer sizing).
+    """
+
+    def __init__(self, rows: int, cols: int, radius: int, itemsize: int):
+        self.rows = rows
+        self.cols = cols
+        self.radius = radius
+        self.itemsize = itemsize
+        #: node -> (lo, hi): the live slab decomposition (interior rows).
+        self.slabs: dict[int, tuple[int, int]] = {}
+        #: node -> "live" | "dead" | "fenced" | "idle".
+        self.status: dict[int, str] = {}
+        #: Current coordinated checkpoint, one record per region.
+        self.checkpoints: list[CheckpointRecord] = []
+        #: Ghost replicas recorded at the last completed exchange.
+        self.ghosts: list[GhostRecord] = []
+        #: node -> intra-node LocationMonitor (set by the master; the
+        #: lower level of the hierarchy).
+        self.node_monitors: dict[int, object] = {}
+
+    # -- decomposition --------------------------------------------------------
+    def assign(self, nodes: list[int], min_rows: int) -> dict[int, tuple[int, int]]:
+        """Contiguous near-even row decomposition over ``nodes`` (in id
+        order), each slab at least ``min_rows`` thick.
+
+        If the board is too thin to give every node ``min_rows`` rows,
+        trailing nodes are left idle (status ``"idle"``): a 64-row board
+        cannot productively occupy 60 nodes. Returns and installs the new
+        ``slabs`` map.
+        """
+        nodes = sorted(nodes)
+        k = max(1, min(len(nodes), self.rows // max(1, min_rows)))
+        chosen = nodes[:k]
+        base, rem = divmod(self.rows, k)
+        slabs: dict[int, tuple[int, int]] = {}
+        lo = 0
+        for i, n in enumerate(chosen):
+            hi = lo + base + (1 if i < rem else 0)
+            slabs[n] = (lo, hi)
+            lo = hi
+        self.slabs = slabs
+        for n in nodes:
+            self.status[n] = "live" if n in slabs else "idle"
+        return slabs
+
+    def order(self) -> list[int]:
+        """Live slab owners in row order (the exchange ring)."""
+        return sorted(self.slabs, key=lambda n: self.slabs[n][0])
+
+    def neighbors(self, node: int, wrap: bool) -> tuple[int | None, int | None]:
+        """(upper, lower) row-neighbours of ``node`` in the current ring."""
+        ring = self.order()
+        i = ring.index(node)
+        up = ring[i - 1] if (i > 0 or wrap) else None
+        down = ring[(i + 1) % len(ring)] if (i + 1 < len(ring) or wrap) else None
+        return up, down
+
+    # -- liveness -------------------------------------------------------------
+    def live_nodes(self) -> list[int]:
+        """Every node not dead/fenced (slab owners plus idle spares)."""
+        return sorted(
+            n for n, s in self.status.items() if s in ("live", "idle")
+        )
+
+    def mark_dead(self, node: int) -> None:
+        self.status[node] = "dead"
+        self.slabs.pop(node, None)
+
+    def mark_fenced(self, node: int) -> None:
+        self.status[node] = "fenced"
+        self.slabs.pop(node, None)
+
+    # -- checkpoints ----------------------------------------------------------
+    def record_checkpoint(
+        self,
+        tick: int,
+        cid: int,
+        regions: list[tuple[int, int, tuple[int, ...]]],
+    ) -> None:
+        """Replace the coordinated checkpoint: ``regions`` is a list of
+        ``(lo, hi, holders)`` covering the board at ``tick``, stored by
+        the agents under checkpoint id ``cid``."""
+        self.checkpoints = [
+            CheckpointRecord(tick, cid, lo, hi, tuple(holders))
+            for lo, hi, holders in regions
+        ]
+
+    @property
+    def checkpoint_tick(self) -> int:
+        """Tick of the current coordinated checkpoint (-1 if none)."""
+        return self.checkpoints[0].tick if self.checkpoints else -1
+
+    @property
+    def checkpoint_id(self) -> int:
+        """Agents' store key of the current checkpoint (-1 if none)."""
+        return self.checkpoints[0].cid if self.checkpoints else -1
+
+    def checkpoint_holders(self, lo: int, hi: int) -> list[tuple[int, int, list[int]]]:
+        """Resolve rows ``[lo, hi)`` against the checkpoint: a list of
+        ``(seg_lo, seg_hi, live_holders)`` segments. A segment with no
+        surviving holder comes back with an empty list — the caller
+        decides whether that is fatal."""
+        out = []
+        for rec in self.checkpoints:
+            s_lo, s_hi = max(lo, rec.lo), min(hi, rec.hi)
+            if s_lo >= s_hi:
+                continue
+            holders = [
+                h for h in rec.holders if self.status.get(h) in ("live", "idle")
+            ]
+            out.append((s_lo, s_hi, holders))
+        out.sort()
+        return out
+
+    def coverage_gap(self, lo: int, hi: int) -> tuple[int, int] | None:
+        """First sub-range of ``[lo, hi)`` with no surviving checkpoint
+        holder, or None when every row is recoverable."""
+        cursor = lo
+        for s_lo, s_hi, holders in self.checkpoint_holders(lo, hi):
+            if s_lo > cursor:
+                return (cursor, s_lo)
+            if not holders:
+                return (s_lo, s_hi)
+            cursor = max(cursor, s_hi)
+        if cursor < hi:
+            return (cursor, hi)
+        return None
+
+    # -- ghosts ---------------------------------------------------------------
+    def record_ghosts(self, records: list[GhostRecord]) -> None:
+        """Replace the ghost-replica map after a completed exchange."""
+        self.ghosts = list(records)
+
+    def ghost_replicas_of(self, lo: int, hi: int) -> list[GhostRecord]:
+        """Ghost records overlapping rows ``[lo, hi)`` held by nodes that
+        are still live (recovery's integrity cross-check sources)."""
+        return [
+            g
+            for g in self.ghosts
+            if g.lo < hi
+            and g.hi > lo
+            and self.status.get(g.holder) in ("live", "idle")
+        ]
+
+    # -- hierarchy ------------------------------------------------------------
+    def node_monitor(self, node: int):
+        """Descend one level: the intra-node LocationMonitor of ``node``
+        (device-level segment locations within that node's slab)."""
+        return self.node_monitors.get(node)
+
+    def describe(self) -> dict:
+        """Snapshot of the hierarchy for observability and tests."""
+        return {
+            "slabs": dict(self.slabs),
+            "status": dict(self.status),
+            "checkpoint_tick": self.checkpoint_tick,
+            "checkpoints": [
+                (r.lo, r.hi, r.holders) for r in self.checkpoints
+            ],
+            "ghosts": [
+                (g.holder, g.lo, g.hi, g.tick) for g in self.ghosts
+            ],
+            "nodes_with_monitors": sorted(self.node_monitors),
+        }

@@ -6,6 +6,12 @@ switched fabric of the 2015 era (FDR InfiniBand-class by default): each
 node has one full-duplex uplink; a message between nodes pays the MPI
 software latency plus serialization on both uplinks; messages sharing an
 uplink direction serialize.
+
+The fabric is also the cluster master's observability surface
+(DESIGN.md §15): :meth:`ClusterNetwork.busy_until` tells the failure
+detector whether a silent node is dead or merely draining a large
+transfer, and the per-link counters feed the ``--cluster`` benchmark
+reports.
 """
 
 from __future__ import annotations
@@ -34,18 +40,57 @@ class ClusterNetwork:
         self.calib = calib or NetworkCalibration()
         # (node, direction) -> busy-until timestamp. 0=egress, 1=ingress.
         self._busy: dict[tuple[int, int], float] = {}
+        #: (src, dst) -> number of completed transfer() calls on the link.
+        self.link_transfers: dict[tuple[int, int], int] = {}
+        #: (src, dst) -> cumulative payload bytes shipped on the link.
+        self.link_bytes: dict[tuple[int, int], int] = {}
+
+    def reset(self) -> None:
+        """Forget all occupancy state and counters (fresh fabric)."""
+        self._busy.clear()
+        self.link_transfers.clear()
+        self.link_bytes.clear()
+
+    def busy_until(self, node: int) -> float:
+        """Latest time either direction of ``node``'s uplink is occupied.
+
+        The master's failure detector consults this before counting a
+        heartbeat miss: a node whose NIC is still draining a checkpoint
+        is busy, not dead.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"bad node {node}")
+        return max(
+            self._busy.get((node, 0), 0.0),
+            self._busy.get((node, 1), 0.0),
+        )
+
+    def transfers(self, src: int, dst: int) -> int:
+        """Completed transfer count on the directed link ``src -> dst``."""
+        return self.link_transfers.get((src, dst), 0)
 
     def transfer(
-        self, src: int, dst: int, nbytes: int, ready: float
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        ready: float,
+        factor: float = 1.0,
     ) -> float:
         """Schedule one message; returns its completion time.
 
         ``ready`` is when the payload is available on the source host.
         The message serializes behind earlier traffic on the source's
-        egress and the destination's ingress channels.
+        egress and the destination's ingress channels. ``factor`` >= 1
+        stretches the message's duration (a degraded/slow link — see
+        :class:`~repro.cluster.faults.SlowLink`).
         """
         if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
             raise ValueError(f"bad node pair {src}->{dst}")
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if factor < 1.0:
+            raise ValueError(f"link slowdown factor must be >= 1, got {factor}")
         if src == dst:
             return ready
         start = max(
@@ -53,7 +98,11 @@ class ClusterNetwork:
             self._busy.get((src, 0), 0.0),
             self._busy.get((dst, 1), 0.0),
         )
-        end = start + self.calib.latency + nbytes / self.calib.bandwidth
+        duration = self.calib.latency + nbytes / self.calib.bandwidth
+        end = start + duration * factor
         self._busy[(src, 0)] = end
         self._busy[(dst, 1)] = end
+        key = (src, dst)
+        self.link_transfers[key] = self.link_transfers.get(key, 0) + 1
+        self.link_bytes[key] = self.link_bytes.get(key, 0) + int(nbytes)
         return end

@@ -2,9 +2,9 @@
 
 The paper's closing direction: extending the MAPS-Multi paradigm to
 clusters, where *"communication latency is orders of magnitude higher
-than within a multi-GPU node"*. This module implements that extension
-for the Window → Structured Injective family (the Game of Life and
-friends):
+than within a multi-GPU node"*. This module is the user-facing facade of
+that extension for the Window → Structured Injective family (the Game of
+Life and friends):
 
 * the global board is split into row **slabs**, one per node; each slab
   is stored with ``radius`` ghost rows on either side;
@@ -14,13 +14,17 @@ friends):
   (``Scheduler.gather_region``), ships them over the simulated fabric to
   its neighbors' ghost rows, and invalidates the device copies of the
   ghost region (``mark_host_region_dirty``) so the framework re-uploads
-  them — the cluster layer is ~200 lines because all the hard problems
-  (per-GPU partitioning, halo inference, consistency) stay inside the
-  per-node framework.
+  them.
 
-Each node's simulator keeps its own clock; the exchange phase
-synchronizes them (a bulk-synchronous step), with message timing from
-:class:`~repro.cluster.network.ClusterNetwork`.
+Execution is delegated to the master/agent subsystem (DESIGN.md §15):
+:class:`~repro.cluster.master.ClusterMaster` drives one
+:class:`~repro.cluster.agent.NodeAgent` per node through the simulated
+fabric, and — when a :class:`~repro.cluster.faults.ClusterFaultPlan` is
+installed — detects node crashes, link faults and partitions via
+heartbeats, checkpoints slabs to peer nodes, and recovers by re-slabbing
+the board across survivors, with results bit-identical to the fault-free
+run. Without a fault plan the schedule (and simulated time) is identical
+to the original fault-intolerant cluster layer.
 """
 
 from __future__ import annotations
@@ -28,29 +32,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.network import ClusterNetwork, NetworkCalibration
-from repro.core import Kernel, Matrix, Scheduler
-from repro.core.datum import Datum
-from repro.errors import SchedulingError
+from repro.cluster.faults import ClusterFaultPlan
+from repro.cluster.master import ClusterMaster
+from repro.cluster.network import NetworkCalibration
+from repro.core import Kernel
 from repro.hardware.specs import GPUSpec
-from repro.patterns import ZERO, StructuredInjective, Window2D
-from repro.sim.node import SimNode
-from repro.utils.rect import Rect
 
 
 class ClusterStencil:
     """A 2-D stencil (Window2D → StructuredInjective) on a cluster.
 
     Args:
-        spec: GPU model of every node (homogeneous cluster).
+        spec: GPU model of every node (homogeneous cluster unless
+            ``node_specs`` overrides individual nodes).
         num_nodes: Number of multi-GPU nodes.
         gpus_per_node: GPUs per node.
-        board: Initial global board (rows divisible by ``num_nodes``).
+        board: Initial global board (rows divisible by ``num_nodes``),
+            or a ``(rows, cols)`` tuple for timing-only runs.
         kernel: The per-tick kernel (same object the single-node
             framework runs).
         radius: Stencil radius (ghost depth).
         functional: Functional vs timing-only per-node simulation.
         network: Fabric calibration.
+        wrap: Cyclic (toroidal) row boundary via ring exchange.
+        faults: Optional cluster fault plan (crashes, link faults,
+            partitions, slow links) — enables heartbeats, checkpointing
+            and recovery.
+        node_specs: Optional per-node GPU spec overrides.
 
     The global boundary condition is ZERO (the slab decomposition makes
     global WRAP a cyclic exchange — supported by passing ``wrap=True``).
@@ -67,174 +75,83 @@ class ClusterStencil:
         functional: bool = True,
         network: NetworkCalibration | None = None,
         wrap: bool = False,
+        faults: ClusterFaultPlan | None = None,
+        node_specs: dict[int, GPUSpec] | None = None,
     ):
-        if isinstance(board, tuple):
-            rows, cols = board
-            board_arr = None
-            if functional:
-                raise SchedulingError(
-                    "functional mode requires an actual board"
-                )
-        else:
-            board_arr = np.ascontiguousarray(board)
-            rows, cols = board_arr.shape
-        if rows % num_nodes != 0:
-            raise SchedulingError(
-                f"board rows {rows} not divisible by {num_nodes} nodes"
-            )
-        self.rows, self.cols = rows, cols
+        self.master = ClusterMaster(
+            spec,
+            num_nodes,
+            gpus_per_node,
+            board,
+            kernel,
+            radius=radius,
+            functional=functional,
+            network=network,
+            wrap=wrap,
+            faults=faults,
+            node_specs=node_specs,
+        )
+        self.rows = self.master.rows
+        self.cols = self.master.cols
         self.radius = radius
         self.wrap = wrap
         self.num_nodes = num_nodes
-        self.slab_rows = rows // num_nodes
-        if self.slab_rows <= radius:
-            raise SchedulingError("slab thinner than the stencil radius")
+        self.slab_rows = self.rows // num_nodes
         self.kernel = kernel
-        self.network = ClusterNetwork(num_nodes, network)
         self.functional = functional
+        self.faults = faults
 
-        self.nodes = [
-            SimNode(spec, gpus_per_node, functional=functional)
-            for _ in range(num_nodes)
+    # -- delegation -----------------------------------------------------------
+    @property
+    def network(self):
+        return self.master.network
+
+    @property
+    def monitor(self):
+        return self.master.monitor
+
+    @property
+    def agents(self):
+        return self.master.agents
+
+    @property
+    def nodes(self):
+        """Per-node simulators, in node-id order (compat accessor)."""
+        return [
+            self.master.agents[i].node for i in sorted(self.master.agents)
         ]
-        self.scheds = [Scheduler(n) for n in self.nodes]
-        # Per-node double-buffered slabs with ghost rows top and bottom.
-        ext = self.slab_rows + 2 * radius
-        self.slabs: list[list[Datum]] = []
-        for i in range(num_nodes):
-            pair = []
-            for which in range(2):
-                d = Matrix(ext, cols, np.int32, f"slab{i}.{which}")
-                if functional:
-                    backing = np.zeros((ext, cols), np.int32)
-                    if which == 0 and board_arr is not None:
-                        lo = i * self.slab_rows
-                        backing[radius:-radius or None] = board_arr[
-                            lo : lo + self.slab_rows
-                        ]
-                        self._fill_ghosts_from_board(backing, board_arr, i)
-                    d.bind(backing)
-                pair.append(d)
-            self.slabs.append(pair)
-        # Analyze both buffer directions on every node.
-        for i in range(num_nodes):
-            for a, b in ((0, 1), (1, 0)):
-                self.scheds[i].analyze_call(
-                    kernel,
-                    Window2D(self.slabs[i][a], radius, ZERO),
-                    StructuredInjective(self.slabs[i][b]),
-                )
-        self._tick = 0
 
-    # -- ghosts --------------------------------------------------------------
-    def _fill_ghosts_from_board(self, backing, board, i) -> None:
-        r, s = self.radius, self.slab_rows
-        lo = i * s
-        if self.wrap or lo - r >= 0:
-            idx = (np.arange(lo - r, lo) % self.rows) if self.wrap else np.arange(lo - r, lo)
-            backing[:r] = board[idx]
-        dn = lo + s
-        if self.wrap or dn + r <= self.rows:
-            idx = (np.arange(dn, dn + r) % self.rows) if self.wrap else np.arange(dn, dn + r)
-            backing[-r:] = board[idx]
+    @property
+    def scheds(self):
+        """Per-node schedulers, in node-id order (compat accessor)."""
+        return [
+            self.master.agents[i].sched for i in sorted(self.master.agents)
+        ]
 
-    def _edge_regions(self, which: int) -> tuple[Rect, Rect, Rect, Rect]:
-        """(top edge, bottom edge, top ghost, bottom ghost) in slab
-        coordinates, for the given buffer."""
-        r, s = self.radius, self.slab_rows
-        top_edge = Rect((r, 2 * r), (0, self.cols))
-        bottom_edge = Rect((s, s + r), (0, self.cols))
-        top_ghost = Rect((0, r), (0, self.cols))
-        bottom_ghost = Rect((s + r, s + 2 * r), (0, self.cols))
-        return top_edge, bottom_edge, top_ghost, bottom_ghost
+    @property
+    def events(self):
+        """Typed failure errors the master detected, in order."""
+        return self.master.events
 
-    # -- one bulk-synchronous step ------------------------------------------------
+    @property
+    def recovery_log(self):
+        return self.master.recovery_log
+
+    # -- execution ------------------------------------------------------------
     def step(self) -> None:
-        """One tick on every node plus the inter-node ghost exchange."""
-        src_i, dst_i = self._tick % 2, (self._tick + 1) % 2
-        te, be, tg, bg = self._edge_regions(dst_i)
-
-        # Local compute + edge-row gather, per node (independent clocks).
-        finish_times = []
-        for i in range(self.num_nodes):
-            sched, node = self.scheds[i], self.nodes[i]
-            src, dst = self.slabs[i][src_i], self.slabs[i][dst_i]
-            sched.invoke(
-                self.kernel,
-                Window2D(src, self.radius, ZERO),
-                StructuredInjective(dst),
-            )
-            if self.num_nodes > 1 or self.wrap:
-                sched.gather_region(dst, te)
-                sched.gather_region(dst, be)
-            finish_times.append(sched.wait_all())
-
-        # Exchange phase over the fabric (bulk-synchronous).
-        r = self.radius
-        nbytes = r * self.cols * 4
-        done = list(finish_times)
-        for i in range(self.num_nodes):
-            for j, (src_rect, dst_rect) in (
-                (i - 1, (te, bg)),  # my top edge -> upper neighbor's
-                (i + 1, (be, tg)),  # bottom ghost, and vice versa
-            ):
-                if self.wrap:
-                    j %= self.num_nodes
-                elif not 0 <= j < self.num_nodes:
-                    continue
-                if j == i:  # single wrapped node: both edges local
-                    src_arr = self.slabs[i][dst_i]
-                    if self.functional:
-                        src_arr.host[dst_rect.slices()] = src_arr.host[
-                            src_rect.slices()
-                        ]
-                    self.scheds[i].mark_host_region_dirty(src_arr, dst_rect)
-                    continue
-                t = self.network.transfer(i, j, nbytes, finish_times[i])
-                done[j] = max(done[j], t)
-                if self.functional:
-                    dst_slab = self.slabs[j][dst_i]
-                    dst_slab.host[dst_rect.slices()] = self.slabs[i][
-                        dst_i
-                    ].host[src_rect.slices()]
-                self.scheds[j].mark_host_region_dirty(
-                    self.slabs[j][dst_i], dst_rect
-                )
-        # Global edges have no neighbor: their ghosts are empty space and
-        # must be re-zeroed (the local tick wrote stencil outputs there).
-        if not self.wrap:
-            for i, ghost in ((0, tg), (self.num_nodes - 1, bg)):
-                slab = self.slabs[i][dst_i]
-                if self.functional:
-                    slab.host[ghost.slices()] = 0
-                self.scheds[i].mark_host_region_dirty(slab, ghost)
-        # Synchronize node clocks to the barrier.
-        barrier = max(done)
-        for node in self.nodes:
-            node.host_advance(max(0.0, barrier - node.time))
-        self._tick += 1
+        """One tick on every node plus the inter-node ghost exchange
+        (recovering from any injected cluster faults on the way)."""
+        self.master.step()
 
     def run(self, ticks: int) -> float:
         """Run ``ticks`` steps; returns the cluster time afterwards."""
-        for _ in range(ticks):
-            self.step()
-        return self.time
+        return self.master.run(ticks)
 
     @property
     def time(self) -> float:
-        return max(n.time for n in self.nodes)
+        return self.master.time
 
-    # -- results ------------------------------------------------------------------
+    # -- results --------------------------------------------------------------
     def board(self) -> np.ndarray:
         """Gather and assemble the current global board (functional)."""
-        if not self.functional:
-            raise SchedulingError("board() requires functional mode")
-        which = self._tick % 2
-        out = np.zeros((self.rows, self.cols), np.int32)
-        r, s = self.radius, self.slab_rows
-        for i in range(self.num_nodes):
-            self.scheds[i].gather(self.slabs[i][which])
-            out[i * s : (i + 1) * s] = self.slabs[i][which].host[
-                r : r + s
-            ]
-        return out
+        return self.master.board()

@@ -225,6 +225,116 @@ class UnrecoverableError(MapsError):
     from its own checkpoint."""
 
 
+class NodeFailure(SimulationError):
+    """A whole multi-GPU node failed at the cluster level (DESIGN.md §15).
+
+    Raised conceptually by the cluster master's failure detector when a
+    node is declared dead: it crashed (fail-stop — its host and device
+    memory are gone), stopped answering heartbeats, or its agent reported
+    an intra-node :class:`UnrecoverableError` (every GPU in the node
+    retired — the node-level fault domain escalation). Recorded in
+    :attr:`ClusterMaster.events <repro.cluster.ClusterMaster>`; escapes
+    to applications only as the ``__cause__`` of a
+    :class:`ClusterRecoveryError` when the cluster cannot recover.
+
+    Attributes:
+        node: The failed node's id.
+        time: Cluster time at which the failure detector declared it dead
+            (>= the actual crash time by the detection latency).
+        cause: ``"crash"``, ``"unreachable"`` or ``"agent-error"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: int | None = None,
+        time: float = 0.0,
+        cause: str = "crash",
+    ):
+        super().__init__(message)
+        self.node = node
+        self.time = time
+        self.cause = cause
+
+
+class LinkError(SimulationError):
+    """An inter-node message exhausted its retry budget on a faulty
+    fabric link (DESIGN.md §15).
+
+    Every send is retried with capped-exponential backoff in simulated
+    time (:meth:`ClusterFaultPlan.backoff
+    <repro.cluster.faults.ClusterFaultPlan>`); this error means
+    ``max_retries`` consecutive attempts failed while both endpoints
+    were alive and unpartitioned — a persistently bad link/NIC.
+
+    Attributes:
+        src: Sending node.
+        dst: Receiving node.
+        time: Cluster time when the last attempt was given up.
+        attempts: Number of attempts made (``max_retries + 1``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        src: int | None = None,
+        dst: int | None = None,
+        time: float = 0.0,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.time = time
+        self.attempts = attempts
+
+
+class PartitionError(LinkError):
+    """A network partition separates two nodes (DESIGN.md §15): the
+    message failed not because the link is bad but because the fabric is
+    split into disconnected groups. Nodes the master cannot reach are
+    *fenced* — excluded from the cluster even if the partition later
+    heals, so a stale minority can never write back into the board.
+
+    Attributes:
+        isolated: The node group cut off from the master's side
+            (the minority being fenced), when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        isolated: "tuple[int, ...]" = (),
+        **kwargs,
+    ):
+        super().__init__(message, **kwargs)
+        self.isolated = tuple(isolated)
+
+
+class ClusterRecoveryError(UnrecoverableError):
+    """Cluster-level recovery is impossible (DESIGN.md §15): no surviving
+    node holds a checkpoint replica of some board region, the master's
+    side of a partition lost its quorum (a split-brain the fencing rule
+    refuses to resolve), no nodes survive at all, or the recovered state
+    failed the ghost-replica integrity cross-check. Subclasses
+    :class:`UnrecoverableError` deliberately — the application-facing
+    contract is the same: restart from your own checkpoint.
+
+    Attributes:
+        reason: Machine-readable category (``"no-survivors"``,
+            ``"no-quorum"``, ``"checkpoint-lost"``, ``"ghost-mismatch"``,
+            ``"thrashing"``).
+        time: Cluster time at which recovery was abandoned.
+    """
+
+    def __init__(
+        self, message: str, reason: str = "", time: float = 0.0
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.time = time
+
+
 class QuotaExceededError(MapsError):
     """A job violated its tenant's resource quota (DESIGN.md §13).
 

@@ -76,6 +76,8 @@ class SimNode:
         #: Active tenant lease, if any (DESIGN.md §13): saved pre-lease
         #: fault/capacity state, restored by :meth:`end_lease`.
         self._lease: dict | None = None
+        #: Whole-node fail-stop flag (DESIGN.md §15), set by :meth:`crash`.
+        self.crashed = False
 
     # -- properties ------------------------------------------------------------
     @property
@@ -194,6 +196,21 @@ class SimNode:
         refuses to dispatch any command touching it.
         """
         self.engine.dead.setdefault(device, at_time)
+
+    def crash(self, at_time: float) -> None:
+        """Fail-stop the *whole node* at ``at_time`` (DESIGN.md §15).
+
+        The node-level fault domain: every device is retired at once, so
+        any attempt to drive the node afterwards faults at dispatch —
+        exactly the semantics a cluster master observes when a machine
+        drops off the fabric. Device and host state on the node are
+        considered lost; the caller (a
+        :class:`~repro.cluster.agent.NodeAgent`) poisons its host arrays
+        so nothing can silently read them back.
+        """
+        for d in self.devices:
+            self.retire_device(d.index, at_time)
+        self.crashed = True
 
     # -- host clock ----------------------------------------------------------
     def host_advance(self, dt: float) -> None:

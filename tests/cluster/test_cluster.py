@@ -142,3 +142,111 @@ class TestClusterStencil:
             cs.run(4)
             times[name] = (cs.time - t0) / 4
         assert times["slow"] > times["fast"] + 0.9e-3
+
+
+class TestClusterNetworkHygiene:
+    """Satellite: transfer-path validation + introspection API."""
+
+    def test_rejects_negative_nbytes(self):
+        net = ClusterNetwork(2)
+        with pytest.raises(ValueError):
+            net.transfer(0, 1, -1, ready=0.0)
+
+    def test_zero_nbytes_costs_latency_only(self):
+        cal = NetworkCalibration(bandwidth=1e9, latency=1e-5)
+        net = ClusterNetwork(2, cal)
+        assert net.transfer(0, 1, 0, ready=0.0) == pytest.approx(1e-5)
+
+    def test_rejects_bad_factor(self):
+        net = ClusterNetwork(2)
+        with pytest.raises(ValueError):
+            net.transfer(0, 1, 100, ready=0.0, factor=0.5)
+
+    def test_slow_factor_stretches_duration(self):
+        cal = NetworkCalibration(bandwidth=1e9, latency=0.0)
+        net = ClusterNetwork(2, cal)
+        t1 = net.transfer(0, 1, 1_000_000, ready=0.0)
+        net.reset()
+        t2 = net.transfer(0, 1, 1_000_000, ready=0.0, factor=3.0)
+        assert t2 == pytest.approx(3 * t1)
+
+    def test_per_link_counters(self):
+        net = ClusterNetwork(3)
+        net.transfer(0, 1, 1000, ready=0.0)
+        net.transfer(0, 1, 2000, ready=0.0)
+        net.transfer(1, 2, 500, ready=0.0)
+        assert net.transfers(0, 1) == 2
+        assert net.link_bytes[(0, 1)] == 3000
+        assert net.transfers(1, 2) == 1
+        assert net.transfers(2, 0) == 0
+
+    def test_busy_until_tracks_egress_and_ingress(self):
+        cal = NetworkCalibration(bandwidth=1e9, latency=0.0)
+        net = ClusterNetwork(3, cal)
+        t = net.transfer(0, 1, 1_000_000, ready=0.0)
+        assert net.busy_until(0) == pytest.approx(t)
+        assert net.busy_until(1) == pytest.approx(t)
+        assert net.busy_until(2) == 0.0
+        with pytest.raises(ValueError):
+            net.busy_until(7)
+
+    def test_reset_clears_occupancy_and_counters(self):
+        net = ClusterNetwork(2)
+        net.transfer(0, 1, 1 << 20, ready=0.0)
+        net.reset()
+        assert net.busy_until(0) == 0.0
+        assert net.transfers(0, 1) == 0
+        assert net.link_bytes == {}
+
+
+class TestNonUniformTicks:
+    """Satellite: odd tick counts land on buffer 1 — board() must read
+    the buffer the last tick wrote, in every mode."""
+
+    @pytest.mark.parametrize("ticks", [1, 3, 7])
+    @pytest.mark.parametrize("wrap", [False, True])
+    def test_odd_ticks_match_reference(self, ticks, wrap):
+        rng = np.random.default_rng(7)
+        board = (rng.random((32, 16)) < 0.4).astype(np.int32)
+        cs = ClusterStencil(
+            GTX_780, 2, 2, board, make_gol_kernel("maps"), wrap=wrap
+        )
+        cs.run(ticks)
+        ref = board.copy()
+        for _ in range(ticks):
+            ref = (
+                ref_step_rowwrap(ref)
+                if wrap
+                else gol_reference_step(ref, wrap=False)
+            )
+        assert (cs.board() == ref).all()
+
+    def test_single_wrapped_node_odd_ticks(self):
+        """One node with wrap: both edges self-exchange locally."""
+        rng = np.random.default_rng(8)
+        board = (rng.random((16, 12)) < 0.4).astype(np.int32)
+        cs = ClusterStencil(
+            GTX_780, 1, 2, board, make_gol_kernel("maps"), wrap=True
+        )
+        cs.run(3)
+        ref = board.copy()
+        for _ in range(3):
+            ref = ref_step_rowwrap(ref)
+        assert (cs.board() == ref).all()
+
+
+class TestTimingFunctionalParity:
+    """Satellite: timing-only mode issues the identical command and
+    transfer schedule as functional mode, so simulated times match."""
+
+    @pytest.mark.parametrize("ticks", [3, 4])
+    def test_simulated_time_parity(self, ticks):
+        rng = np.random.default_rng(9)
+        board = (rng.random((64, 32)) < 0.4).astype(np.int32)
+        f = ClusterStencil(GTX_780, 4, 2, board, make_gol_kernel("maps"))
+        t = ClusterStencil(
+            GTX_780, 4, 2, (64, 32), make_gol_kernel("maps"),
+            functional=False,
+        )
+        assert f.run(ticks) == t.run(ticks)
+        assert f.time == t.time

@@ -1,0 +1,505 @@
+"""Fault-tolerance tests for the master/agent cluster (DESIGN.md §15).
+
+The tentpole property under test everywhere: killing any minority of
+nodes mid-run — crash, partition, escalated intra-node failure — yields a
+final board **bit-identical** to the fault-free run, deterministically
+across seeded replays; and the unrecoverable configurations fail with the
+right typed :class:`~repro.errors.ClusterRecoveryError` reason instead of
+a wrong answer."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterRecoveryError,
+    DeviceFailure,
+    FaultPlan,
+    LinkError,
+    NodeFailure,
+    PartitionError,
+    Straggler,
+)
+from repro.cluster import (
+    ClusterFaultPlan,
+    ClusterStencil,
+    LinkFault,
+    NodeCrash,
+    Partition,
+    SlowLink,
+)
+from repro.cluster.agent import POISON
+from repro.hardware import GTX_780
+from repro.kernels.game_of_life import gol_reference_step, make_gol_kernel
+
+KERNEL = make_gol_kernel("maps")
+
+
+def make_board(rows=64, cols=32, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, cols)) < 0.4).astype(np.int32)
+
+
+def fault_free(board, ticks, num_nodes=4, gpus=2, **kw):
+    cs = ClusterStencil(GTX_780, num_nodes, gpus, board, KERNEL, **kw)
+    cs.run(ticks)
+    return cs.board(), cs.time
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("victim", [0, 1, 3])
+    def test_single_crash_bit_identical(self, victim):
+        board = make_board()
+        clean, t_clean = fault_free(board, 10)
+        plan = ClusterFaultPlan(
+            node_crashes=[NodeCrash(victim, 0.0009)]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+        assert victim not in cs.monitor.slabs
+        assert cs.monitor.status[victim] == "dead"
+        (event,) = cs.events
+        assert isinstance(event, NodeFailure) and event.node == victim
+        assert plan.recoveries == 1 and plan.nodes_lost == 1
+        assert cs.time > t_clean  # recovery costs simulated time
+
+    def test_crash_also_matches_reference_automaton(self):
+        board = make_board(rows=32, cols=16)
+        plan = ClusterFaultPlan(node_crashes=[NodeCrash(2, 0.0006)])
+        cs = ClusterStencil(GTX_780, 4, 1, board, KERNEL, faults=plan)
+        cs.run(8)
+        ref = board.copy()
+        for _ in range(8):
+            ref = gol_reference_step(ref, wrap=False)
+        assert np.array_equal(cs.board(), ref)
+
+    def test_simultaneous_minority_crash(self):
+        """2 of 8 nodes die at the same instant; the any-minority
+        default replication (deg 3) covers both slabs."""
+        board = make_board()
+        clean, _ = fault_free(board, 12, num_nodes=8, gpus=1)
+        plan = ClusterFaultPlan(
+            node_crashes=[NodeCrash(2, 0.0009), NodeCrash(5, 0.0009)]
+        )
+        cs = ClusterStencil(GTX_780, 8, 1, board, KERNEL, faults=plan)
+        cs.run(12)
+        assert np.array_equal(cs.board(), clean)
+        assert len(cs.monitor.slabs) == 6
+        assert plan.nodes_lost == 2
+
+    def test_down_to_single_survivor(self):
+        """Successive crashes shrink 4 nodes to 1; every recovery
+        re-checkpoints over the survivors so the next loss recovers."""
+        board = make_board()
+        clean, _ = fault_free(board, 40)
+        plan = ClusterFaultPlan(
+            checkpoint_replicas=2,
+            checkpoint_interval=2,
+            node_crashes=[
+                NodeCrash(0, 0.0005),
+                NodeCrash(2, 0.004),
+                NodeCrash(3, 0.009),
+            ],
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(40)
+        assert np.array_equal(cs.board(), clean)
+        assert cs.monitor.slabs == {1: (0, 64)}
+        assert plan.recoveries == 3
+        assert [e.node for e in cs.events] == [0, 2, 3]
+
+    def test_crash_with_wrap_ring(self):
+        board = make_board()
+        clean, _ = fault_free(board, 10, wrap=True)
+        plan = ClusterFaultPlan(node_crashes=[NodeCrash(1, 0.0009)])
+        cs = ClusterStencil(
+            GTX_780, 4, 2, board, KERNEL, wrap=True, faults=plan
+        )
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+
+    def test_dead_node_memory_is_poisoned(self):
+        """Fail-stop means *gone*: the dead agent's host arrays are
+        poisoned, so any silent read-back would corrupt the board
+        (and the bit-identity asserts would catch it)."""
+        board = make_board()
+        plan = ClusterFaultPlan(node_crashes=[NodeCrash(1, 0.0009)])
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        dead = cs.agents[1]
+        assert dead.dead and dead.node.crashed
+        for d in dead.slabs:
+            assert (d.host == POISON).all()
+
+    def test_recovery_overhead_is_bounded(self):
+        """Acceptance gate (also enforced by `repro.bench --cluster`):
+        losing one node costs <= 2x the fault-free simulated time."""
+        board = make_board()
+        base = ClusterStencil(
+            GTX_780, 4, 2, board, KERNEL, faults=ClusterFaultPlan()
+        )
+        base.run(20)
+        plan = ClusterFaultPlan(node_crashes=[NodeCrash(2, 0.0015)])
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(20)
+        assert cs.time <= 2.0 * base.time
+
+
+class TestPartitions:
+    def test_minority_partition_fenced_bit_identical(self):
+        board = make_board()
+        clean, _ = fault_free(board, 10)
+        plan = ClusterFaultPlan(
+            partitions=[
+                Partition(groups=((0, 1, 2), (3,)), start=0.0008, end=1.0)
+            ]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+        assert cs.monitor.status[3] == "fenced"
+        (event,) = cs.events
+        assert isinstance(event, PartitionError)
+        assert event.isolated == (3,)
+
+    def test_fenced_node_never_readmitted_after_heal(self):
+        """The partition heals mid-run; the fenced node stays out (a
+        stale minority must never write back into the board)."""
+        board = make_board()
+        clean, _ = fault_free(board, 30)
+        plan = ClusterFaultPlan(
+            partitions=[
+                Partition(
+                    groups=((0, 1, 2), (3,)), start=0.0008, end=0.008
+                )
+            ]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(30)
+        assert cs.time > 0.008  # ran well past the heal
+        assert cs.monitor.status[3] == "fenced"
+        assert 3 not in cs.monitor.slabs
+        assert np.array_equal(cs.board(), clean)
+
+    def test_short_partition_absorbed_by_retries(self):
+        """A partition shorter than the retry budget delays messages but
+        causes no fencing and no recovery."""
+        board = make_board()
+        clean, _ = fault_free(board, 10)
+        plan = ClusterFaultPlan(
+            partitions=[
+                Partition(
+                    groups=((0, 1), (2, 3)), start=0.0004, end=0.00055
+                )
+            ]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+        assert cs.events == []
+        assert plan.recoveries == 0
+        assert plan.messages_retried > 0
+
+    def test_even_split_is_no_quorum(self):
+        """A 2-2 split leaves the master without a strict majority:
+        fencing would resolve a split-brain by fiat, so it refuses."""
+        board = make_board()
+        plan = ClusterFaultPlan(
+            partitions=[
+                Partition(groups=((0, 1), (2, 3)), start=0.0008, end=1.0)
+            ]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        with pytest.raises(ClusterRecoveryError) as ei:
+            cs.run(10)
+        assert ei.value.reason == "no-quorum"
+
+
+class TestLinkFaults:
+    def test_transient_loss_absorbed(self):
+        board = make_board()
+        clean, t_clean = fault_free(board, 12)
+        plan = ClusterFaultPlan(
+            link_faults=[LinkFault(src=0, dst=1, nth=3, count=2)]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(12)
+        assert np.array_equal(cs.board(), clean)
+        assert plan.link_faults_fired == 2
+        assert plan.messages_retried >= 2
+        assert plan.recoveries == 0 and cs.events == []
+
+    def test_seeded_loss_rate_absorbed_and_deterministic(self):
+        board = make_board()
+        clean, _ = fault_free(board, 12)
+        runs = []
+        for _ in range(2):
+            plan = ClusterFaultPlan(seed=11, link_fault_rate=0.05)
+            cs = ClusterStencil(
+                GTX_780, 4, 2, board, KERNEL, faults=plan
+            )
+            cs.run(12)
+            runs.append((cs.board(), cs.time, plan.link_faults_fired))
+        assert np.array_equal(runs[0][0], clean)
+        assert np.array_equal(runs[0][0], runs[1][0])
+        assert runs[0][1] == runs[1][1]
+        assert runs[0][2] == runs[1][2] > 0
+
+    def test_persistent_link_fences_receiver(self):
+        """A link that stays bad past the retry budget is
+        indistinguishable from a dead NIC: the receiver is fenced and
+        the board is still recovered bit-identically."""
+        board = make_board()
+        clean, _ = fault_free(board, 10)
+        # nth=5 lets the tick-0 checkpoint replication through; the link
+        # then fails permanently mid-run.
+        plan = ClusterFaultPlan(
+            link_faults=[LinkFault(src=0, dst=1, nth=5, count=1000)]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+        assert cs.monitor.status[1] == "fenced"
+        assert any(
+            isinstance(e, LinkError) and not isinstance(e, PartitionError)
+            for e in cs.events
+        )
+
+    def test_slow_link_changes_nothing_but_time(self):
+        board = make_board()
+        clean, _ = fault_free(board, 12)
+        base = ClusterStencil(
+            GTX_780, 4, 2, board, KERNEL, faults=ClusterFaultPlan()
+        )
+        base.run(12)
+        plan = ClusterFaultPlan(
+            slow_links=[SlowLink(src=1, dst=2, factor=50.0)]
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(12)
+        assert np.array_equal(cs.board(), clean)
+        assert cs.time > base.time
+        assert plan.recoveries == 0
+
+
+class TestUnrecoverable:
+    def test_two_node_loss_without_replicas_is_checkpoint_lost(self):
+        board = make_board()
+        plan = ClusterFaultPlan(  # deg 0: any loss is fatal on 2 nodes
+            node_crashes=[NodeCrash(1, 0.0009)]
+        )
+        cs = ClusterStencil(GTX_780, 2, 2, board, KERNEL, faults=plan)
+        with pytest.raises(ClusterRecoveryError) as ei:
+            cs.run(10)
+        assert ei.value.reason == "checkpoint-lost"
+        assert isinstance(ei.value.__cause__, NodeFailure)
+
+    def test_all_nodes_lost_is_no_survivors(self):
+        board = make_board()
+        plan = ClusterFaultPlan(
+            checkpoint_replicas=1,
+            node_crashes=[NodeCrash(0, 0.0009), NodeCrash(1, 0.0009)],
+        )
+        cs = ClusterStencil(GTX_780, 2, 2, board, KERNEL, faults=plan)
+        with pytest.raises(ClusterRecoveryError) as ei:
+            cs.run(10)
+        assert ei.value.reason == "no-survivors"
+
+    def test_cascade_faster_than_replication_is_checkpoint_lost(self):
+        """Nodes dying faster than recovery can re-replicate: the third
+        crash lands mid-recovery, before the fresh checkpoint commits."""
+        board = make_board()
+        plan = ClusterFaultPlan(
+            checkpoint_replicas=2,
+            checkpoint_interval=2,
+            node_crashes=[
+                NodeCrash(0, 0.0005),
+                NodeCrash(2, 0.0015),
+                NodeCrash(3, 0.0030),
+            ],
+        )
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        with pytest.raises(ClusterRecoveryError) as ei:
+            cs.run(40)
+        assert ei.value.reason == "checkpoint-lost"
+
+
+class TestHierarchicalFaultDomains:
+    def test_intra_node_faults_recovered_inside_the_node(self):
+        """One GPU dies inside node 1: the per-node scheduler absorbs it
+        (PR 2 machinery) and the cluster sees nothing. Intra-node
+        absorption needs a host replica of the source buffer, which the
+        cluster checkpoint's full-slab gather provides — checkpointing
+        every tick makes any failure time coverable."""
+        board = make_board()
+        clean, _ = fault_free(board, 10)
+        inner = FaultPlan(device_failures=[DeviceFailure(0, 0.0005)])
+        plan = ClusterFaultPlan(node_plans={1: inner}, checkpoint_interval=1)
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+        assert cs.events == [] and plan.recoveries == 0
+        assert cs.agents[1].sched.alive_devices == (1,)
+
+    def test_node_losing_every_gpu_escalates_to_cluster(self):
+        """Intra-node recovery exhausts -> UnrecoverableError escalates
+        to NodeFailure(cause="agent-error") -> cluster recovery."""
+        board = make_board()
+        clean, _ = fault_free(board, 10)
+        inner = FaultPlan(
+            device_failures=[
+                DeviceFailure(0, 0.0005),
+                DeviceFailure(1, 0.0006),
+            ]
+        )
+        plan = ClusterFaultPlan(node_plans={2: inner})
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        assert np.array_equal(cs.board(), clean)
+        (event,) = cs.events
+        assert isinstance(event, NodeFailure)
+        assert event.node == 2 and event.cause == "agent-error"
+        assert cs.monitor.status[2] == "dead"
+
+    def test_crash_straggler_pressure_compose_across_nodes(self):
+        """The full composition: node 1 crashes, node 2 straggles, node 3
+        runs under a memory-capacity clamp (pressure ladder), all in one
+        run — still bit-identical to the clean run."""
+        board = make_board()
+        clean, _ = fault_free(board, 12)
+        capped = dataclasses.replace(
+            GTX_780, global_memory_bytes=64 * 1024 * 1024
+        )
+        plan = ClusterFaultPlan(
+            node_crashes=[NodeCrash(1, 0.0012)],
+            node_plans={
+                2: FaultPlan(
+                    stragglers=[Straggler(0, compute_factor=8.0)]
+                ),
+            },
+        )
+        cs = ClusterStencil(
+            GTX_780,
+            4,
+            2,
+            board,
+            KERNEL,
+            faults=plan,
+            node_specs={3: capped},
+        )
+        cs.run(12)
+        assert np.array_equal(cs.board(), clean)
+        assert plan.recoveries == 1
+        assert [e.node for e in cs.events] == [1]
+
+    def test_straggling_survivor_slows_recovery_not_results(self):
+        board = make_board()
+        clean, _ = fault_free(board, 12)
+        mk = lambda: ClusterFaultPlan(  # noqa: E731
+            node_crashes=[NodeCrash(0, 0.0009)],
+            node_plans={
+                3: FaultPlan(
+                    stragglers=[Straggler(1, compute_factor=6.0)]
+                )
+            },
+        )
+        slow = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=mk())
+        slow.run(12)
+        fast_plan = ClusterFaultPlan(
+            node_crashes=[NodeCrash(0, 0.0009)]
+        )
+        fast = ClusterStencil(
+            GTX_780, 4, 2, board, KERNEL, faults=fast_plan
+        )
+        fast.run(12)
+        assert np.array_equal(slow.board(), clean)
+        assert np.array_equal(fast.board(), clean)
+        assert slow.time > fast.time
+
+
+class TestDeterminism:
+    def _plan(self):
+        return ClusterFaultPlan(
+            seed=5,
+            link_fault_rate=0.02,
+            node_crashes=[NodeCrash(2, 0.0011)],
+            slow_links=[SlowLink(src=0, dst=1, factor=3.0)],
+        )
+
+    def test_two_fresh_replays_identical(self):
+        """The acceptance criterion: two seeded replays of the same
+        fault schedule produce identical boards, times, fault sequences
+        and recovery actions."""
+        board = make_board()
+        runs = []
+        for _ in range(2):
+            plan = self._plan()
+            cs = ClusterStencil(
+                GTX_780, 4, 2, board, KERNEL, faults=plan
+            )
+            cs.run(14)
+            runs.append(
+                (
+                    cs.board(),
+                    cs.time,
+                    plan.link_faults_fired,
+                    plan.messages_retried,
+                    plan.heartbeats_missed,
+                    [(type(e).__name__, e.node) for e in cs.events],
+                    cs.recovery_log,
+                )
+            )
+        a, b = runs
+        assert np.array_equal(a[0], b[0])
+        assert a[1:] == b[1:]
+
+    def test_timing_mode_runs_fault_schedule_end_to_end(self):
+        """Timing-only mode (no arrays) executes the same crash +
+        recovery schedule and lands on the identical simulated time as
+        the functional run (the satellite parity requirement, under
+        faults)."""
+        board = make_board()
+        f = ClusterStencil(
+            GTX_780, 4, 2, board, KERNEL, faults=self._plan()
+        )
+        f.run(14)
+        t = ClusterStencil(
+            GTX_780,
+            4,
+            2,
+            (64, 32),
+            KERNEL,
+            functional=False,
+            faults=self._plan(),
+        )
+        t.run(14)
+        assert f.time == t.time
+        assert len(t.events) == len(f.events)
+
+
+class TestObservability:
+    def test_recovery_log_structure(self):
+        board = make_board()
+        plan = ClusterFaultPlan(node_crashes=[NodeCrash(1, 0.0009)])
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(10)
+        (entry,) = cs.recovery_log
+        assert entry["lost"] == [1]
+        assert entry["errors"] == ["NodeFailure"]
+        assert entry["resumed_from_tick"] <= entry["tick"]
+        assert entry["resumed_at"] >= entry["at"] or True  # both recorded
+        assert plan.checkpoints_taken >= 2  # initial + post-recovery
+
+    def test_counters_stay_zero_without_faults(self):
+        board = make_board()
+        plan = ClusterFaultPlan()
+        cs = ClusterStencil(GTX_780, 4, 2, board, KERNEL, faults=plan)
+        cs.run(8)
+        assert plan.link_faults_fired == 0
+        assert plan.heartbeats_missed == 0
+        assert plan.nodes_lost == 0
+        assert plan.recoveries == 0
+        assert plan.heartbeats_sent > 0
+        assert plan.checkpoints_taken == 1 + 8 // plan.checkpoint_interval

@@ -53,6 +53,15 @@ class TestPublicApi:
         # Deliberate: a quota rejection must NOT look like an allocation
         # failure, or the §10 pressure ladder would try to absorb it.
         assert not issubclass(repro.QuotaExceededError, repro.AllocationError)
+        # Cluster fault domain (§15): node/link failures are simulation
+        # events the master can absorb; a failed recovery is terminal.
+        assert issubclass(repro.NodeFailure, repro.SimulationError)
+        assert issubclass(repro.LinkError, repro.SimulationError)
+        assert issubclass(repro.PartitionError, repro.LinkError)
+        assert issubclass(repro.ClusterRecoveryError, repro.UnrecoverableError)
+        # ...but a node failure is not a device failure: intra-node and
+        # cluster-level recovery must not catch each other's errors.
+        assert not issubclass(repro.NodeFailure, repro.DeviceError)
 
     def test_every_error_class_is_reexported(self):
         """Regression: CapacityError/DeviceError were once missing from
