@@ -60,6 +60,7 @@ from repro.errors import (
     GraphCaptureError,
     LinkError,
     MapsError,
+    NodeBannedError,
     NodeFailure,
     PartitionError,
     PatternMismatchError,
@@ -140,6 +141,7 @@ __all__ = [
     "TransientTransferError",
     "UnrecoverableError",
     "NodeFailure",
+    "NodeBannedError",
     "LinkError",
     "PartitionError",
     "ClusterRecoveryError",

@@ -17,6 +17,15 @@
   deterministic (same board, same simulated time). The single-crash
   scenario is the acceptance gate: its simulated time must stay within
   ``max_overhead`` (default 2.0x) of the fault-free checkpointed run.
+
+* **Elastic membership** — crash-then-repair scenarios exercising node
+  re-admission (ISSUE 10): a crashed node repaired mid-run must pass
+  probation, rejoin as an idle spare, and restore full checkpoint
+  coverage (``replication_deficit == 0``); the reslab variant must
+  redistribute the board back over all four nodes. An *armed-but-idle*
+  plan (a repair scheduled far past the horizon) is asserted to cost
+  **exactly zero** simulated time over the plain crash run — the
+  membership machinery may not perturb runs that never use it.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.cluster import (
     ClusterFaultPlan,
     ClusterStencil,
     NodeCrash,
+    NodeRepair,
     Partition,
     SlowLink,
 )
@@ -86,9 +96,37 @@ def _fault_scenarios() -> dict:
     }
 
 
+def _elastic_scenarios() -> dict:
+    """Crash-then-repair plan factories (ISSUE 10). The repair at 4 ms
+    lands after the crash has been detected and recovered (~3.2 ms), so
+    the node re-announces, serves probation, and rejoins well inside the
+    30-tick horizon."""
+    return {
+        # checkpoint_replicas=3 makes the anti-entropy visible: the
+        # 3-survivor interregnum can only sustain factor 2, so the
+        # rejoined spare must be shipped a full replica set.
+        "crash_repair_rejoin": lambda: ClusterFaultPlan(
+            node_crashes=[NodeCrash(2, 0.0015)],
+            node_repairs=[NodeRepair(2, 0.004)],
+            checkpoint_replicas=3,
+        ),
+        "crash_repair_reslab": lambda: ClusterFaultPlan(
+            node_crashes=[NodeCrash(2, 0.0015)],
+            node_repairs=[NodeRepair(2, 0.004)],
+            reslab_on_rejoin=True,
+        ),
+        # A repair scheduled far past the horizon: the membership
+        # machinery is armed but never fires. Must cost exactly nothing.
+        "armed_idle": lambda: ClusterFaultPlan(
+            node_crashes=[NodeCrash(2, 0.0015)],
+            node_repairs=[NodeRepair(2, 1000.0)],
+        ),
+    }
+
+
 def _run_recovery(
     spec: GPUSpec, board: np.ndarray, ticks: int, plan
-) -> tuple[np.ndarray, dict]:
+) -> tuple[np.ndarray, dict, ClusterStencil]:
     kernel = make_gol_kernel("maps")
     cs = ClusterStencil(spec, 4, GPUS_PER_NODE, board, kernel, faults=plan)
     cs.run(ticks)
@@ -100,7 +138,11 @@ def _run_recovery(
         "checkpoints": plan.checkpoints_taken if plan else 0,
         "events": [type(e).__name__ for e in cs.events],
     }
-    return cs.board(), stats
+    if plan is not None and plan.has_repairs:
+        stats["membership"] = [e.action for e in cs.membership_log]
+        stats["nodes_readmitted"] = plan.nodes_readmitted
+        stats["replicas_shipped"] = plan.replicas_shipped
+    return cs.board(), stats, cs
 
 
 def measure_cluster(
@@ -113,10 +155,13 @@ def measure_cluster(
     recovery_ticks: int = 30,
     max_overhead: float = MAX_OVERHEAD,
 ) -> dict:
-    """Run the scaling curve and the recovery matrix; return the result
-    tree. Raises :class:`AssertionError` if a faulted board deviates from
-    the fault-free one, if the two-crash replay is nondeterministic, or
-    if single-node-loss overhead exceeds ``max_overhead``."""
+    """Run the scaling curve, the recovery matrix, and the elastic
+    membership scenarios; return the result tree. Raises
+    :class:`AssertionError` if a faulted board deviates from the
+    fault-free one, if a replay is nondeterministic, if single-node-loss
+    or rejoin overhead exceeds ``max_overhead``, if a repaired node fails
+    to rejoin with full checkpoint coverage, or if an armed-but-idle
+    repair plan costs any simulated time over the plain crash run."""
     results: dict = {
         "spec": spec.name,
         "gpus_per_node": GPUS_PER_NODE,
@@ -137,8 +182,8 @@ def measure_cluster(
     # (checkpointing on, nothing fails) are different runs: the baseline
     # pays for heartbeats and periodic checkpoints, the reference pays
     # for nothing.
-    clean, no_plan = _run_recovery(spec, board, recovery_ticks, None)
-    base_board, baseline = _run_recovery(
+    clean, no_plan, _ = _run_recovery(spec, board, recovery_ticks, None)
+    base_board, baseline, _ = _run_recovery(
         spec, board, recovery_ticks, ClusterFaultPlan()
     )
     assert np.array_equal(base_board, clean), "checkpointing changed results"
@@ -153,7 +198,7 @@ def measure_cluster(
         ),
     }
     for name, make_plan in _fault_scenarios().items():
-        out, stats = _run_recovery(spec, board, recovery_ticks, make_plan())
+        out, stats, _ = _run_recovery(spec, board, recovery_ticks, make_plan())
         assert np.array_equal(out, clean), (
             f"{name}: recovered board is not bit-identical"
         )
@@ -161,7 +206,7 @@ def measure_cluster(
         stats["bit_identical"] = True
         recovery[name] = stats
 
-    replay, stats2 = _run_recovery(
+    replay, stats2, _ = _run_recovery(
         spec, board, recovery_ticks, _fault_scenarios()["crash_2_spaced"]()
     )
     assert np.array_equal(replay, clean)
@@ -176,6 +221,66 @@ def measure_cluster(
         f"{max_overhead:.1f}x acceptance gate"
     )
     results["recovery"] = recovery
+
+    elastic: dict = {}
+    for name, make_plan in _elastic_scenarios().items():
+        plan = make_plan()
+        out, stats, cs = _run_recovery(spec, board, recovery_ticks, plan)
+        assert np.array_equal(out, clean), (
+            f"{name}: board after re-admission is not bit-identical"
+        )
+        stats["overhead"] = stats["sim_time"] / baseline["sim_time"]
+        stats["bit_identical"] = True
+        if name == "armed_idle":
+            # Zero-overhead invariant: an armed-but-unused repair plan
+            # must match the plain crash run to the last float.
+            assert stats["sim_time"] == recovery["crash_1"]["sim_time"], (
+                "armed-but-idle repair plan perturbed the crash run"
+            )
+            stats["zero_overhead"] = True
+        else:
+            assert "re-admit" in stats["membership"], (
+                f"{name}: node was never re-admitted"
+            )
+            deg = plan.replicas_for(len(cs.monitor.live_nodes()))
+            deficit = cs.monitor.replication_deficit(deg)
+            assert deficit == 0, (
+                f"{name}: replication deficit {deficit} after rejoin"
+            )
+            stats["replication_deficit"] = deficit
+            if name == "crash_repair_rejoin":
+                assert stats["replicas_shipped"] > 0, (
+                    "anti-entropy shipped nothing at factor 3"
+                )
+            assert stats["overhead"] <= max_overhead, (
+                f"{name}: overhead {stats['overhead']:.2f}x exceeds the "
+                f"{max_overhead:.1f}x acceptance gate"
+            )
+        if name == "crash_repair_rejoin":
+            assert cs.monitor.status[2] == "idle", (
+                "rejoined node should be an idle spare"
+            )
+        if name == "crash_repair_reslab":
+            assert cs.monitor.status[2] == "live", (
+                "reslab_on_rejoin should restore the node to the ring"
+            )
+            assert len(cs.monitor.slabs) == 4, (
+                "reslab_on_rejoin should redistribute over all 4 nodes"
+            )
+        elastic[name] = stats
+
+    _, stats2, cs2 = _run_recovery(
+        spec, board, recovery_ticks,
+        _elastic_scenarios()["crash_repair_rejoin"](),
+    )
+    assert stats2["sim_time"] == elastic["crash_repair_rejoin"]["sim_time"], (
+        "rejoin scenario replays nondeterministically"
+    )
+    assert stats2["membership"] == elastic["crash_repair_rejoin"][
+        "membership"
+    ], "membership log replays nondeterministically"
+    elastic["deterministic_replay"] = True
+    results["elastic"] = elastic
     return results
 
 
@@ -230,7 +335,29 @@ def cluster_report(results: dict) -> str:
          "bit-identical"],
         rows,
     )
-    return scaling + "\n\n" + recovery
+    el = results["elastic"]
+    rows = []
+    for name in ("crash_repair_rejoin", "crash_repair_reslab", "armed_idle"):
+        r = el[name]
+        rows.append(
+            [
+                name,
+                f"{r['sim_time'] * 1e3:.2f} ms",
+                f"{r['overhead']:.2f}x",
+                str(r["nodes_left"]),
+                str(r.get("nodes_readmitted", 0)),
+                str(r.get("replicas_shipped", 0)),
+                "yes" if r["bit_identical"] else "NO",
+            ]
+        )
+    elastic = fmt_table(
+        "Elastic membership: crash at 1.5 ms, repair at 4 ms "
+        "(armed_idle: repair past horizon, exact-zero overhead)",
+        ["scenario", "sim time", "overhead", "slabs", "readmitted",
+         "shipped", "bit-identical"],
+        rows,
+    )
+    return scaling + "\n\n" + recovery + "\n\n" + elastic
 
 
 def write_cluster_json(results: dict, path: str | pathlib.Path) -> None:

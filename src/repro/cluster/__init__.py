@@ -6,10 +6,11 @@ from repro.cluster.faults import (
     ClusterFaultPlan,
     LinkFault,
     NodeCrash,
+    NodeRepair,
     Partition,
     SlowLink,
 )
-from repro.cluster.master import ClusterMaster
+from repro.cluster.master import ClusterMaster, MembershipEvent
 from repro.cluster.monitor import CheckpointRecord, ClusterMonitor, GhostRecord
 from repro.cluster.network import ClusterNetwork, NetworkCalibration
 from repro.cluster.stencil import ClusterStencil
@@ -19,12 +20,14 @@ __all__ = [
     "NetworkCalibration",
     "ClusterStencil",
     "ClusterMaster",
+    "MembershipEvent",
     "NodeAgent",
     "ClusterMonitor",
     "CheckpointRecord",
     "GhostRecord",
     "ClusterFaultPlan",
     "NodeCrash",
+    "NodeRepair",
     "LinkFault",
     "Partition",
     "SlowLink",

@@ -5,10 +5,10 @@ multi-GPU node: it owns the node's :class:`~repro.sim.node.SimNode`, the
 MAPS-Multi :class:`~repro.core.scheduler.Scheduler` driving it, and the
 node's double-buffered board slab. The agent executes the master's
 commands — run one tick, gather edge rows, snapshot a checkpoint, store a
-peer's checkpoint replica, rebuild onto a new slab range after recovery —
-while everything *between* nodes (messages, heartbeats, failure
-detection, re-slabbing) stays in :class:`~repro.cluster.master.
-ClusterMaster`.
+peer's checkpoint replica, rebuild onto a new slab range after recovery,
+reboot with empty stores after a repair event — while everything
+*between* nodes (messages, heartbeats, failure detection, re-slabbing,
+probation) stays in :class:`~repro.cluster.master.ClusterMaster`.
 
 Fault domains compose hierarchically here: an agent's node may carry its
 own intra-node :class:`~repro.sim.faults.FaultPlan` (device failures,
@@ -64,10 +64,13 @@ class NodeAgent:
         faults: FaultPlan | None = None,
     ):
         self.node_id = node_id
+        self.spec = spec
+        self.gpus_per_node = gpus_per_node
         self.cols = cols
         self.kernel = kernel
         self.radius = radius
         self.functional = functional
+        self.fault_plan = faults
         self.node = SimNode(
             spec, gpus_per_node, functional=functional, faults=faults
         )
@@ -335,5 +338,32 @@ class NodeAgent:
 
     def fence(self) -> None:
         """Exclude a partitioned (but physically intact) node: the master
-        stops driving it; its data is stale, never consulted again."""
+        stops driving it and never consults its now-stale data. The node
+        stays out until a :class:`~repro.cluster.faults.NodeRepair` event
+        brings it back through :meth:`revive` (elastic membership); with
+        no repair scheduled, fencing is permanent."""
         self.dead = True
+
+    def revive(self, now: float) -> None:
+        """Reboot a repaired node at cluster time ``now``: a fresh
+        :class:`~repro.sim.node.SimNode` (same spec, same intra-node
+        fault plan — stateful plan counters persist, so intra-node faults
+        that already fired do not fire again) and a fresh scheduler, with
+        *empty* stores. The node rejoins holding nothing: a crashed
+        node's slab and checkpoint replicas are gone, and a fenced node's
+        copies are stale — either way the master's anti-entropy pass must
+        re-ship checkpoint data before this node is useful again."""
+        self.node = SimNode(
+            self.spec,
+            self.gpus_per_node,
+            functional=self.functional,
+            faults=self.fault_plan,
+        )
+        self.sched = Scheduler(self.node)
+        self.lo = 0
+        self.hi = 0
+        self.slabs = None
+        self.local_ckpts = {}
+        self.peer_ckpts = {}
+        self.dead = False
+        self.node.host_advance(now)

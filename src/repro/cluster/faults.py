@@ -10,6 +10,18 @@ nodes* misbehave, one level of the failure hierarchy above the per-node
   answering heartbeats, and every message to or from it is lost. The
   master detects the silence (heartbeat misses), fences the node, and
   re-slabs the board across survivors from checkpoint replicas.
+* **Node repairs** (:class:`NodeRepair`): a crashed or fenced node comes
+  back online at a cluster time and announces itself to the master. The
+  master runs the elastic-membership probation protocol (DESIGN.md §15):
+  after a capped-exponential rejoin backoff the node must answer clean
+  heartbeats for ``probation_interval`` before being re-admitted as an
+  idle spare, at which point the master's anti-entropy pass re-replicates
+  the committed checkpoint generation onto it. A node that keeps
+  crash→repair flapping is permanently banned after ``max_flaps`` cycles
+  (:class:`~repro.errors.NodeBannedError`). With ``reslab_on_rejoin`` the
+  master additionally re-runs the slab decomposition over the enlarged
+  survivor set, reusing the rewind+replay recovery ladder, so compute
+  capacity actually recovers.
 * **Link/NIC transfer faults** (:class:`LinkFault`, or a seeded
   ``link_fault_rate``): the matching inter-node message is lost at send
   time. The master retries with capped-exponential backoff in simulated
@@ -19,11 +31,12 @@ nodes* misbehave, one level of the failure hierarchy above the per-node
   nodes in the same group can exchange messages. The head node sits on
   the *largest* group (lowest node id breaking ties), so a partition
   hides the complement from the master; once the failure detector
-  declares the isolated minority dead it is **fenced** — never
-  re-admitted, even if the partition heals — so a stale minority cannot
-  write back into the board. A partition shorter than the detection
-  latency is absorbed by the retry/backoff machinery and causes no
-  recovery at all.
+  declares the isolated minority dead it is **fenced** — excluded so a
+  stale minority cannot write back into the board. A fenced node stays
+  out until a :class:`NodeRepair` event brings it back through the
+  probation protocol; with no repair scheduled, fencing is permanent. A
+  partition shorter than the detection latency is absorbed by the
+  retry/backoff machinery and causes no recovery at all.
 * **Slow links** (:class:`SlowLink`): multiplicative stretch of matching
   messages' durations inside an onset window. Slow links never lose
   messages; like intra-node stragglers they only stretch the timeline
@@ -46,7 +59,24 @@ from repro.sim.faults import FaultPlan
 
 @dataclass(frozen=True)
 class NodeCrash:
-    """Permanent fail-stop failure of one whole node at a cluster time."""
+    """Fail-stop failure of one whole node at a cluster time. Permanent
+    unless a later :class:`NodeRepair` brings the node back."""
+
+    node: int
+    at_time: float
+
+
+@dataclass(frozen=True)
+class NodeRepair:
+    """A crashed or fenced node comes back online at a cluster time.
+
+    The repaired node boots with *empty* memory (its pre-crash slab and
+    checkpoint replicas are gone; a fenced node's copies are stale and
+    discarded on reboot) and announces itself to the master, which runs
+    the probation protocol before re-admitting it as an idle spare. A
+    repair scheduled while the node is still up is ignored; alternating
+    crash/repair events per node form the node's availability timeline.
+    """
 
     node: int
     at_time: float
@@ -106,6 +136,8 @@ class ClusterFaultPlan:
         seed: Seed for the plan's private RNG (used only by
             ``link_fault_rate`` draws).
         node_crashes: Whole-node fail-stop failures.
+        node_repairs: Crashed/fenced nodes coming back online (elastic
+            membership; see :class:`NodeRepair`).
         link_faults: Targeted transient message losses.
         partitions: Fabric partition windows.
         slow_links: Per-link slowdown factors.
@@ -131,6 +163,20 @@ class ClusterFaultPlan:
             auto-sizes to ``(live_nodes - 1) // 2``, which keeps every
             region recoverable under any minority of simultaneous node
             losses.
+        probation_interval: Simulated seconds of clean heartbeats a
+            repaired node must answer before re-admission.
+        rejoin_base: First rejoin backoff in cluster seconds — a node's
+            k-th repair waits ``min(rejoin_base * 2**(k-1), rejoin_cap)``
+            after announcing before its probation window starts
+            (flap damping: repeat offenders wait longer).
+        rejoin_cap: Upper bound on a single rejoin backoff.
+        max_flaps: Crash→repair cycles a node may go through before the
+            master permanently bans it
+            (:class:`~repro.errors.NodeBannedError`).
+        reslab_on_rejoin: After re-admitting a node, re-run the slab
+            decomposition over the enlarged survivor set (rewind+replay,
+            as in recovery) so the rejoined node carries compute again
+            instead of idling as a spare.
         node_plans: Optional per-node intra-node
             :class:`~repro.sim.faults.FaultPlan`s — the inner level of
             the fault hierarchy. Each node's plan is installed on its own
@@ -143,6 +189,7 @@ class ClusterFaultPlan:
         self,
         seed: int = 0,
         node_crashes: list[NodeCrash] | None = None,
+        node_repairs: list[NodeRepair] | None = None,
         link_faults: list[LinkFault] | None = None,
         partitions: list[Partition] | None = None,
         slow_links: list[SlowLink] | None = None,
@@ -156,11 +203,17 @@ class ClusterFaultPlan:
         miss_threshold: int = 3,
         checkpoint_interval: int = 4,
         checkpoint_replicas: int | None = None,
+        probation_interval: float = 2e-3,
+        rejoin_base: float = 5e-4,
+        rejoin_cap: float = 4e-3,
+        max_flaps: int = 3,
+        reslab_on_rejoin: bool = False,
         node_plans: dict[int, FaultPlan] | None = None,
     ):
         self.seed = seed
         self.rng = random.Random(seed)
         self.node_crashes = list(node_crashes or [])
+        self.node_repairs = list(node_repairs or [])
         self.link_faults = list(link_faults or [])
         self.partitions = list(partitions or [])
         self.link_fault_rate = float(link_fault_rate)
@@ -173,6 +226,11 @@ class ClusterFaultPlan:
         self.miss_threshold = int(miss_threshold)
         self.checkpoint_interval = int(checkpoint_interval)
         self.checkpoint_replicas = checkpoint_replicas
+        self.probation_interval = float(probation_interval)
+        self.rejoin_base = float(rejoin_base)
+        self.rejoin_cap = float(rejoin_cap)
+        self.max_flaps = int(max_flaps)
+        self.reslab_on_rejoin = bool(reslab_on_rejoin)
         self.node_plans = dict(node_plans or {})
         if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
             raise ValueError("heartbeat interval/timeout must be positive")
@@ -180,6 +238,12 @@ class ClusterFaultPlan:
             raise ValueError("miss_threshold must be >= 1")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if self.probation_interval <= 0:
+            raise ValueError("probation_interval must be positive")
+        if self.rejoin_base <= 0 or self.rejoin_cap <= 0:
+            raise ValueError("rejoin backoff base/cap must be positive")
+        if self.max_flaps < 1:
+            raise ValueError("max_flaps must be >= 1")
         if not 0.0 <= self.link_fault_rate < 1.0:
             raise ValueError("link_fault_rate must be in [0, 1)")
         for p in self.partitions:
@@ -203,13 +267,45 @@ class ClusterFaultPlan:
             if s.end is not None and s.start > s.end:
                 raise ValueError(f"slow-link window inverted: {s}")
             self._slow.append(s)
-        #: Earliest crash time per node.
-        self._crash_at: dict[int, float] = {}
+        #: Per-node availability timeline: a normalized, time-sorted list
+        #: of ``(time, is_crash)`` transitions. Redundant events are
+        #: dropped during normalization (a crash while already down, a
+        #: repair while already up), so the kept events strictly
+        #: alternate crash/repair starting with a crash.
+        self._timeline: dict[int, list[tuple[float, bool]]] = {}
+        raw: dict[int, list[tuple[float, int]]] = {}
         for c in self.node_crashes:
-            t = self._crash_at.get(c.node)
-            self._crash_at[c.node] = (
-                c.at_time if t is None else min(t, c.at_time)
-            )
+            raw.setdefault(c.node, []).append((c.at_time, 0))
+        for rep in self.node_repairs:
+            raw.setdefault(rep.node, []).append((rep.at_time, 1))
+        for node, evs in raw.items():
+            kept: list[tuple[float, bool]] = []
+            up = True
+            # At equal times a crash sorts before its repair: the node
+            # goes down and comes straight back (memory still lost).
+            for t, kind in sorted(evs):
+                if kind == 0 and up:
+                    kept.append((t, True))
+                    up = False
+                elif kind == 1 and not up:
+                    kept.append((t, False))
+                    up = True
+            self._timeline[node] = kept
+        #: Raw per-node repair times, sorted. Deliberately NOT the
+        #: normalized timeline: a node can be *fenced* (partitioned away)
+        #: without ever crashing, so its repair event looks like a
+        #: repair-while-up to the availability timeline — but the master
+        #: must still see it to run the probation protocol. Whether a
+        #: repair means anything is the master's membership decision,
+        #: not the timeline's.
+        self._repairs: dict[int, list[float]] = {}
+        for rep in self.node_repairs:
+            self._repairs.setdefault(rep.node, []).append(rep.at_time)
+        for times in self._repairs.values():
+            times.sort()
+        #: Whether any repair event exists — the gate for all
+        #: elastic-membership machinery (zero overhead when False).
+        self.has_repairs = bool(self.node_repairs)
         #: Diagnostics, also used by `repro.bench --cluster` reports.
         self.link_faults_fired = 0
         self.heartbeats_sent = 0
@@ -218,16 +314,52 @@ class ClusterFaultPlan:
         self.nodes_lost = 0
         self.recoveries = 0
         self.checkpoints_taken = 0
+        self.nodes_repaired = 0
+        self.nodes_readmitted = 0
+        self.nodes_banned = 0
+        self.probations_failed = 0
+        self.replicas_shipped = 0
+        self.reslabs = 0
 
-    # -- node crashes --------------------------------------------------------
-    def crash_time(self, node: int) -> float | None:
-        """Earliest fail-stop time of ``node``, or None if it never dies."""
-        return self._crash_at.get(node)
+    # -- node crashes / repairs ----------------------------------------------
+    def crash_time(self, node: int, now: float | None = None) -> float | None:
+        """With ``now`` None: earliest fail-stop time of ``node`` (None if
+        it never dies). With ``now``: the crash that started the down
+        streak governing ``now`` (the latest crash at or before it), or
+        None if the node is up at ``now``."""
+        evs = self._timeline.get(node, [])
+        if now is None:
+            return evs[0][0] if evs else None
+        last = None
+        for t, is_crash in evs:
+            if t > now:
+                break
+            last = t if is_crash else None
+        return last
 
     def crashed(self, node: int, now: float) -> bool:
-        """Whether ``node`` has fail-stopped by cluster time ``now``."""
-        t = self._crash_at.get(node)
-        return t is not None and t <= now
+        """Whether ``node`` is down (crashed, not yet repaired) at
+        cluster time ``now``."""
+        return self.crash_time(node, now) is not None
+
+    def crash_in(self, node: int, t0: float, t1: float) -> float | None:
+        """Earliest crash of ``node`` in the half-open window
+        ``(t0, t1]``, or None. The master calls this with ``t0`` set to
+        the node's last (re-)admission time, so a crash *and* repair
+        landing inside one tick window is still detected as a loss — a
+        rebooted node announces as fresh, it never resumes silently."""
+        for t, is_crash in self._timeline.get(node, []):
+            if t > t1:
+                break
+            if is_crash and t > t0:
+                return t
+        return None
+
+    def repairs_of(self, node: int) -> list[float]:
+        """All repair times of ``node``, in order — raw events, not the
+        normalized timeline, because a fenced-but-never-crashed node
+        (e.g. a partitioned minority) must still be repairable."""
+        return self._repairs.get(node, [])
 
     # -- partitions ----------------------------------------------------------
     def _active_partition(self, now: float) -> Partition | None:
@@ -319,6 +451,15 @@ class ClusterFaultPlan:
         if attempt < 1:
             raise ValueError("attempt is 1-based")
         return min(self.retry_base * (2.0 ** (attempt - 1)), self.retry_cap)
+
+    def rejoin_backoff(self, flap: int) -> float:
+        """Cluster-time delay between a node's ``flap``-th repair
+        announcement (1-based) and the start of its probation window:
+        capped exponential ``min(rejoin_base * 2**(flap-1), rejoin_cap)``
+        — repeat offenders wait longer (flap damping)."""
+        if flap < 1:
+            raise ValueError("flap is 1-based")
+        return min(self.rejoin_base * (2.0 ** (flap - 1)), self.rejoin_cap)
 
     # -- checkpoint policy ----------------------------------------------------
     def replicas_for(self, live_nodes: int) -> int:

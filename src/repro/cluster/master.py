@@ -28,8 +28,8 @@ Recovery (the tentpole protocol):
    of a partition past the retry budget, or escalates an intra-node
    :class:`~repro.errors.UnrecoverableError`.
 2. **Fence** — the node is marked dead (crash: host memory poisoned) or
-   fenced (partition: intact but excluded forever), and the typed error
-   is appended to :attr:`events`.
+   fenced (partition: intact but excluded until repaired), and the typed
+   error is appended to :attr:`events`.
 3. **Check** — partitions need the master to keep a strict majority;
    every board row needs a surviving checkpoint replica
    (:meth:`ClusterMonitor.coverage_gap`). Otherwise
@@ -46,11 +46,29 @@ Recovery (the tentpole protocol):
    neighbours' ghost regions are compared against the replayed rows once
    the replay re-reaches the failure tick (``"ghost-mismatch"`` if the
    recovered state diverges).
+
+Elastic membership (when the fault plan schedules
+:class:`~repro.cluster.faults.NodeRepair` events): a repaired node
+announces itself, waits out a capped-exponential rejoin backoff, then
+must answer clean heartbeats for ``probation_interval`` before the
+master re-admits it as an idle spare — probationary nodes count toward
+quorum and coverage only after admission. Re-admission triggers
+anti-entropy re-replication (the committed checkpoint generation is
+shipped to the rejoined node until every region is back at the
+replication factor), and ``reslab_on_rejoin`` additionally re-runs the
+decomposition over the enlarged survivor set through the same
+rewind+replay ladder as recovery. A node exceeding ``max_flaps``
+crash→repair cycles is permanently banned
+(:class:`~repro.errors.NodeBannedError`). Every transition is recorded
+as a :class:`MembershipEvent` in :attr:`ClusterMaster.membership_log`.
+With no repair events planned, none of this machinery runs — the
+schedule is identical, message for message, to the repair-free protocol.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -62,12 +80,34 @@ from repro.core import Kernel
 from repro.errors import (
     ClusterRecoveryError,
     LinkError,
+    NodeBannedError,
     NodeFailure,
     PartitionError,
     SchedulingError,
     UnrecoverableError,
 )
 from repro.hardware.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership transition, stamped with simulated cluster time —
+    the cluster-level mirror of
+    :class:`~repro.serving.autoscaler.ScalingEvent`.
+
+    ``action`` is one of ``"dead"`` / ``"fence"`` (a node leaves the
+    member set), ``"repair-announce"`` (a repaired node contacts the
+    master), ``"probation-start"`` / ``"probation-fail"``, ``"re-admit"``
+    (probation passed, node is an idle spare again), ``"re-replicate"``
+    (anti-entropy shipped checkpoint regions to the rejoined node),
+    ``"reslab"`` (the decomposition was re-run over the enlarged
+    survivor set) or ``"ban"`` (flap damping made the exclusion
+    permanent)."""
+
+    time: float
+    node: int
+    action: str
+    detail: str = ""
 
 
 class _Unreachable(Exception):
@@ -155,6 +195,21 @@ class ClusterMaster:
         self.events: list[Exception] = []
         #: One dict per recovery, for reports and tests.
         self.recovery_log: list[dict] = []
+        #: Membership audit log (elastic membership; see MembershipEvent).
+        self.membership_log: list[MembershipEvent] = []
+        #: node -> cluster time of its last (re-)admission: liveness
+        #: checks only look at crashes *after* this, so a node that
+        #: crashed, was repaired and re-admitted is not re-condemned for
+        #: its old crash. -1.0 so a crash at t=0 is still after it.
+        self._member_since: dict[int, float] = {
+            i: -1.0 for i in range(num_nodes)
+        }
+        #: node -> crash→repair cycles seen (flap damping).
+        self._flaps: dict[int, int] = {}
+        #: node -> (announced_at, probation_start, probation_deadline).
+        self._probation: dict[int, tuple[float, float, float]] = {}
+        #: node -> consumed prefix of its normalized repair events.
+        self._repair_idx: dict[int, int] = {}
 
         specs = node_specs or {}
         self.agents: dict[int, NodeAgent] = {}
@@ -217,6 +272,15 @@ class ClusterMaster:
         return region
 
     # -- messaging ------------------------------------------------------------
+    def _crash_since(self, node: int, t: float) -> float | None:
+        """The crash that makes ``node`` lost to the cluster at time
+        ``t``: the earliest crash after its last (re-)admission and at or
+        before ``t``, or None. Deliberately *not* "is the node up at t" —
+        a node that crashed and was repaired within one window still lost
+        its memory, so any crash since admission is a loss until the
+        membership protocol re-admits it."""
+        return self.faults.crash_in(node, self._member_since[node], t)
+
     def _reach(self, node: int, t: float) -> float:
         """Deliver a control message (tick command / heartbeat) to
         ``node``, retrying through transient partitions. Control messages
@@ -229,19 +293,20 @@ class ClusterMaster:
         t_try = t
         live = self.monitor.order()
         for attempt in range(1, fp.max_retries + 2):
-            if not fp.crashed(node, t_try) and node in fp.master_group(
-                live, t_try
+            if self._crash_since(node, t_try) is None and (
+                node in fp.master_group(live, t_try)
             ):
                 return t_try
             if attempt > fp.max_retries:
                 break
             fp.messages_retried += 1
             t_try += fp.ack_timeout + fp.backoff(attempt)
-        if fp.crashed(node, t_try):
-            declared = self._declared_dead(node, fp.crash_time(node))
+        t_c = self._crash_since(node, t_try)
+        if t_c is not None:
+            declared = self._declared_dead(node, t_c)
             err = NodeFailure(
                 f"node {node} stopped answering heartbeats "
-                f"(crashed at t={fp.crash_time(node):.6f}s, declared dead "
+                f"(crashed at t={t_c:.6f}s, declared dead "
                 f"at t={declared:.6f}s)",
                 node=node,
                 time=declared,
@@ -272,8 +337,9 @@ class ClusterMaster:
             return self.network.transfer(src, dst, nbytes, ready)
         t_try = ready
         for attempt in range(1, fp.max_retries + 2):
-            if fp.crashed(src, t_try):
-                declared = self._declared_dead(src, fp.crash_time(src))
+            t_c = self._crash_since(src, t_try)
+            if t_c is not None:
+                declared = self._declared_dead(src, t_c)
                 err = NodeFailure(
                     f"node {src} crashed before sending {what} to {dst}",
                     node=src,
@@ -282,7 +348,7 @@ class ClusterMaster:
                 )
                 raise _Unreachable([err], [src], max(t_try, declared))
             lost = (
-                fp.crashed(dst, t_try)
+                self._crash_since(dst, t_try) is not None
                 or not fp.reachable(src, dst, t_try)
                 or fp.link_fault_now(src, dst)
             )
@@ -300,8 +366,9 @@ class ClusterMaster:
             fp.messages_retried += 1
             t_try += fp.ack_timeout + fp.backoff(attempt)
         # Retry budget exhausted: classify.
-        if fp.crashed(dst, t_try):
-            declared = self._declared_dead(dst, fp.crash_time(dst))
+        t_c = self._crash_since(dst, t_try)
+        if t_c is not None:
+            declared = self._declared_dead(dst, t_c)
             err = NodeFailure(
                 f"node {dst} crashed; {what} from {src} undeliverable",
                 node=dst,
@@ -405,6 +472,8 @@ class ClusterMaster:
         """One bulk-synchronous tick: dispatch, compute, exchange,
         barrier, bookkeeping. Raises ``_Unreachable`` on any node loss."""
         fp = self.faults
+        if fp is not None and fp.has_repairs:
+            self._membership_tick()
         tick = self.tick
         src_i, dst_i = tick % 2, (tick + 1) % 2
         ring = self.monitor.order()
@@ -436,8 +505,8 @@ class ClusterMaster:
                     cause="agent-error",
                 )
                 raise _Unreachable([err], [n], ag.node.time) from e
-            if fp is not None and fp.crashed(n, t_f):
-                t_c = fp.crash_time(n)
+            t_c = self._crash_since(n, t_f) if fp is not None else None
+            if t_c is not None:
                 declared = self._declared_dead(n, t_c)
                 lost.append(
                     NodeFailure(
@@ -500,8 +569,10 @@ class ClusterMaster:
         barrier = max(done.values()) if done else self._clock
         if fp is not None:
             for n in ring:
-                if n in finish and fp.crashed(n, barrier):
-                    t_c = fp.crash_time(n)
+                t_c = (
+                    self._crash_since(n, barrier) if n in finish else None
+                )
+                if t_c is not None:
                     declared = self._declared_dead(n, t_c)
                     err = NodeFailure(
                         f"node {n} crashed during the exchange window at "
@@ -576,6 +647,44 @@ class ClusterMaster:
                 t_done = max(t_done, arrival)
             t_done = max(t_done, t_local)
             regions.append((lo, hi, tuple(holders)))
+        # Elastic membership: re-admitted spares own no slab but can
+        # carry checkpoint replicas — top each region up toward deg+1
+        # holders so the replication factor does not stay eroded while
+        # the ring is short-handed.
+        if fp.has_repairs:
+            spares = [
+                m
+                for m in self.monitor.live_nodes()
+                if m not in self.monitor.slabs
+            ]
+            if spares:
+                deg_all = fp.replicas_for(len(self.monitor.live_nodes()))
+                base = t_done
+                topped: list[tuple[int, int, tuple[int, ...]]] = []
+                for lo, hi, holders in regions:
+                    hl = list(holders)
+                    owner = hl[0]
+                    _, _, data = self.agents[owner].local_ckpts[cid]
+                    for m in spares:
+                        if len(hl) > deg_all:
+                            break
+                        if m in hl:
+                            continue
+                        arrival = self._send(
+                            owner,
+                            m,
+                            (hi - lo) * self.cols * 4,
+                            base,
+                            "checkpoint",
+                        )
+                        self.agents[m].store_peer_ckpt(
+                            owner, cid, lo, hi, data
+                        )
+                        hl.append(m)
+                        fp.replicas_shipped += 1
+                        t_done = max(t_done, arrival)
+                    topped.append((lo, hi, tuple(hl)))
+                regions = topped
         # Commit atomically: a failure anywhere above leaves the previous
         # checkpoint's records and stores untouched (uncommitted cid
         # entries in agent stores are pruned at the next commit).
@@ -584,10 +693,272 @@ class ClusterMaster:
         for n in self.monitor.live_nodes():
             self.agents[n].prune_ckpts(cid)
         fp.checkpoints_taken += 1
-        for n in ring:  # the checkpoint is itself a barrier
+        sync = self.monitor.live_nodes() if fp.has_repairs else ring
+        for n in sync:  # the checkpoint is itself a barrier
             node = self.agents[n].node
             node.host_advance(max(0.0, t_done - node.time))
         self._clock = max(self._clock, t_done)
+
+    # -- elastic membership ---------------------------------------------------
+    def _log_member(self, time: float, node: int, action: str, detail: str = "") -> None:
+        self.membership_log.append(
+            MembershipEvent(time=time, node=node, action=action, detail=detail)
+        )
+
+    def membership_stats(self) -> dict:
+        """Per-action counts over the membership audit log, plus the
+        current status map — the observability surface mirrored on
+        :class:`~repro.cluster.stencil.ClusterStencil` and reported by
+        ``repro.bench --cluster``."""
+        counts: dict[str, int] = {}
+        for ev in self.membership_log:
+            counts[ev.action] = counts.get(ev.action, 0) + 1
+        return {
+            "events": len(self.membership_log),
+            "actions": counts,
+            "status": dict(self.monitor.status),
+        }
+
+    def _membership_tick(self) -> None:
+        """Drive the membership state machine up to the master clock:
+        sweep crashed spares, process due repair announcements, and
+        resolve expired probation windows. Only called when the fault
+        plan schedules repair events — with none, the master's schedule
+        is untouched (the zero-overhead invariant)."""
+        now = self._clock
+        self._sweep_spares(now)
+        progressed = True
+        while progressed:
+            # A failed probation can unblock a queued repair event (the
+            # node crashed and was repaired again mid-probation), and an
+            # announcement whose backoff+probation already expired
+            # resolves in the same pass — iterate to a fixed point.
+            progressed = self._check_probations(now)
+            progressed = self._check_repairs(now) or progressed
+
+    def _sweep_spares(self, now: float) -> None:
+        """Failure detection for idle spares: they are not in the ring,
+        so the per-tick barrier sweep never sees them — check their
+        heartbeat silence here. Losing a spare needs no rollback (it owns
+        no slab); it just leaves the member set again."""
+        fp = self.faults
+        for n in sorted(self.monitor.status):
+            if self.monitor.status[n] != "idle" or n in self.monitor.slabs:
+                continue
+            t_c = self._crash_since(n, now)
+            if t_c is None:
+                continue
+            declared = self._declared_dead(n, t_c)
+            if declared > now:
+                continue  # silence not yet long enough to declare
+            self.monitor.mark_dead(n)
+            self.agents[n].crash(t_c)
+            fp.nodes_lost += 1
+            err = NodeFailure(
+                f"spare node {n} crashed at t={t_c:.6f}s (declared dead "
+                f"at t={declared:.6f}s)",
+                node=n,
+                time=declared,
+                cause="crash",
+            )
+            self.events.append(err)
+            self._log_member(declared, n, "dead", "idle spare lost")
+
+    def _check_repairs(self, now: float) -> bool:
+        """Process repair announcements due by ``now``; returns whether
+        any membership state changed."""
+        fp = self.faults
+        changed = False
+        for n in sorted(self.agents):
+            reps = fp.repairs_of(n)
+            i = self._repair_idx.get(n, 0)
+            while i < len(reps) and reps[i] <= now:
+                status = self.monitor.status.get(n)
+                if status in ("dead", "fenced"):
+                    self._announce(n, reps[i], now)
+                    changed = True
+                    i += 1
+                elif status == "probation":
+                    # The node crashed and was repaired again while on
+                    # probation; the crash fails the current window
+                    # first, then this repair re-announces.
+                    break
+                else:
+                    # Already a member (stale repair) or banned: consume.
+                    if status == "banned":
+                        self._log_member(
+                            reps[i], n, "repair-announce", "ignored: banned"
+                        )
+                    i += 1
+            self._repair_idx[n] = i
+        return changed
+
+    def _announce(self, node: int, t_repair: float, now: float) -> None:
+        """A repaired node contacted the master: count the flap, ban a
+        repeat offender, otherwise schedule its probation window after
+        the rejoin backoff."""
+        fp = self.faults
+        fp.nodes_repaired += 1
+        self._flaps[node] = self._flaps.get(node, 0) + 1
+        flaps = self._flaps[node]
+        self._log_member(
+            t_repair, node, "repair-announce", f"flap {flaps}"
+        )
+        if flaps > fp.max_flaps:
+            self.monitor.mark_banned(node)
+            fp.nodes_banned += 1
+            t_ban = max(now, t_repair)
+            err = NodeBannedError(
+                f"node {node} exceeded max_flaps={fp.max_flaps} "
+                f"crash→repair cycles: permanently banned at "
+                f"t={t_ban:.6f}s",
+                node=node,
+                time=t_ban,
+                flaps=flaps,
+            )
+            self.events.append(err)
+            self._log_member(
+                t_ban, node, "ban",
+                f"{flaps} flaps > max_flaps={fp.max_flaps}",
+            )
+            return
+        start = max(now, t_repair) + fp.rejoin_backoff(flaps)
+        deadline = start + fp.probation_interval
+        self._probation[node] = (t_repair, start, deadline)
+        self.monitor.mark_probation(node)
+        self._log_member(
+            start, node, "probation-start",
+            f"clean heartbeats until t={deadline:.6f}s",
+        )
+
+    def _check_probations(self, now: float) -> bool:
+        """Resolve probation windows that expired by ``now``; returns
+        whether any membership state changed."""
+        fp = self.faults
+        changed = False
+        for n in sorted(self._probation):
+            announced, start, deadline = self._probation[n]
+            if deadline > now:
+                continue
+            del self._probation[n]
+            changed = True
+            verdict = self._probation_verdict(n, announced, start, deadline)
+            if verdict is None:
+                self._admit(n, max(now, deadline))
+                continue
+            cause, detail = verdict
+            fp.probations_failed += 1
+            if cause == "crash":
+                # Back to dead; the node rejoins only via its *next*
+                # repair event (picked up by _check_repairs).
+                self.monitor.mark_dead(n)
+            else:
+                self.monitor.mark_fenced(n)
+            self._log_member(deadline, n, "probation-fail", detail)
+        return changed
+
+    def _probation_verdict(
+        self, node: int, announced: float, start: float, deadline: float
+    ) -> tuple[str, str] | None:
+        """Judge a completed probation window: None for a clean pass,
+        else ``(cause, detail)``. The node must not have crashed since
+        the repair that announced it, and must answer every heartbeat
+        probe in ``[start, deadline)``."""
+        fp = self.faults
+        t_c = fp.crash_in(node, announced, deadline)
+        if t_c is None and fp.crashed(node, deadline):
+            # Crashed before the window even opened and never came back.
+            t_c = fp.crash_time(node, deadline)
+        if t_c is not None:
+            return ("crash", f"crashed at t={t_c:.6f}s during probation")
+        peers = self.monitor.live_nodes()
+        h = fp.heartbeat_interval
+        t = start
+        while t < deadline:
+            fp.heartbeats_sent += 1
+            if node not in fp.master_group(peers + [node], t):
+                fp.heartbeats_missed += 1
+                return (
+                    "unreachable",
+                    f"probe unanswered at t={t:.6f}s (partitioned)",
+                )
+            t += h
+        return None
+
+    def _admit(self, node: int, t: float) -> None:
+        """Probation passed: reboot the agent, re-admit the node as an
+        idle spare, and run the anti-entropy re-replication pass (plus
+        the optional re-slab)."""
+        fp = self.faults
+        ag = self.agents[node]
+        ag.revive(t)
+        self.monitor.mark_admitted(node)
+        self.monitor.node_monitors[node] = ag.sched.monitor
+        self._member_since[node] = t
+        fp.nodes_readmitted += 1
+        self._log_member(
+            t, node, "re-admit", "idle spare after clean probation"
+        )
+        t_done = self._re_replicate(node, t)
+        if fp.reslab_on_rejoin:
+            fp.reslabs += 1
+            self._log_member(
+                t_done, node, "reslab",
+                "re-running the decomposition over the enlarged survivor set",
+            )
+            self._rebuild_from_checkpoint(t_done)
+
+    def _re_replicate(self, node: int, t: float) -> float:
+        """Anti-entropy: ship every under-replicated region of the
+        committed checkpoint generation to the rejoined node until each
+        is back at the replication factor (owner + ``deg`` peers).
+        The degree is computed over the *member* count — the rejoined
+        spare raises it back toward the configured factor that a
+        short-handed ring could not reach. Treated as a barrier — the
+        spare and its sources sync at the last arrival. Returns that
+        time."""
+        fp = self.faults
+        deg = fp.replicas_for(len(self.monitor.live_nodes()))
+        t_done = t
+        shipped = 0
+        for rec in list(self.monitor.checkpoints):
+            live_holders = [
+                h
+                for h in rec.holders
+                if self.monitor.status.get(h) in ("live", "idle")
+            ]
+            if (
+                node in live_holders
+                or len(live_holders) > deg
+                or not live_holders
+            ):
+                continue
+            src = min(live_holders)
+            arrival = self._send(
+                src,
+                node,
+                (rec.hi - rec.lo) * self.cols * 4,
+                t,
+                "re-replicate",
+            )
+            data = self.agents[src].checkpoint_rows(rec.cid, rec.lo, rec.hi)
+            self.agents[node].store_peer_ckpt(
+                rec.holders[0], rec.cid, rec.lo, rec.hi, data
+            )
+            self.monitor.add_checkpoint_holder(rec.lo, rec.hi, node)
+            fp.replicas_shipped += 1
+            shipped += 1
+            t_done = max(t_done, arrival)
+        for m in self.monitor.live_nodes():
+            sim = self.agents[m].node
+            sim.host_advance(max(0.0, t_done - sim.time))
+        self._clock = max(self._clock, t_done)
+        if shipped:
+            self._log_member(
+                t_done, node, "re-replicate",
+                f"{shipped} checkpoint region(s)",
+            )
+        return t_done
 
     # -- recovery -------------------------------------------------------------
     def _recover(self, u: _Unreachable) -> None:
@@ -619,11 +990,15 @@ class ClusterMaster:
             cause = causes.get(n)
             if cause in ("crash", "agent-error"):
                 self.monitor.mark_dead(n)
-                t_c = fp.crash_time(n) if cause == "crash" else None
+                t_c = (
+                    self._crash_since(n, now) if cause == "crash" else None
+                )
                 ag.crash(now if t_c is None else t_c)
-            else:  # partition / faulty link: intact but excluded forever
+                self._log_member(now, n, "dead", f"cause={cause}")
+            else:  # partition / faulty link: intact but excluded
                 self.monitor.mark_fenced(n)
                 ag.fence()
+                self._log_member(now, n, "fence", f"cause={cause}")
             fp.nodes_lost += 1
         fp.recoveries += 1
         self.recovery_log.append(
@@ -678,6 +1053,21 @@ class ClusterMaster:
 
         # Re-slab across survivors and rebuild from checkpoint replicas,
         # fetching each new slab's rows peer-to-peer over the fabric.
+        self._rebuild_from_checkpoint(now)
+        self.recovery_log[-1]["resumed_from_tick"] = self.tick
+        self.recovery_log[-1]["resumed_at"] = self._clock
+
+    def _rebuild_from_checkpoint(self, now: float) -> None:
+        """Re-slab across the current member set (recovery steps 4-5,
+        also the ``reslab_on_rejoin`` path): fresh near-even
+        decomposition, each new slab's rows (interior plus ghosts)
+        fetched peer-to-peer from checkpoint holders and rebuilt, then
+        roll back to the checkpoint tick and take a fresh coordinated
+        checkpoint over the new decomposition — the drive loop replays
+        from there, bit-identically."""
+        live = self.monitor.live_nodes()
+        C = self.monitor.checkpoint_tick
+        cid = self.monitor.checkpoint_id
         new_slabs = self.monitor.assign(live, min_rows=self.radius + 1)
         which = C % 2
         t_done = now
@@ -705,6 +1095,7 @@ class ClusterMaster:
                     cause="agent-error",
                 )
                 raise _Unreachable([err], [n], t_done) from e
+            self.monitor.node_monitors[n] = self.agents[n].sched.monitor
 
         for n in live:
             node = self.agents[n].node
@@ -715,8 +1106,6 @@ class ClusterMaster:
         # Fresh coordinated checkpoint over the new decomposition, so a
         # subsequent failure (down to a single survivor) recovers again.
         self._checkpoint(C, from_host=True)
-        self.recovery_log[-1]["resumed_from_tick"] = C
-        self.recovery_log[-1]["resumed_at"] = self._clock
 
     def _fetch_rows(
         self,

@@ -62,7 +62,11 @@ class ClusterMonitor:
         self.itemsize = itemsize
         #: node -> (lo, hi): the live slab decomposition (interior rows).
         self.slabs: dict[int, tuple[int, int]] = {}
-        #: node -> "live" | "dead" | "fenced" | "idle".
+        #: node -> "live" | "dead" | "fenced" | "idle" | "probation"
+        #: | "banned". Only "live" and "idle" nodes are cluster members
+        #: (count toward quorum, serve checkpoint fetches): a node on
+        #: probation joins the member set only once admitted, and a
+        #: banned node never does.
         self.status: dict[int, str] = {}
         #: Current coordinated checkpoint, one record per region.
         self.checkpoints: list[CheckpointRecord] = []
@@ -111,7 +115,9 @@ class ClusterMonitor:
 
     # -- liveness -------------------------------------------------------------
     def live_nodes(self) -> list[int]:
-        """Every node not dead/fenced (slab owners plus idle spares)."""
+        """Cluster members: slab owners plus idle spares. Nodes that are
+        dead, fenced, on probation or banned are excluded — a repaired
+        node counts only after the master admits it."""
         return sorted(
             n for n, s in self.status.items() if s in ("live", "idle")
         )
@@ -123,6 +129,22 @@ class ClusterMonitor:
     def mark_fenced(self, node: int) -> None:
         self.status[node] = "fenced"
         self.slabs.pop(node, None)
+
+    def mark_probation(self, node: int) -> None:
+        """A repaired node announced itself and is proving clean
+        heartbeats; not yet a member."""
+        self.status[node] = "probation"
+
+    def mark_banned(self, node: int) -> None:
+        """Flap-damping: the node exceeded ``max_flaps`` crash→repair
+        cycles and is permanently excluded."""
+        self.status[node] = "banned"
+        self.slabs.pop(node, None)
+
+    def mark_admitted(self, node: int) -> None:
+        """Probation passed: the node re-enters the member set as an
+        idle spare (it owns a slab again only after the next re-slab)."""
+        self.status[node] = "idle"
 
     # -- checkpoints ----------------------------------------------------------
     def record_checkpoint(
@@ -138,6 +160,33 @@ class ClusterMonitor:
             CheckpointRecord(tick, cid, lo, hi, tuple(holders))
             for lo, hi, holders in regions
         ]
+
+    def add_checkpoint_holder(self, lo: int, hi: int, node: int) -> None:
+        """Record that ``node`` now holds a replica of the checkpoint
+        region ``[lo, hi)`` (the master's anti-entropy re-replication
+        pass shipped it one)."""
+        for i, rec in enumerate(self.checkpoints):
+            if rec.lo == lo and rec.hi == hi and node not in rec.holders:
+                self.checkpoints[i] = CheckpointRecord(
+                    rec.tick, rec.cid, rec.lo, rec.hi, rec.holders + (node,)
+                )
+
+    def replication_deficit(self, degree: int) -> int:
+        """Total missing live replica slots across the checkpoint, for a
+        target of ``degree + 1`` holders per region (owner + ``degree``
+        peers), clamped to the member count. Zero means every region is
+        back at the configured replication factor — the quantity
+        anti-entropy re-replication drives down after a rejoin."""
+        want = min(degree + 1, len(self.live_nodes()))
+        missing = 0
+        for rec in self.checkpoints:
+            alive = sum(
+                1
+                for h in rec.holders
+                if self.status.get(h) in ("live", "idle")
+            )
+            missing += max(0, want - alive)
+        return missing
 
     @property
     def checkpoint_tick(self) -> int:

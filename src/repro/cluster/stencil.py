@@ -137,6 +137,15 @@ class ClusterStencil:
     def recovery_log(self):
         return self.master.recovery_log
 
+    @property
+    def membership_log(self):
+        """Elastic-membership audit trail (MembershipEvent records)."""
+        return self.master.membership_log
+
+    def membership_stats(self):
+        """Per-action counts over the membership log plus node statuses."""
+        return self.master.membership_stats()
+
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """One tick on every node plus the inter-node ghost exchange

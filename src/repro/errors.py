@@ -241,7 +241,8 @@ class NodeFailure(SimulationError):
         node: The failed node's id.
         time: Cluster time at which the failure detector declared it dead
             (>= the actual crash time by the detection latency).
-        cause: ``"crash"``, ``"unreachable"`` or ``"agent-error"``.
+        cause: ``"crash"``, ``"unreachable"``, ``"agent-error"`` or
+            ``"flapping"`` (the :class:`NodeBannedError` subclass).
     """
 
     def __init__(
@@ -255,6 +256,33 @@ class NodeFailure(SimulationError):
         self.node = node
         self.time = time
         self.cause = cause
+
+
+class NodeBannedError(NodeFailure):
+    """A repaired node flapped too often and is permanently banned from
+    re-admission (DESIGN.md §15, elastic membership).
+
+    Every crash→repair cycle counts as a *flap*; a node announcing its
+    repair after more than ``ClusterFaultPlan.max_flaps`` flaps is marked
+    ``"banned"`` instead of entering probation — flap damping keeps an
+    unstable machine from repeatedly triggering probation, re-replication
+    and re-slab churn. Recorded in :attr:`ClusterMaster.events
+    <repro.cluster.ClusterMaster>` and the membership log; like any
+    detected failure it does not escape to applications on its own.
+
+    Attributes:
+        flaps: Crash→repair cycles observed when the ban was imposed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: int | None = None,
+        time: float = 0.0,
+        flaps: int = 0,
+    ):
+        super().__init__(message, node=node, time=time, cause="flapping")
+        self.flaps = flaps
 
 
 class LinkError(SimulationError):
@@ -293,8 +321,11 @@ class PartitionError(LinkError):
     """A network partition separates two nodes (DESIGN.md §15): the
     message failed not because the link is bad but because the fabric is
     split into disconnected groups. Nodes the master cannot reach are
-    *fenced* — excluded from the cluster even if the partition later
-    heals, so a stale minority can never write back into the board.
+    *fenced* — excluded from the cluster so a stale minority can never
+    write back into the board. A fenced node rejoins only through the
+    elastic-membership probation protocol after a
+    :class:`~repro.cluster.faults.NodeRepair` event; with no repair
+    scheduled, fencing is permanent.
 
     Attributes:
         isolated: The node group cut off from the master's side

@@ -43,21 +43,41 @@ class DynamicBatcher:
             shape is at least this).
         max_wait: Longest a queued request may wait for batch-mates
             before its batch is closed partially filled.
+        slo: Optional latency SLO in simulated seconds. When set, a
+            queued request whose deadline (``arrival + slo``) has already
+            passed is **shed** at batch-close time instead of being
+            batched — serving it would burn replica capacity on a
+            guaranteed SLO miss (the same dead-on-arrival class of bug as
+            the job server's ``_expire_dead_jobs``). A request can never
+            be dead at enqueue time (its deadline is ``slo`` past its
+            arrival), so close-time shedding covers the enqueue side too.
+            Default None preserves the shed-nothing behavior.
     """
 
-    def __init__(self, max_batch: int = 8, max_wait: float = 5e-4):
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_wait: float = 5e-4,
+        slo: float | None = None,
+    ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait < 0.0:
             raise ValueError("max_wait must be >= 0")
+        if slo is not None and slo <= 0.0:
+            raise ValueError("slo must be positive")
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.slo = None if slo is None else float(slo)
         self._queues: dict[str, deque[Request]] = {}
         #: Diagnostics: requests enqueued / batches closed / total batched
         #: requests (mean batch size = batched / batches).
         self.enqueued = 0
         self.batches = 0
         self.batched = 0
+        #: Requests shed past their SLO deadline (count and records).
+        self.shed = 0
+        self.shed_requests: list[Request] = []
 
     def enqueue(self, req: Request) -> None:
         self._queues.setdefault(req.kind, deque()).append(req)
@@ -76,11 +96,23 @@ class DynamicBatcher:
                 out.append(kind)
         return out
 
+    def _shed_expired(self, now: float) -> None:
+        """Drop queued requests already past their SLO deadline. Queues
+        are FIFO by arrival, so expired requests sit at the head."""
+        if self.slo is None:
+            return
+        for q in self._queues.values():
+            while q and now >= q[0].arrival + self.slo:
+                self.shed_requests.append(q.popleft())
+                self.shed += 1
+
     def pop(self, now: float) -> Batch | None:
         """Close and return the most urgent ready batch at ``now``, or
         None. Urgency is FIFO across kinds: the closable queue whose head
         arrived first wins (kind name breaks exact ties, so the order is
-        a pure function of the queue state)."""
+        a pure function of the queue state). With an SLO configured,
+        dead-on-arrival requests are shed before the batch forms."""
+        self._shed_expired(now)
         ready = self._closable(now)
         if not ready:
             return None

@@ -74,6 +74,10 @@ class ServingConfig:
     #: Latency SLO in simulated seconds: a request completing within
     #: ``slo`` of its arrival counts toward goodput.
     slo: float = 1e-2
+    #: Shed queued requests already past their SLO deadline instead of
+    #: batching them (see :class:`~repro.serving.batcher.DynamicBatcher`).
+    #: Opt-in: the default preserves serve-everything behavior.
+    shed_expired: bool = False
     sgemm_size: int = 96
     sgemm_layers: int = 6
     model_seed: int = 0
@@ -121,6 +125,9 @@ class ServingReport:
     mean_batch: float
     graph_captures: int
     graph_replayed_pairs: int
+    #: Requests shed past their SLO deadline instead of served (empty
+    #: unless ``config.shed_expired``).
+    shed: list[Request] = field(default_factory=list)
 
     @property
     def latencies(self) -> np.ndarray:
@@ -128,9 +135,13 @@ class ServingReport:
 
     @property
     def slo_attainment(self) -> float:
-        """Fraction of requests completing within the SLO."""
+        """Fraction of *offered* requests completing within the SLO —
+        shed requests count as misses."""
         lat = self.latencies
-        return float((lat <= self.config.slo).mean()) if len(lat) else 0.0
+        total = len(lat) + len(self.shed)
+        if total == 0:
+            return 0.0
+        return float((lat <= self.config.slo).sum() / total)
 
     @property
     def goodput(self) -> float:
@@ -142,8 +153,11 @@ class ServingReport:
 
     @property
     def throughput(self) -> float:
-        """All completions per simulated second."""
-        return self.n_requests / self.makespan if self.makespan > 0 else 0.0
+        """Completions per simulated second (shed requests never
+        complete)."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return (self.n_requests - len(self.shed)) / self.makespan
 
     def results_hash(self) -> str:
         """Order-independent digest of every request's result bytes —
@@ -270,7 +284,11 @@ class ServingNode:
     def run(self, trace: ArrivalTrace) -> ServingReport:
         """Replay ``trace`` to completion; returns the full report."""
         cfg = self.cfg
-        batcher = DynamicBatcher(max_batch=self._limit, max_wait=cfg.max_wait)
+        batcher = DynamicBatcher(
+            max_batch=self._limit,
+            max_wait=cfg.max_wait,
+            slo=cfg.slo if cfg.shed_expired else None,
+        )
         st = _State()
         served: list[ServedRequest] = []
         results: dict[int, np.ndarray] = {}
@@ -279,7 +297,7 @@ class ServingNode:
         now = 0.0
         for _ in range(cfg.min_replicas):
             self._provision(st, now)
-        while len(served) < n:
+        while len(served) + batcher.shed < n:
             while ai < n and arrivals[ai].arrival <= now:
                 batcher.enqueue(arrivals[ai])
                 ai += 1
@@ -338,10 +356,11 @@ class ServingNode:
             if dl is not None and dl > now:
                 nxt.append(dl)
             if not nxt:
-                if len(served) < n:
+                if len(served) + batcher.shed < n:
                     raise RuntimeError(
                         "serving loop stalled with "
-                        f"{n - len(served)} requests unserved"
+                        f"{n - len(served) - batcher.shed} requests "
+                        "unserved"
                     )
                 break
             now = min(nxt)
@@ -367,6 +386,7 @@ class ServingNode:
             mean_batch=batcher.mean_batch,
             graph_captures=caps,
             graph_replayed_pairs=pairs,
+            shed=list(batcher.shed_requests),
         )
 
 

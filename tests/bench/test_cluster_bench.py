@@ -55,6 +55,24 @@ class TestMeasureCluster:
         assert rec["crash_2_spaced"]["nodes_lost"] == 2
         assert rec["slow_link_25x"]["recoveries"] == 0
 
+    def test_elastic_scenarios(self, results):
+        el = results["elastic"]
+        for name in ("crash_repair_rejoin", "crash_repair_reslab"):
+            assert el[name]["bit_identical"] is True
+            assert el[name]["nodes_readmitted"] == 1
+            assert "re-admit" in el[name]["membership"]
+            assert el[name]["replication_deficit"] == 0
+            assert el[name]["overhead"] <= MAX_OVERHEAD
+        assert el["crash_repair_rejoin"]["replicas_shipped"] > 0
+        assert el["crash_repair_reslab"]["nodes_left"] == 4
+        assert el["deterministic_replay"] is True
+
+    def test_armed_idle_plan_is_exactly_free(self, results):
+        el, rec = results["elastic"], results["recovery"]
+        assert el["armed_idle"]["zero_overhead"] is True
+        assert el["armed_idle"]["sim_time"] == rec["crash_1"]["sim_time"]
+        assert el["armed_idle"]["nodes_readmitted"] == 0
+
     def test_checkpointing_insurance_is_priced(self, results):
         rec = results["recovery"]
         assert rec["baseline"]["checkpoints"] > 0
@@ -73,6 +91,9 @@ class TestMeasureCluster:
         assert "Cluster scaling" in text
         assert "crash_2_spaced" in text
         assert "bit-identical" in text
+        assert "Elastic membership" in text
+        assert "crash_repair_rejoin" in text
+        assert "armed_idle" in text
         out = tmp_path / "BENCH_cluster.json"
         write_cluster_json(results, out)
         data = json.loads(out.read_text())

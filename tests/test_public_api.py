@@ -62,6 +62,9 @@ class TestPublicApi:
         # ...but a node failure is not a device failure: intra-node and
         # cluster-level recovery must not catch each other's errors.
         assert not issubclass(repro.NodeFailure, repro.DeviceError)
+        # Elastic membership (ISSUE 10): a flap-damping ban is a node
+        # failure, so callers watching for lost nodes also see bans.
+        assert issubclass(repro.NodeBannedError, repro.NodeFailure)
 
     def test_every_error_class_is_reexported(self):
         """Regression: CapacityError/DeviceError were once missing from
